@@ -1,0 +1,414 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (regenerating the measurement each iteration), plus
+// ablation benchmarks for the design decisions called out in DESIGN.md §5.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package mobilesim_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/clc"
+	"mobilesim/internal/cpu"
+	"mobilesim/internal/experiments"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/platform"
+	"mobilesim/internal/slam"
+	"mobilesim/internal/workloads"
+)
+
+var smallOpt = experiments.Options{Scale: experiments.ScaleSmall}
+
+// runSpec executes one workload at small scale on a fresh platform.
+func runSpec(b *testing.B, name string, mutate func(*platform.Platform)) {
+	b.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := platform.New(platform.Config{RAMSize: 512 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	if mutate != nil {
+		mutate(p)
+	}
+	ctx, err := cl.NewContext(p, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := spec.Make(spec.SmallScale)
+	res, err := inst.Run(ctx, name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Verified {
+		b.Fatal(res.VerifyErr)
+	}
+}
+
+// --- Figures -----------------------------------------------------------------
+
+func BenchmarkFig01CompilerVersions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06DivergenceCFG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(io.Discard, smallOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig07Slowdown(b *testing.B) {
+	// One representative row of the slowdown measurement (SobelFilter).
+	for i := 0; i < b.N; i++ {
+		runSpec(b, "SobelFilter", nil)
+	}
+}
+
+func BenchmarkFig08VsBaseline(b *testing.B) {
+	b.Run("ours-dbt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSpec(b, "DCT", nil)
+		}
+	})
+	b.Run("baseline-interp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSpec(b, "DCT", func(p *platform.Platform) {
+				for _, c := range p.CPUs {
+					c.SetEngine(cpu.EngineInterp)
+				}
+			})
+		}
+	})
+}
+
+func BenchmarkFig09DriverScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(io.Discard, smallOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10ThreadScaling(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(benchName("threads", threads), func(b *testing.B) {
+			cfg := gpu.DefaultConfig()
+			cfg.HostThreads = threads
+			for i := 0; i < b.N; i++ {
+				spec, _ := workloads.ByName("SobelFilter")
+				p, err := platform.New(platform.Config{RAMSize: 512 << 20, GPU: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, err := cl.NewContext(p, "")
+				if err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				if _, err := spec.Make(128).Run(ctx, "SobelFilter"); err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				p.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkFig11InstructionMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSpec(b, "Reduction", nil)
+	}
+}
+
+func BenchmarkFig12DataAccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSpec(b, "Backprop", nil)
+	}
+}
+
+func BenchmarkFig13ClauseSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSpec(b, "RecursiveGaussian", nil)
+	}
+}
+
+func BenchmarkFig14SLAMBench(b *testing.B) {
+	cfg := slam.Express(1)
+	cfg.Frames = 2
+	for i := 0; i < b.N; i++ {
+		p, err := platform.New(platform.Config{RAMSize: 512 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, err := cl.NewContext(p, "")
+		if err != nil {
+			p.Close()
+			b.Fatal(err)
+		}
+		if _, err := slam.Run(ctx, cfg); err != nil {
+			p.Close()
+			b.Fatal(err)
+		}
+		p.Close()
+	}
+}
+
+func BenchmarkFig15SGEMM(b *testing.B) {
+	const dim = 32
+	a, bb := workloads.SgemmInputs(dim, dim, dim)
+	for _, v := range workloads.SgemmVariants() {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := platform.New(platform.Config{RAMSize: 256 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, err := cl.NewContext(p, "")
+				if err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				if _, err := workloads.RunSgemmVariant(ctx, v, a, bb, dim, dim, dim); err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				p.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkTable3SystemStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSpec(b, "BFS", nil)
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---------------------------------------------------
+
+// BenchmarkAblationDBT quantifies the DBT block cache against pure
+// interpretation on the CPU-bound driver path (a large buffer write).
+func BenchmarkAblationDBT(b *testing.B) {
+	for _, engine := range []cpu.Engine{cpu.EngineDBT, cpu.EngineInterp} {
+		engine := engine
+		b.Run(engine.String(), func(b *testing.B) {
+			p, err := platform.New(platform.Config{RAMSize: 256 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			p.CPUs[0].SetEngine(engine)
+			ctx, err := cl.NewContext(p, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf, err := ctx.CreateBuffer(1 << 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]byte, 1<<20)
+			b.SetBytes(1 << 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ctx.WriteBuffer(buf, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDecodeCache measures decode-once against re-decoding
+// the shader binary on every job (an iterative multi-job workload).
+func BenchmarkAblationDecodeCache(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "on"
+		if !cached {
+			name = "off"
+		}
+		cfg := gpu.DefaultConfig()
+		cfg.DecodeCache = cached
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, _ := workloads.ByName("BitonicSort")
+				p, err := platform.New(platform.Config{RAMSize: 256 << 20, GPU: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, err := cl.NewContext(p, "")
+				if err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				if _, err := spec.Make(1024).Run(ctx, "BitonicSort"); err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				p.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVirtualCores compares 1:1 shader-core mapping against
+// over-committed virtual cores (§III-B3, evaluated as Fig 10).
+func BenchmarkAblationVirtualCores(b *testing.B) {
+	for _, threads := range []int{8, 32} {
+		cfg := gpu.DefaultConfig()
+		cfg.HostThreads = threads
+		b.Run(benchName("threads", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, _ := workloads.ByName("SobelFilter")
+				p, err := platform.New(platform.Config{RAMSize: 512 << 20, GPU: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, err := cl.NewContext(p, "")
+				if err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				if _, err := spec.Make(192).Run(ctx, "SobelFilter"); err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				p.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationClauses compares the clause-forming compiler (6.1)
+// against the short-clause, heavily padded 5.6 pipeline end to end.
+func BenchmarkAblationClauses(b *testing.B) {
+	for _, ver := range []string{"5.6", "6.1"} {
+		ver := ver
+		b.Run("clc-"+ver, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, _ := workloads.ByName("DCT")
+				p, err := platform.New(platform.Config{RAMSize: 256 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, err := cl.NewContext(p, ver)
+				if err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				if _, err := spec.Make(spec.SmallScale).Run(ctx, "DCT"); err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				p.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInstrumentation measures the cost of the optional CFG
+// collection on top of the always-on counters (the Fig 8 "with
+// instrumentation" delta).
+func BenchmarkAblationInstrumentation(b *testing.B) {
+	for _, collect := range []bool{false, true} {
+		name := "counters-only"
+		if collect {
+			name = "with-cfg"
+		}
+		cfg := gpu.DefaultConfig()
+		cfg.CollectCFG = collect
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, _ := workloads.ByName("BFS")
+				p, err := platform.New(platform.Config{RAMSize: 256 << 20, GPU: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, err := cl.NewContext(p, "")
+				if err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				if _, err := spec.Make(spec.SmallScale).Run(ctx, "BFS"); err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				p.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGPUJIT compares interpreter dispatch against the
+// closure-JIT shader execution mode (the paper's future-work feature) on
+// an arithmetic-dense workload.
+func BenchmarkAblationGPUJIT(b *testing.B) {
+	for _, jit := range []bool{false, true} {
+		name := "interp"
+		if jit {
+			name = "jit"
+		}
+		cfg := gpu.DefaultConfig()
+		cfg.JITClauses = jit
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, _ := workloads.ByName("Cutcp")
+				p, err := platform.New(platform.Config{RAMSize: 256 << 20, GPU: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, err := cl.NewContext(p, "")
+				if err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				if _, err := spec.Make(12).Run(ctx, "Cutcp"); err != nil {
+					p.Close()
+					b.Fatal(err)
+				}
+				p.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkCompiler measures raw JIT throughput (parse + lower + clause
+// formation + regalloc + encode).
+func BenchmarkCompiler(b *testing.B) {
+	src := `
+kernel void k(global float* a, global float* b, global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float x = a[i];
+        for (int j = 0; j < 8; j++) {
+            x = x * 1.5f + b[i];
+        }
+        c[i] = x;
+    }
+}
+`
+	for i := 0; i < b.N; i++ {
+		if _, err := clc.Compile(src, "k", clc.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return fmt.Sprintf("%s-%d", prefix, n)
+}

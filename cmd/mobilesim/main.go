@@ -1,0 +1,125 @@
+// Command mobilesim runs one benchmark on the full simulated CPU/GPU
+// platform and prints its execution and system statistics — the
+// simulator's day-to-day workload-characterisation workflow.
+//
+// Usage:
+//
+//	mobilesim [-scale N] [-threads N] [-cores N] [-compiler VER] [-cfg] [-list] <benchmark>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/platform"
+	"mobilesim/internal/workloads"
+)
+
+func main() {
+	scale := flag.Int("scale", 0, "input scale (0 = benchmark default)")
+	threads := flag.Int("threads", 8, "GPU simulation host threads")
+	cores := flag.Int("cores", 8, "simulated shader cores")
+	compiler := flag.String("compiler", "", "JIT compiler version (5.6..6.2, default 6.1)")
+	cfg := flag.Bool("cfg", false, "collect and print the divergence CFG")
+	jit := flag.Bool("jit", false, "use closure-JIT shader execution")
+	list := flag.Bool("list", false, "list available benchmarks")
+	flag.Parse()
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "name\tsuite\tpaper input")
+		for _, s := range workloads.All() {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", s.Name, s.Suite, s.PaperInput)
+		}
+		tw.Flush()
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mobilesim [flags] <benchmark>   (see -list)")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *scale, *threads, *cores, *compiler, *cfg, *jit); err != nil {
+		fmt.Fprintln(os.Stderr, "mobilesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, scale, threads, cores int, compiler string, collectCFG, jit bool) error {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	if scale == 0 {
+		scale = spec.DefaultScale
+	}
+	gcfg := gpu.Config{ShaderCores: cores, HostThreads: threads,
+		DecodeCache: true, CollectCFG: collectCFG, JITClauses: jit}
+	p, err := platform.New(platform.Config{RAMSize: 1 << 30, GPU: gcfg})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	ctx, err := cl.NewContext(p, compiler)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s (%s, paper input: %s), scale %d, %d SCs on %d host threads\n",
+		spec.Name, spec.Suite, spec.PaperInput, scale, cores, threads)
+
+	inst := spec.Make(scale)
+	t0 := time.Now()
+	res, err := inst.Run(ctx, spec.Name)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(t0)
+	if !res.Verified {
+		return fmt.Errorf("verification FAILED: %v", res.VerifyErr)
+	}
+
+	gs, sys := p.GPU.Stats()
+	a, ls, nop, cf := gs.MixFractions()
+	da := gs.DataAccessFractions()
+	min, q1, med, q3, max := gs.ClauseSizeQuartiles()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "verified\tyes (vs host-native reference)\n")
+	fmt.Fprintf(tw, "sim time\t%v (native %v, slowdown %.0fx)\n",
+		res.SimDuration.Round(time.Millisecond), res.NativeDuration,
+		float64(res.SimDuration)/float64(maxDur(res.NativeDuration, 1)))
+	fmt.Fprintf(tw, "wall time\t%v\n", wall.Round(time.Millisecond))
+	fmt.Fprintf(tw, "driver CPU time\t%v (%d guest instructions)\n",
+		ctx.Drv.CPUTime.Round(time.Millisecond), p.CPUs[0].Instret)
+	fmt.Fprintf(tw, "compute jobs\t%d (kernel launches %d)\n", sys.ComputeJobs, sys.KernelLaunch)
+	fmt.Fprintf(tw, "threads / warps / workgroups\t%d / %d / %d\n", gs.Threads, gs.Warps, gs.Workgroups)
+	fmt.Fprintf(tw, "instructions\t%d (arith %.1f%%, LS %.1f%%, nop %.1f%%, CF %.1f%%)\n",
+		gs.TotalInstr(), 100*a, 100*ls, 100*nop, 100*cf)
+	fmt.Fprintf(tw, "data accesses\ttemp %.1f%%, GRF r %.1f%%, GRF w %.1f%%, const %.1f%%, ROM %.1f%%, mem %.1f%%\n",
+		100*da[0], 100*da[1], 100*da[2], 100*da[3], 100*da[4], 100*da[5])
+	fmt.Fprintf(tw, "clauses\t%d executed, sizes min/q1/med/q3/max = %.0f/%.0f/%.0f/%.0f/%.0f\n",
+		gs.ClausesExec, min, q1, med, q3, max)
+	fmt.Fprintf(tw, "divergence\t%d of %d branches split a warp\n", gs.DivergentBranches, gs.Branches)
+	fmt.Fprintf(tw, "registers\t%d GRF\n", gs.RegistersUsed)
+	fmt.Fprintf(tw, "system\tpages %d, ctrl reads %d, ctrl writes %d, IRQs %d\n",
+		sys.PagesAccessed, sys.CtrlRegReads, sys.CtrlRegWrites, sys.IRQsAsserted)
+	tw.Flush()
+
+	if collectCFG {
+		fmt.Println("\ncontrol-flow graph (clause addresses, thread proportions):")
+		fmt.Print(p.GPU.CFGGraph().Render())
+	}
+	return nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,16 @@
+// Package mobilesim is a full-system functional simulator for a mobile
+// CPU/GPU platform, reproducing "Full-System Simulation of Mobile CPU/GPU
+// Platforms" (Kaszyk et al., ISPASS 2019) as a self-contained Go library.
+//
+// The simulated system couples a VA64 (Arm-flavoured) CPU with DBT-based
+// execution, a Bifrost-style clause-ISA GPU with a Job Manager and full
+// GPU MMU, platform devices, a kbase-style kernel driver, an OpenCL-like
+// runtime and a JIT kernel compiler — so unmodified "guest" compute
+// workloads run through the same hardware/software contract as on a
+// physical Mali-G71 device.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured results. The bench_test.go harness regenerates every
+// table and figure of the paper's evaluation; cmd/experiments prints them.
+package mobilesim

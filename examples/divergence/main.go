@@ -1,0 +1,52 @@
+// Divergence analysis: run the BFS benchmark with control-flow-graph
+// collection and print the clause-level CFG with divergence annotations —
+// the Fig 6 workflow for pinpointing where warps split.
+//
+//	go run ./examples/divergence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/platform"
+	"mobilesim/internal/workloads"
+)
+
+func main() {
+	cfg := gpu.DefaultConfig()
+	cfg.CollectCFG = true
+	p, err := platform.New(platform.Config{RAMSize: 512 << 20, GPU: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	ctx, err := cl.NewContext(p, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec, err := workloads.ByName("BFS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := spec.Make(2048)
+	res, err := inst.Run(ctx, "BFS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Verified {
+		log.Fatal(res.VerifyErr)
+	}
+
+	gs, sys := p.GPU.Stats()
+	fmt.Printf("BFS: %d jobs, %d warp branches, %d divergent (%.1f%%)\n\n",
+		sys.ComputeJobs, gs.Branches, gs.DivergentBranches,
+		100*float64(gs.DivergentBranches)/float64(gs.Branches))
+	fmt.Println("control-flow graph (clause offsets within the shader binary;")
+	fmt.Println("edge percentages are the proportion of threads taking each path):")
+	fmt.Println()
+	fmt.Print(p.GPU.CFGGraph().Render())
+}

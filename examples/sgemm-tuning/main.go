@@ -1,0 +1,61 @@
+// SGEMM tuning study: run the six-step desktop-GPU optimisation ladder on
+// the simulated mobile GPU, print the per-variant statistics, and show how
+// the analytical Mali and desktop models rank them differently — the
+// Fig 15 workflow demonstrating that desktop optimisations trigger mobile
+// bottlenecks.
+//
+//	go run ./examples/sgemm-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/costmodel"
+	"mobilesim/internal/platform"
+	"mobilesim/internal/workloads"
+)
+
+func main() {
+	const dim = 64
+	a, b := workloads.SgemmInputs(dim, dim, dim)
+	want := workloads.SgemmNative(a, b, dim, dim, dim)
+
+	mali := costmodel.MaliG71()
+	desk := costmodel.K20m()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tinstr\tglobal LS\tlocal LS\tregs\tMali est.\tdesktop est.")
+
+	for _, v := range workloads.SgemmVariants() {
+		p, err := platform.New(platform.Config{RAMSize: 512 << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx, err := cl.NewContext(p, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := workloads.RunSgemmVariant(ctx, v, a, b, dim, dim, dim)
+		if err != nil {
+			log.Fatalf("%s: %v", v.Name, err)
+		}
+		for i := range got {
+			d := got[i] - want[i]
+			if d > 1e-2 || d < -1e-2 {
+				log.Fatalf("%s: wrong result at %d", v.Name, i)
+			}
+		}
+		gs, _ := p.GPU.Stats()
+		fmt.Fprintf(tw, "%d:%s\t%d\t%d\t%d\t%d\t%.2e\t%.2e\n",
+			v.ID, v.Name, gs.TotalInstr(), gs.GlobalLS, gs.LocalLS, gs.RegistersUsed,
+			mali.Estimate(&gs), desk.Estimate(&gs, v.Profile, 1))
+		p.Close()
+	}
+	tw.Flush()
+	fmt.Println("\nLower is faster. Note the divergent rankings: the 2D register-")
+	fmt.Println("blocked variant the desktop model likes is near the bottom on the")
+	fmt.Println("mobile model, where main-memory traffic dominates cost.")
+}

@@ -1,0 +1,174 @@
+// Package asm implements a two-pass assembler for the VA64 guest ISA, so
+// that genuine guest code — boot stubs, driver helper routines, example
+// programs — executes on the simulated CPU. Syntax is AArch64-flavoured:
+//
+//	// comment  or  ; comment
+//	label:
+//	    movz  x0, #0x1000          // 16-bit immediate, optional lsl #16/32/48
+//	    movk  x0, #0xdead, lsl #16
+//	    add   x1, x2, x3
+//	    addi  x1, x2, #-12
+//	    ldrx  x4, [x5, #8]
+//	    cmp   x1, x2               // alias of subs xzr, x1, x2
+//	    cmpi  x1, #7
+//	    mov   x1, x2               // alias of orr x1, xzr, x2
+//	    b     loop
+//	    b.ne  loop
+//	    bl    func
+//	    ret                        // alias of br x30
+//	    .word 0xdeadbeef
+//	    .zero 64
+//
+// Registers are x0..x30, xzr (or x31), sp (alias of x28), lr (x30).
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"mobilesim/internal/cpu"
+)
+
+// Program is the result of assembly: a flat binary image plus the symbol
+// table, relative to the chosen base address.
+type Program struct {
+	Base    uint64
+	Code    []byte
+	Symbols map[string]uint64
+}
+
+// Entry returns the address of a label, or an error when undefined.
+func (p *Program) Entry(label string) (uint64, error) {
+	a, ok := p.Symbols[label]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined symbol %q", label)
+	}
+	return a, nil
+}
+
+// MustEntry is Entry for known-good labels in tests and fixed firmware.
+func (p *Program) MustEntry(label string) uint64 {
+	a, err := p.Entry(label)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Error is an assembly diagnostic with source position.
+type Error struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("asm: line %d: %s (in %q)", e.Line, e.Msg, e.Text)
+}
+
+type item struct {
+	line  int
+	text  string
+	addr  uint64
+	label string // pending fixup label for branch instructions
+	inst  cpu.Inst
+	word  uint32 // raw .word payload
+	isRaw bool
+	zero  int // .zero size in bytes
+}
+
+// Assemble translates source into a Program loaded at base.
+func Assemble(src string, base uint64) (*Program, error) {
+	if base%4 != 0 {
+		return nil, fmt.Errorf("asm: base %#x not word aligned", base)
+	}
+	p := &Program{Base: base, Symbols: make(map[string]uint64)}
+	var items []item
+	addr := base
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,[") {
+				break
+			}
+			label := line[:i]
+			if _, dup := p.Symbols[label]; dup {
+				return nil, &Error{Line: lineNo + 1, Text: raw, Msg: "duplicate label " + label}
+			}
+			p.Symbols[label] = addr
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		it, err := parseLine(line, lineNo+1, raw)
+		if err != nil {
+			return nil, err
+		}
+		it.addr = addr
+		if it.zero > 0 {
+			sz := (it.zero + 3) &^ 3
+			addr += uint64(sz)
+		} else {
+			addr += 4
+		}
+		items = append(items, it)
+	}
+
+	// Second pass: resolve labels, emit.
+	for _, it := range items {
+		if it.zero > 0 {
+			p.Code = append(p.Code, make([]byte, (it.zero+3)&^3)...)
+			continue
+		}
+		if it.isRaw {
+			p.Code = appendWord(p.Code, it.word)
+			continue
+		}
+		in := it.inst
+		if it.label != "" {
+			target, ok := p.Symbols[it.label]
+			if !ok {
+				return nil, &Error{Line: it.line, Text: it.text, Msg: "undefined label " + it.label}
+			}
+			delta := int64(target-it.addr) / 4
+			in.Imm = delta
+			switch in.Op {
+			case cpu.OpB, cpu.OpBL:
+				if delta < -(1<<24) || delta >= 1<<24 {
+					return nil, &Error{Line: it.line, Text: it.text, Msg: "branch out of range"}
+				}
+			case cpu.OpBCOND:
+				if delta < -(1<<20) || delta >= 1<<20 {
+					return nil, &Error{Line: it.line, Text: it.text, Msg: "conditional branch out of range"}
+				}
+			}
+		}
+		p.Code = appendWord(p.Code, cpu.Encode(in))
+	}
+	return p, nil
+}
+
+func appendWord(b []byte, w uint32) []byte {
+	return append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

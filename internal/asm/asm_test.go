@@ -1,0 +1,192 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"mobilesim/internal/cpu"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, 0x1000)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAt(p *Program, i int) cpu.Inst {
+	w := uint32(p.Code[i*4]) | uint32(p.Code[i*4+1])<<8 |
+		uint32(p.Code[i*4+2])<<16 | uint32(p.Code[i*4+3])<<24
+	return cpu.Decode(w)
+}
+
+func TestBasicEncoding(t *testing.T) {
+	p := mustAssemble(t, `
+    add  x1, x2, x3
+    addi x4, x5, #-7
+    movz x6, #0xabcd, lsl #16
+    ldrx x7, [x8, #24]
+    strb x9, [x10]
+`)
+	want := []cpu.Inst{
+		{Op: cpu.OpADD, Rd: 1, Rn: 2, Rm: 3},
+		{Op: cpu.OpADDI, Rd: 4, Rn: 5, Imm: -7},
+		{Op: cpu.OpMOVZ, Rd: 6, Rm: 1, Imm: 0xabcd},
+		{Op: cpu.OpLDRX, Rd: 7, Rn: 8, Imm: 24},
+		{Op: cpu.OpSTRB, Rd: 9, Rn: 10},
+	}
+	for i, w := range want {
+		if got := decodeAt(p, i); got != w {
+			t.Errorf("inst %d: got %+v want %+v", i, got, w)
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+    nop
+    b    end
+    nop
+end:
+    hlt
+`)
+	if p.MustEntry("start") != 0x1000 {
+		t.Errorf("start = %#x", p.MustEntry("start"))
+	}
+	if p.MustEntry("end") != 0x100c {
+		t.Errorf("end = %#x", p.MustEntry("end"))
+	}
+	b := decodeAt(p, 1) // the b instruction at 0x1004
+	if b.Op != cpu.OpB || b.Imm != 2 {
+		t.Errorf("branch: %+v (want word offset 2)", b)
+	}
+}
+
+func TestBackwardBranch(t *testing.T) {
+	p := mustAssemble(t, `
+loop:
+    subi x1, x1, #1
+    b.ne loop
+`)
+	b := decodeAt(p, 1)
+	if b.Op != cpu.OpBCOND || b.Cond != cpu.CondNE || b.Imm != -1 {
+		t.Errorf("backward branch: %+v", b)
+	}
+}
+
+func TestAliases(t *testing.T) {
+	p := mustAssemble(t, `
+    mov  x1, x2
+    mov  x3, #77
+    cmp  x1, x2
+    cmpi x1, #5
+    ret
+`)
+	checks := []cpu.Inst{
+		{Op: cpu.OpORR, Rd: 1, Rn: cpu.ZR, Rm: 2},
+		{Op: cpu.OpMOVZ, Rd: 3, Imm: 77},
+		{Op: cpu.OpSUBS, Rd: cpu.ZR, Rn: 1, Rm: 2},
+		{Op: cpu.OpSUBSI, Rd: cpu.ZR, Rn: 1, Imm: 5},
+		{Op: cpu.OpBR, Rn: cpu.LR},
+	}
+	for i, w := range checks {
+		if got := decodeAt(p, i); got != w {
+			t.Errorf("inst %d: got %+v want %+v", i, got, w)
+		}
+	}
+}
+
+func TestSysRegsSymbolicAndNumeric(t *testing.T) {
+	p := mustAssemble(t, `
+    mrs x1, ttbr0
+    msr vbar, x2
+    mrs x3, s8
+`)
+	if got := decodeAt(p, 0); got.Op != cpu.OpMRS || got.Imm != int64(cpu.SysTTBR0) {
+		t.Errorf("mrs ttbr0: %+v", got)
+	}
+	if got := decodeAt(p, 1); got.Op != cpu.OpMSR || got.Imm != int64(cpu.SysVBAR) || got.Rd != 2 {
+		t.Errorf("msr vbar: %+v", got)
+	}
+	if got := decodeAt(p, 2); got.Imm != int64(cpu.SysIE) {
+		t.Errorf("mrs s8: %+v", got)
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+    .word 0xdeadbeef
+buf:
+    .zero 10
+after:
+    nop
+`)
+	if p.Code[0] != 0xef || p.Code[3] != 0xde {
+		t.Errorf(".word bytes: % x", p.Code[:4])
+	}
+	// .zero rounds to 12 bytes, so "after" is at 0x1000+4+12.
+	if p.MustEntry("after") != 0x1010 {
+		t.Errorf("after = %#x", p.MustEntry("after"))
+	}
+}
+
+func TestCommentsAndLabelsOnSameLine(t *testing.T) {
+	p := mustAssemble(t, `
+main: movz x1, #1   // set up
+    nop             ; trailing comment style two
+`)
+	if p.MustEntry("main") != 0x1000 {
+		t.Error("label on instruction line not recorded")
+	}
+	if got := decodeAt(p, 0); got.Op != cpu.OpMOVZ || got.Imm != 1 {
+		t.Errorf("inst after label: %+v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frobnicate x1, x2"},
+		{"bad register", "add x1, x99, x2"},
+		{"undefined label", "b nowhere"},
+		{"duplicate label", "a:\nnop\na:\nnop"},
+		{"imm out of range", "addi x1, x2, #999999"},
+		{"movz range", "movz x1, #0x12345"},
+		{"bad shift", "movz x1, #1, lsl #8"},
+		{"bad sysreg", "mrs x1, bogus"},
+		{"bad mem operand", "ldrx x1, x2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src, 0x1000); err == nil {
+				t.Errorf("expected error for %q", c.src)
+			} else if !strings.Contains(err.Error(), "line") {
+				t.Errorf("error should carry line info: %v", err)
+			}
+		})
+	}
+}
+
+func TestUnalignedBaseRejected(t *testing.T) {
+	if _, err := Assemble("nop", 0x1002); err == nil {
+		t.Error("unaligned base accepted")
+	}
+}
+
+func TestEntryErrors(t *testing.T) {
+	p := mustAssemble(t, "main: nop")
+	if _, err := p.Entry("missing"); err == nil {
+		t.Error("Entry should fail for unknown symbols")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEntry should panic for unknown symbols")
+		}
+	}()
+	p.MustEntry("missing")
+}

@@ -1,0 +1,420 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mobilesim/internal/cpu"
+)
+
+var regNames = func() map[string]uint8 {
+	m := make(map[string]uint8)
+	for i := 0; i <= 30; i++ {
+		m[fmt.Sprintf("x%d", i)] = uint8(i)
+	}
+	m["x31"] = cpu.ZR
+	m["xzr"] = cpu.ZR
+	m["lr"] = cpu.LR
+	m["sp"] = 28
+	return m
+}()
+
+var condNames = map[string]cpu.Cond{
+	"eq": cpu.CondEQ, "ne": cpu.CondNE, "hs": cpu.CondHS, "cs": cpu.CondHS,
+	"lo": cpu.CondLO, "cc": cpu.CondLO, "mi": cpu.CondMI, "pl": cpu.CondPL,
+	"vs": cpu.CondVS, "vc": cpu.CondVC, "hi": cpu.CondHI, "ls": cpu.CondLS,
+	"ge": cpu.CondGE, "lt": cpu.CondLT, "gt": cpu.CondGT, "le": cpu.CondLE,
+	"al": cpu.CondAL,
+}
+
+var rrrOps = map[string]cpu.Opcode{
+	"add": cpu.OpADD, "sub": cpu.OpSUB, "and": cpu.OpAND, "orr": cpu.OpORR,
+	"eor": cpu.OpEOR, "mul": cpu.OpMUL, "sdiv": cpu.OpSDIV, "udiv": cpu.OpUDIV,
+	"lsl": cpu.OpLSL, "lsr": cpu.OpLSR, "asr": cpu.OpASR,
+	"adds": cpu.OpADDS, "subs": cpu.OpSUBS,
+}
+
+var rriOps = map[string]cpu.Opcode{
+	"addi": cpu.OpADDI, "subi": cpu.OpSUBI, "andi": cpu.OpANDI,
+	"orri": cpu.OpORRI, "eori": cpu.OpEORI, "lsli": cpu.OpLSLI,
+	"lsri": cpu.OpLSRI, "asri": cpu.OpASRI, "subsi": cpu.OpSUBSI,
+}
+
+var memOps = map[string]cpu.Opcode{
+	"ldrb": cpu.OpLDRB, "ldrh": cpu.OpLDRH, "ldrw": cpu.OpLDRW, "ldrx": cpu.OpLDRX,
+	"strb": cpu.OpSTRB, "strh": cpu.OpSTRH, "strw": cpu.OpSTRW, "strx": cpu.OpSTRX,
+}
+
+// parseLine assembles one instruction or directive into an item.
+func parseLine(line string, lineNo int, raw string) (item, error) {
+	bad := func(msg string) (item, error) {
+		return item{}, &Error{Line: lineNo, Text: raw, Msg: msg}
+	}
+	mn, rest := splitMnemonic(line)
+	ops := splitOperands(rest)
+	it := item{line: lineNo, text: raw}
+
+	reg := func(i int) (uint8, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("missing operand %d", i+1)
+		}
+		r, ok := regNames[ops[i]]
+		if !ok {
+			return 0, fmt.Errorf("bad register %q", ops[i])
+		}
+		return r, nil
+	}
+	immediate := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("missing immediate operand %d", i+1)
+		}
+		return parseImm(ops[i])
+	}
+
+	switch mn {
+	case ".word":
+		v, err := immediate(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.isRaw = true
+		it.word = uint32(v)
+		return it, nil
+	case ".zero":
+		v, err := immediate(0)
+		if err != nil || v <= 0 {
+			return bad(".zero needs a positive size")
+		}
+		it.zero = int(v)
+		return it, nil
+
+	case "nop":
+		it.inst = cpu.Inst{Op: cpu.OpNOP}
+		return it, nil
+	case "hlt":
+		it.inst = cpu.Inst{Op: cpu.OpHLT}
+		return it, nil
+	case "eret":
+		it.inst = cpu.Inst{Op: cpu.OpERET}
+		return it, nil
+	case "wfi":
+		it.inst = cpu.Inst{Op: cpu.OpWFI}
+		return it, nil
+	case "ret":
+		it.inst = cpu.Inst{Op: cpu.OpBR, Rn: cpu.LR}
+		return it, nil
+	case "svc":
+		v, err := immediate(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.inst = cpu.Inst{Op: cpu.OpSVC, Imm: v}
+		return it, nil
+
+	case "mrs":
+		rd, err := reg(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		sr, err := parseSysReg(opAt(ops, 1))
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.inst = cpu.Inst{Op: cpu.OpMRS, Rd: rd, Imm: int64(sr)}
+		return it, nil
+	case "msr":
+		sr, err := parseSysReg(opAt(ops, 0))
+		if err != nil {
+			return bad(err.Error())
+		}
+		rd, err := reg(1)
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.inst = cpu.Inst{Op: cpu.OpMSR, Rd: rd, Imm: int64(sr)}
+		return it, nil
+
+	case "mov": // alias: orr rd, xzr, rm  /  movz rd, #imm for immediates
+		rd, err := reg(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		if len(ops) > 1 && strings.HasPrefix(ops[1], "#") {
+			v, err := immediate(1)
+			if err != nil {
+				return bad(err.Error())
+			}
+			if v < 0 || v > 0xFFFF {
+				return bad("mov immediate out of 16-bit range; use movz/movk")
+			}
+			it.inst = cpu.Inst{Op: cpu.OpMOVZ, Rd: rd, Imm: v}
+			return it, nil
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.inst = cpu.Inst{Op: cpu.OpORR, Rd: rd, Rn: cpu.ZR, Rm: rm}
+		return it, nil
+
+	case "movz", "movk":
+		rd, err := reg(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		v, err := immediate(1)
+		if err != nil {
+			return bad(err.Error())
+		}
+		if v < 0 || v > 0xFFFF {
+			return bad("movz/movk immediate out of 16-bit range")
+		}
+		hw := int64(0)
+		if len(ops) >= 3 {
+			sh, err := parseShift(ops[2])
+			if err != nil {
+				return bad(err.Error())
+			}
+			hw = sh / 16
+		}
+		op := cpu.OpMOVZ
+		if mn == "movk" {
+			op = cpu.OpMOVK
+		}
+		it.inst = cpu.Inst{Op: op, Rd: rd, Rm: uint8(hw), Imm: v}
+		return it, nil
+
+	case "cmp": // alias: subs xzr, rn, rm
+		rn, err := reg(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.inst = cpu.Inst{Op: cpu.OpSUBS, Rd: cpu.ZR, Rn: rn, Rm: rm}
+		return it, nil
+	case "cmpi": // alias: subsi xzr, rn, #imm
+		rn, err := reg(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		v, err := immediate(1)
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.inst = cpu.Inst{Op: cpu.OpSUBSI, Rd: cpu.ZR, Rn: rn, Imm: v}
+		return it, nil
+
+	case "csel":
+		rd, err1 := reg(0)
+		rn, err2 := reg(1)
+		rm, err3 := reg(2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return bad("csel needs rd, rn, rm, cond")
+		}
+		cond, ok := condNames[opAt(ops, 3)]
+		if !ok {
+			return bad("bad csel condition")
+		}
+		it.inst = cpu.Inst{Op: cpu.OpCSEL, Rd: rd, Rn: rn, Rm: rm, Cond: cond}
+		return it, nil
+
+	case "b":
+		it.inst = cpu.Inst{Op: cpu.OpB}
+		it.label = opAt(ops, 0)
+		return it, nil
+	case "bl":
+		it.inst = cpu.Inst{Op: cpu.OpBL}
+		it.label = opAt(ops, 0)
+		return it, nil
+	case "br":
+		rn, err := reg(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.inst = cpu.Inst{Op: cpu.OpBR, Rn: rn}
+		return it, nil
+	case "blr":
+		rn, err := reg(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.inst = cpu.Inst{Op: cpu.OpBLR, Rn: rn}
+		return it, nil
+	}
+
+	if cond, ok := strings.CutPrefix(mn, "b."); ok {
+		cc, okc := condNames[cond]
+		if !okc {
+			return bad("bad branch condition " + cond)
+		}
+		it.inst = cpu.Inst{Op: cpu.OpBCOND, Cond: cc}
+		it.label = opAt(ops, 0)
+		return it, nil
+	}
+
+	if op, ok := rrrOps[mn]; ok {
+		rd, err1 := reg(0)
+		rn, err2 := reg(1)
+		rm, err3 := reg(2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return bad(mn + " needs rd, rn, rm")
+		}
+		it.inst = cpu.Inst{Op: op, Rd: rd, Rn: rn, Rm: rm}
+		return it, nil
+	}
+	if op, ok := rriOps[mn]; ok {
+		rd, err1 := reg(0)
+		rn, err2 := reg(1)
+		v, err3 := immediate(2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return bad(mn + " needs rd, rn, #imm")
+		}
+		if v < -(1<<14) || v >= 1<<14 {
+			return bad("immediate out of 15-bit signed range")
+		}
+		it.inst = cpu.Inst{Op: op, Rd: rd, Rn: rn, Imm: v}
+		return it, nil
+	}
+	if op, ok := memOps[mn]; ok {
+		rd, err := reg(0)
+		if err != nil {
+			return bad(err.Error())
+		}
+		rn, off, err := parseMemOperand(strings.Join(ops[1:], ","))
+		if err != nil {
+			return bad(err.Error())
+		}
+		it.inst = cpu.Inst{Op: op, Rd: rd, Rn: rn, Imm: off}
+		return it, nil
+	}
+
+	return bad("unknown mnemonic " + mn)
+}
+
+func opAt(ops []string, i int) string {
+	if i < len(ops) {
+		return ops[i]
+	}
+	return ""
+}
+
+func splitMnemonic(line string) (mn, rest string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return strings.ToLower(line), ""
+	}
+	return strings.ToLower(line[:i]), strings.TrimSpace(line[i+1:])
+}
+
+// splitOperands splits on commas that are not inside brackets.
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+var sysRegNames = map[string]cpu.SysReg{
+	"ttbr0": cpu.SysTTBR0, "vbar": cpu.SysVBAR, "sctlr": cpu.SysSCTLR,
+	"esr": cpu.SysESR, "far": cpu.SysFAR, "elr": cpu.SysELR,
+	"spsr": cpu.SysSPSR, "cpuid": cpu.SysCPUID, "ie": cpu.SysIE,
+	"scratch0": cpu.SysSCRATCH0, "scratch1": cpu.SysSCRATCH1,
+}
+
+// parseSysReg accepts symbolic names ("ttbr0") or numeric "sN" form.
+func parseSysReg(s string) (cpu.SysReg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := sysRegNames[s]; ok {
+		return r, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "s"); ok {
+		v, err := strconv.ParseUint(rest, 10, 8)
+		if err == nil && v < uint64(cpu.NumSysRegs) {
+			return cpu.SysReg(v), nil
+		}
+	}
+	return 0, fmt.Errorf("bad system register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimPrefix(s, "#")
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	r := int64(v)
+	if neg {
+		r = -r
+	}
+	return r, nil
+}
+
+func parseShift(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s, ok := strings.CutPrefix(s, "lsl")
+	if !ok {
+		return 0, fmt.Errorf("expected lsl #n, got %q", s)
+	}
+	v, err := parseImm(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	if v != 0 && v != 16 && v != 32 && v != 48 {
+		return 0, fmt.Errorf("shift must be 0/16/32/48")
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "[xN]" or "[xN, #imm]".
+func parseMemOperand(s string) (rn uint8, off int64, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	parts := strings.Split(inner, ",")
+	r, ok := regNames[strings.TrimSpace(parts[0])]
+	if !ok {
+		return 0, 0, fmt.Errorf("bad base register in %q", s)
+	}
+	if len(parts) == 1 {
+		return r, 0, nil
+	}
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	v, err := parseImm(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	if v < -(1<<14) || v >= 1<<14 {
+		return 0, 0, fmt.Errorf("offset out of range in %q", s)
+	}
+	return r, v, nil
+}

@@ -1,0 +1,325 @@
+// Package cl is the user-space OpenCL-like runtime — the simulator's
+// libOpenCL.so equivalent. Applications create buffers, build programs
+// (JIT-compiled through the clc toolchain exactly when the real stack
+// would invoke the vendor compiler), set kernel arguments and enqueue
+// NDRange kernels. All device interaction flows through the kernel driver
+// and the simulated hardware interface.
+package cl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mobilesim/internal/clc"
+	"mobilesim/internal/driver"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/platform"
+)
+
+// Context owns a device connection and a JIT configuration.
+type Context struct {
+	P       *platform.Platform
+	Drv     *driver.Driver
+	Version string // compiler version; empty = clc.DefaultVersion
+
+	localVA    uint64
+	localBytes uint32
+}
+
+// NewContext opens the device. One context per simulated application.
+func NewContext(p *platform.Platform, compilerVersion string) (*Context, error) {
+	drv, err := driver.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{P: p, Drv: drv, Version: compilerVersion}, nil
+}
+
+// Buffer is a device allocation.
+type Buffer struct {
+	VA   uint64
+	Size int
+}
+
+// CreateBuffer allocates a device buffer.
+func (c *Context) CreateBuffer(size int) (*Buffer, error) {
+	va, err := c.Drv.AllocGPU(size)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{VA: va, Size: size}, nil
+}
+
+// WriteBuffer copies host bytes into a buffer (clEnqueueWriteBuffer).
+func (c *Context) WriteBuffer(b *Buffer, data []byte) error {
+	if len(data) > b.Size {
+		return fmt.Errorf("cl: write of %d bytes into %d-byte buffer", len(data), b.Size)
+	}
+	return c.Drv.CopyToDevice(b.VA, data)
+}
+
+// ReadBuffer copies a buffer back to the host (clEnqueueReadBuffer).
+func (c *Context) ReadBuffer(b *Buffer, n int) ([]byte, error) {
+	if n > b.Size {
+		n = b.Size
+	}
+	return c.Drv.CopyFromDevice(b.VA, n)
+}
+
+// WriteF32 marshals float32 data into a buffer.
+func (c *Context) WriteF32(b *Buffer, vals []float32) error {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return c.WriteBuffer(b, buf)
+}
+
+// ReadF32 reads n float32 values from a buffer.
+func (c *Context) ReadF32(b *Buffer, n int) ([]float32, error) {
+	raw, err := c.ReadBuffer(b, 4*n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+// WriteI32 marshals int32 data into a buffer.
+func (c *Context) WriteI32(b *Buffer, vals []int32) error {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return c.WriteBuffer(b, buf)
+}
+
+// ReadI32 reads n int32 values from a buffer.
+func (c *Context) ReadI32(b *Buffer, n int) ([]int32, error) {
+	raw, err := c.ReadBuffer(b, 4*n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+// Program is a built (JIT-compiled and device-loaded) program.
+type Program struct {
+	ctx     *Context
+	kernels map[string]*loadedKernel
+}
+
+type loadedKernel struct {
+	ck     *clc.CompiledKernel
+	binVA  uint64
+	descVA uint64
+	argsVA uint64
+}
+
+// BuildProgram JIT-compiles source and loads the binaries into GPU-visible
+// memory through the driver, as clBuildProgram does.
+func (c *Context) BuildProgram(src string) (*Program, error) {
+	compiled, err := clc.CompileAll(src, clc.Options{Version: c.Version})
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{ctx: c, kernels: make(map[string]*loadedKernel)}
+	for name, ck := range compiled {
+		binVA, err := c.Drv.AllocGPU(len(ck.Binary))
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Drv.CopyToDevice(binVA, ck.Binary); err != nil {
+			return nil, err
+		}
+		descVA, err := c.Drv.AllocGPU(gpu.JobDescSize)
+		if err != nil {
+			return nil, err
+		}
+		argBytes := 8 * len(ck.Params)
+		if argBytes == 0 {
+			argBytes = 8
+		}
+		argsVA, err := c.Drv.AllocGPU(argBytes)
+		if err != nil {
+			return nil, err
+		}
+		p.kernels[name] = &loadedKernel{ck: ck, binVA: binVA, descVA: descVA, argsVA: argsVA}
+	}
+	return p, nil
+}
+
+// Kernel is an invocable kernel with bound arguments.
+type Kernel struct {
+	prog *Program
+	lk   *loadedKernel
+	args []uint64
+	set  []bool
+}
+
+// CreateKernel looks up a kernel by name.
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	lk, ok := p.kernels[name]
+	if !ok {
+		return nil, fmt.Errorf("cl: kernel %q not in program", name)
+	}
+	return &Kernel{
+		prog: p,
+		lk:   lk,
+		args: make([]uint64, len(lk.ck.Params)),
+		set:  make([]bool, len(lk.ck.Params)),
+	}, nil
+}
+
+// Report exposes the offline-compiler metrics for the kernel.
+func (k *Kernel) Report() clc.StaticReport { return k.lk.ck.Report }
+
+// Params returns the kernel's declared parameters.
+func (k *Kernel) Params() []clc.Param { return k.lk.ck.Params }
+
+func (k *Kernel) setRaw(i int, v uint64) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("cl: kernel %s has no argument %d", k.lk.ck.Name, i)
+	}
+	k.args[i] = v
+	k.set[i] = true
+	return nil
+}
+
+// SetArgBuffer binds a device buffer to a pointer parameter.
+func (k *Kernel) SetArgBuffer(i int, b *Buffer) error {
+	p := k.lk.ck.Params
+	if i < len(p) && p[i].Type.Kind != clc.TypeGlobalPtr {
+		return fmt.Errorf("cl: argument %d of %s is %s, not a buffer", i, k.lk.ck.Name, p[i].Type)
+	}
+	return k.setRaw(i, b.VA)
+}
+
+// SetArgInt binds an int scalar.
+func (k *Kernel) SetArgInt(i int, v int32) error {
+	return k.setRaw(i, uint64(uint32(v)))
+}
+
+// SetArgFloat binds a float scalar.
+func (k *Kernel) SetArgFloat(i int, v float32) error {
+	return k.setRaw(i, uint64(math.Float32bits(v)))
+}
+
+// Launch describes one NDRange enqueue for batch submission.
+type Launch struct {
+	Kernel *Kernel
+	Global [3]uint32
+	Local  [3]uint32
+}
+
+// EnqueueKernel runs one kernel synchronously (enqueue + finish).
+func (c *Context) EnqueueKernel(k *Kernel, global, local [3]uint32) error {
+	return c.EnqueueBatch([]Launch{{Kernel: k, Global: global, Local: local}})
+}
+
+// EnqueueBatch submits a chain of kernel jobs in one doorbell, the job-
+// chain facility the hardware Job Manager provides. Argument tables and
+// descriptors are written through the guest-code driver path.
+func (c *Context) EnqueueBatch(launches []Launch) error {
+	if len(launches) == 0 {
+		return nil
+	}
+	seen := make(map[*loadedKernel]bool, len(launches))
+	for _, l := range launches {
+		if seen[l.Kernel.lk] {
+			return fmt.Errorf("cl: kernel %s appears twice in one batch; enqueue separately",
+				l.Kernel.lk.ck.Name)
+		}
+		seen[l.Kernel.lk] = true
+	}
+	for li := len(launches) - 1; li >= 0; li-- {
+		l := launches[li]
+		k := l.Kernel
+		for i, ok := range k.set {
+			if !ok {
+				return fmt.Errorf("cl: kernel %s argument %d (%s) not set",
+					k.lk.ck.Name, i, k.lk.ck.Params[i].Name)
+			}
+		}
+		global, local := normalizeDims(l.Global, l.Local)
+
+		if k.lk.ck.LocalBytes > 0 {
+			if err := c.ensureLocal(k.lk.ck.LocalBytes); err != nil {
+				return err
+			}
+		}
+		argBuf := make([]byte, 8*len(k.args))
+		for i, a := range k.args {
+			binary.LittleEndian.PutUint64(argBuf[8*i:], a)
+		}
+		if len(argBuf) > 0 {
+			if err := c.Drv.CopyToDevice(k.lk.argsVA, argBuf); err != nil {
+				return err
+			}
+		}
+		desc := &gpu.JobDescriptor{
+			JobType:    gpu.JobTypeCompute,
+			GlobalSize: global,
+			LocalSize:  local,
+			ShaderVA:   k.lk.binVA,
+			ShaderSize: uint32(len(k.lk.ck.Binary)),
+			ArgsVA:     k.lk.argsVA,
+		}
+		if k.lk.ck.LocalBytes > 0 {
+			desc.LocalMemVA = c.localVA
+			desc.LocalMemBytes = k.lk.ck.LocalBytes
+		}
+		if li+1 < len(launches) {
+			desc.NextJobVA = launches[li+1].Kernel.lk.descVA
+		}
+		if err := c.Drv.WriteDescriptor(k.lk.descVA, desc); err != nil {
+			return err
+		}
+		c.P.GPU.NoteKernelLaunch()
+	}
+	return c.Drv.SubmitAndWait(launches[0].Kernel.lk.descVA)
+}
+
+// ensureLocal sizes the driver-allocated local-memory slots for the
+// architectural shader-core count (§III-B3: the driver allocates local
+// storage for the cores it detects; over-committed simulator threads
+// shadow host-side).
+func (c *Context) ensureLocal(bytes uint32) error {
+	if bytes <= c.localBytes {
+		return nil
+	}
+	cores := c.P.GPU.Config().ShaderCores
+	va, err := c.Drv.AllocGPU(int(bytes) * cores)
+	if err != nil {
+		return err
+	}
+	c.localVA = va
+	c.localBytes = bytes
+	return nil
+}
+
+func normalizeDims(global, local [3]uint32) ([3]uint32, [3]uint32) {
+	for i := 0; i < 3; i++ {
+		if global[i] == 0 {
+			global[i] = 1
+		}
+		if local[i] == 0 {
+			local[i] = 1
+		}
+	}
+	return global, local
+}
+
+// G1 builds a 1-D dimension triple.
+func G1(n uint32) [3]uint32 { return [3]uint32{n, 1, 1} }
+
+// G2 builds a 2-D dimension triple.
+func G2(x, y uint32) [3]uint32 { return [3]uint32{x, y, 1} }

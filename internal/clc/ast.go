@@ -1,0 +1,241 @@
+package clc
+
+// Type is a CLite type.
+type Type struct {
+	Kind TypeKind
+	Elem ElemKind // pointee element for pointers
+}
+
+// TypeKind classifies CLite types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeInt TypeKind = iota
+	TypeFloat
+	TypeBool
+	TypeGlobalPtr
+	TypeLocalPtr
+	TypeVoid
+)
+
+// ElemKind is the pointee element type of a pointer.
+type ElemKind int
+
+// Pointer element kinds.
+const (
+	ElemFloat ElemKind = iota
+	ElemInt
+	ElemUChar
+)
+
+// Size returns the element size in bytes.
+func (e ElemKind) Size() uint32 {
+	if e == ElemUChar {
+		return 1
+	}
+	return 4
+}
+
+func (t Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeBool:
+		return "bool"
+	case TypeVoid:
+		return "void"
+	case TypeGlobalPtr, TypeLocalPtr:
+		space := "global"
+		if t.Kind == TypeLocalPtr {
+			space = "local"
+		}
+		switch t.Elem {
+		case ElemFloat:
+			return space + " float*"
+		case ElemInt:
+			return space + " int*"
+		default:
+			return space + " uchar*"
+		}
+	}
+	return "?"
+}
+
+var (
+	tInt   = Type{Kind: TypeInt}
+	tFloat = Type{Kind: TypeFloat}
+	tBool  = Type{Kind: TypeBool}
+)
+
+// Param is a kernel parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Kernel is a parsed kernel function.
+type Kernel struct {
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+	// LocalArrays lists kernel-scope `local T name[N];` declarations.
+	LocalArrays []LocalArray
+}
+
+// LocalArray is a statically sized workgroup-local array.
+type LocalArray struct {
+	Name  string
+	Elem  ElemKind
+	Count int
+	// Offset within the workgroup local segment, assigned by sema.
+	Offset uint32
+}
+
+// --- Statements -------------------------------------------------------------
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is `{ ... }`.
+type BlockStmt struct{ Stmts []Stmt }
+
+// DeclStmt declares a scalar: `int x = e;`.
+type DeclStmt struct {
+	Name string
+	Type Type
+	Init Expr // nil means zero
+	line int
+}
+
+// AssignStmt is `lhs = e` or a compound assignment (Op non-empty, e.g. "+").
+type AssignStmt struct {
+	LHS  Expr // Ident or Index
+	Op   string
+	RHS  Expr
+	line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+}
+
+// ForStmt is `for (init; cond; post) body`. Init/Post may be nil; a nil
+// Cond means true. While loops parse into ForStmt with nil Init/Post.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ line int }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ line int }
+
+// ReturnStmt terminates the thread (kernels are void).
+type ReturnStmt struct{ line int }
+
+// ExprStmt evaluates an expression for effect (barrier(), x++ ...).
+type ExprStmt struct{ X Expr }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+
+// --- Expressions -------------------------------------------------------------
+
+// Expr is an expression node. Sema fills typ.
+type Expr interface {
+	exprNode()
+	Pos() (line, col int)
+}
+
+type exprBase struct {
+	line, col int
+	typ       Type
+}
+
+func (e *exprBase) Pos() (int, int) { return e.line, e.col }
+
+// Ident references a parameter, local variable or local array.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// Binary is `a op b` for arithmetic/comparison/logical/bitwise operators.
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Unary is `-x`, `!x`, `~x`.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Cond is the ternary `c ? a : b`.
+type Cond struct {
+	exprBase
+	C, A, B Expr
+}
+
+// Index is `ptr[idx]` or `localArr[idx]`.
+type Index struct {
+	exprBase
+	Base Expr
+	Idx  Expr
+}
+
+// Call is a builtin call: get_global_id(0), sqrt(x), barrier(), ...
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// CastExpr is `(int)x` or `(float)x`.
+type CastExpr struct {
+	exprBase
+	To Type
+	X  Expr
+}
+
+func (*Ident) exprNode()    {}
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Binary) exprNode()   {}
+func (*Unary) exprNode()    {}
+func (*Cond) exprNode()     {}
+func (*Index) exprNode()    {}
+func (*Call) exprNode()     {}
+func (*CastExpr) exprNode() {}

@@ -1,0 +1,461 @@
+package clc
+
+import (
+	"fmt"
+	"sort"
+
+	"mobilesim/internal/gpu"
+)
+
+// codegen turns a lowered Fn into a gpu.Program: clause formation, clause-
+// temporary promotion, GRF allocation, and instruction encoding. This is
+// where the compiler versions diverge (clause sizes, hazard padding,
+// temp usage), producing the Fig 1 differences.
+type codegen struct {
+	fn  *Fn
+	ver Version
+
+	clauses    []clauseDraft
+	blockStart []int // block id -> first clause index
+	ipdom      []int
+
+	// operand assignment
+	grfOf   map[int]uint8 // vreg -> GRF index
+	tempOf  map[int]uint8 // vreg -> temp index (clause-local vregs)
+	regHigh int
+}
+
+type clauseDraft struct {
+	items []clauseItem
+	block int
+}
+
+type clauseItem struct {
+	isNop bool
+	inst  IRInst // valid when !isNop
+	// terminator payload, filled during fixup
+	isTerm bool
+	term   TermKind
+	target int // block id (pre-fixup)
+	rejoin int // block id (pre-fixup, BRC only)
+	cond   Opd
+}
+
+// generate runs the full backend.
+func (cg *codegen) generate() (*gpu.Program, error) {
+	cg.materializeImmConflicts()
+	cg.ipdom = cg.fn.postDominators()
+	cg.formClauses()
+	if err := cg.assignRegisters(); err != nil {
+		return nil, err
+	}
+	return cg.encode()
+}
+
+// materializeImmConflicts rewrites instructions whose encoding would need
+// the single Imm field for two different values, inserting MOVs.
+func (cg *codegen) materializeImmConflicts() {
+	for _, b := range cg.fn.Blocks {
+		var out []IRInst
+		for _, in := range b.Insts {
+			isMem := isLS(in.Op)
+			if isMem {
+				// Memory ops reserve the Imm field for the address
+				// offset: materialise every imm/ROM operand.
+				if in.A.Kind == OpdImm || in.A.Kind == OpdROM {
+					v := cg.fn.NumVRegs
+					cg.fn.NumVRegs++
+					out = append(out, IRInst{Op: gpu.OpMOV, Dst: v, A: in.A})
+					in.A = vr(v)
+				}
+				if in.B.Kind == OpdImm || in.B.Kind == OpdROM {
+					v := cg.fn.NumVRegs
+					cg.fn.NumVRegs++
+					out = append(out, IRInst{Op: gpu.OpMOV, Dst: v, A: in.B})
+					in.B = vr(v)
+				}
+			} else {
+				// Non-memory ops: the field can serve one immediate; two
+				// distinct payloads force materialising A. (ROM indices
+				// and immediates share the field, so mixed kinds or
+				// differing values conflict.)
+				payload := func(o Opd) (uint64, bool) {
+					switch o.Kind {
+					case OpdImm:
+						return uint64(o.Imm), true
+					case OpdROM:
+						return uint64(o.ID) | 1<<32, true
+					}
+					return 0, false
+				}
+				pa, aImm := payload(in.A)
+				pb, bImm := payload(in.B)
+				if aImm && bImm && pa != pb {
+					v := cg.fn.NumVRegs
+					cg.fn.NumVRegs++
+					out = append(out, IRInst{Op: gpu.OpMOV, Dst: v, A: in.A})
+					in.A = vr(v)
+				}
+			}
+			out = append(out, in)
+		}
+		b.Insts = out
+	}
+}
+
+func isLS(op gpu.Opcode) bool { return gpu.Classify(op) == gpu.ClassLS }
+
+// formClauses chunks each block into clauses respecting the version's
+// clause-size limit and load-hazard NOP padding, and appends the block
+// terminator as the final clause-terminal instruction.
+func (cg *codegen) formClauses() {
+	maxSlots := cg.ver.MaxClauseSlots
+	if maxSlots <= 0 || maxSlots > gpu.MaxClauseSlotsBinary {
+		maxSlots = gpu.MaxClauseSlotsBinary
+	}
+	cg.blockStart = make([]int, len(cg.fn.Blocks))
+
+	for bi, b := range cg.fn.Blocks {
+		cg.blockStart[bi] = len(cg.clauses)
+		cur := clauseDraft{block: bi}
+		flush := func() {
+			if len(cur.items) > 0 {
+				cg.clauses = append(cg.clauses, cur)
+				cur = clauseDraft{block: bi}
+			}
+		}
+		push := func(it clauseItem) {
+			if len(cur.items) >= maxSlots {
+				flush()
+			}
+			cur.items = append(cur.items, it)
+		}
+		for _, in := range b.Insts {
+			push(clauseItem{inst: in})
+			if isLS(in.Op) {
+				for p := 0; p < cg.ver.LoadPadNops; p++ {
+					push(clauseItem{isNop: true})
+				}
+			}
+		}
+		// Terminator.
+		switch b.Term {
+		case TermFall:
+			// no instruction; clause falls through
+		case TermRet, TermBarrier, TermBr, TermBrc:
+			push(clauseItem{
+				isTerm: true,
+				term:   b.Term,
+				target: b.Target,
+				rejoin: cg.rejoinBlock(bi),
+				cond:   b.Cond,
+			})
+		}
+		flush()
+		// Blocks that produced no clause (empty fallthrough blocks) still
+		// need an anchor so branch targets resolve; emit a 1-NOP clause.
+		if cg.blockStart[bi] == len(cg.clauses) {
+			cg.clauses = append(cg.clauses, clauseDraft{
+				block: bi,
+				items: []clauseItem{{isNop: true}},
+			})
+		}
+	}
+}
+
+// rejoinBlock returns the reconvergence block id for a BRC in block bi
+// (its immediate post-dominator; -1 means program exit).
+func (cg *codegen) rejoinBlock(bi int) int {
+	if cg.fn.Blocks[bi].Term != TermBrc {
+		return -1
+	}
+	return cg.ipdom[bi]
+}
+
+// --- register assignment -----------------------------------------------------
+
+type interval struct {
+	vreg   int
+	lo, hi int
+}
+
+// assignRegisters promotes clause-local vregs to temp registers (when the
+// version allows) and linear-scans the rest onto the GRF.
+func (cg *codegen) assignRegisters() error {
+	cg.grfOf = map[int]uint8{}
+	cg.tempOf = map[int]uint8{}
+
+	// Global position numbering and per-vreg occurrence data.
+	type occ struct {
+		first, last  int
+		clauses      map[int]bool
+		defs         int
+		firstIsWrite bool
+	}
+	occs := map[int]*occ{}
+	forEach := func(fn func(ci int, it *clauseItem, p int)) {
+		p := 0
+		for ci := range cg.clauses {
+			for ii := range cg.clauses[ci].items {
+				fn(ci, &cg.clauses[ci].items[ii], p)
+				p++
+			}
+		}
+	}
+	note := func(v int, ci, p int, isDef bool) {
+		o := occs[v]
+		if o == nil {
+			o = &occ{first: p, last: p, clauses: map[int]bool{}, firstIsWrite: isDef}
+			occs[v] = o
+		}
+		if p < o.first {
+			o.first = p
+		}
+		if p > o.last {
+			o.last = p
+		}
+		o.clauses[ci] = true
+		if isDef {
+			o.defs++
+		}
+	}
+	forEach(func(ci int, it *clauseItem, p int) {
+		if it.isNop {
+			return
+		}
+		if it.isTerm {
+			if it.term == TermBrc && it.cond.isVReg() {
+				note(it.cond.ID, ci, p, false)
+			}
+			return
+		}
+		in := it.inst
+		if in.A.isVReg() {
+			note(in.A.ID, ci, p, false)
+		}
+		if in.B.isVReg() {
+			note(in.B.ID, ci, p, false)
+		}
+		if in.Dst >= 0 {
+			note(in.Dst, ci, p, true)
+		}
+	})
+
+	// Back-edge extension: vregs live into a loop stay live through it.
+	blockFirst := make([]int, len(cg.fn.Blocks))
+	blockLast := make([]int, len(cg.fn.Blocks))
+	for i := range blockFirst {
+		blockFirst[i] = -1
+	}
+	{
+		p := 0
+		for ci := range cg.clauses {
+			b := cg.clauses[ci].block
+			for range cg.clauses[ci].items {
+				if blockFirst[b] == -1 {
+					blockFirst[b] = p
+				}
+				blockLast[b] = p
+				p++
+			}
+		}
+	}
+	for bi := range cg.fn.Blocks {
+		for _, s := range cg.fn.succs(bi) {
+			if s <= bi { // back edge
+				pT, pB := blockFirst[s], blockLast[bi]
+				if pT < 0 {
+					continue
+				}
+				for _, o := range occs {
+					if o.first < pT && o.last >= pT && o.last < pB {
+						o.last = pB
+					}
+				}
+			}
+		}
+	}
+
+	// Temp promotion: single-clause vregs, greedily into 4 temp slots.
+	if cg.ver.UseTemps {
+		type cand struct {
+			vreg   int
+			lo, hi int
+		}
+		byClause := map[int][]cand{}
+		for v, o := range occs {
+			if len(o.clauses) == 1 && o.firstIsWrite {
+				var ci int
+				for c := range o.clauses {
+					ci = c
+				}
+				byClause[ci] = append(byClause[ci], cand{vreg: v, lo: o.first, hi: o.last})
+			}
+		}
+		for _, cands := range byClause {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].lo < cands[j].lo })
+			var busyUntil [gpu.NumTemp]int
+			for i := range busyUntil {
+				busyUntil[i] = -1
+			}
+			for _, c := range cands {
+				for slot := 0; slot < gpu.NumTemp; slot++ {
+					if busyUntil[slot] < c.lo {
+						cg.tempOf[c.vreg] = uint8(slot)
+						busyUntil[slot] = c.hi
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Linear scan for the rest.
+	var ivs []interval
+	for v, o := range occs {
+		if _, isTemp := cg.tempOf[v]; isTemp {
+			continue
+		}
+		ivs = append(ivs, interval{vreg: v, lo: o.first, hi: o.last})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var freeRegs []uint8
+	for r := gpu.NumGRF - 1; r >= 0; r-- {
+		freeRegs = append(freeRegs, uint8(r)) // pop from the back -> r0 first
+	}
+	type activeIv struct {
+		hi  int
+		reg uint8
+	}
+	var active []activeIv
+	for _, iv := range ivs {
+		// Expire.
+		kept := active[:0]
+		for _, a := range active {
+			if a.hi >= iv.lo {
+				kept = append(kept, a)
+			} else {
+				freeRegs = append(freeRegs, a.reg)
+			}
+		}
+		active = kept
+		if len(freeRegs) == 0 {
+			return fmt.Errorf("clc: kernel %q needs more than %d registers", cg.fn.Name, gpu.NumGRF)
+		}
+		r := freeRegs[len(freeRegs)-1]
+		freeRegs = freeRegs[:len(freeRegs)-1]
+		cg.grfOf[iv.vreg] = r
+		if int(r)+1 > cg.regHigh {
+			cg.regHigh = int(r) + 1
+		}
+		active = append(active, activeIv{hi: iv.hi, reg: r})
+	}
+	return nil
+}
+
+// --- encoding ---------------------------------------------------------------
+
+func (cg *codegen) operandByte(o Opd, instImm *uint32) (uint8, error) {
+	switch o.Kind {
+	case OpdVReg:
+		if t, ok := cg.tempOf[o.ID]; ok {
+			return gpu.T(int(t)), nil
+		}
+		r, ok := cg.grfOf[o.ID]
+		if !ok {
+			return 0, fmt.Errorf("clc: vreg v%d has no register", o.ID)
+		}
+		return gpu.R(int(r)), nil
+	case OpdUniform:
+		return gpu.C(o.ID), nil
+	case OpdSpecial:
+		return gpu.S(uint8(o.ID)), nil
+	case OpdImm:
+		*instImm = o.Imm
+		return gpu.Imm, nil
+	case OpdROM:
+		*instImm = uint32(o.ID)
+		return gpu.Rom, nil
+	case OpdNone:
+		return gpu.S(gpu.SpecZero), nil
+	}
+	return 0, fmt.Errorf("clc: bad operand kind %d", o.Kind)
+}
+
+func (cg *codegen) encode() (*gpu.Program, error) {
+	prog := &gpu.Program{
+		ROM:      cg.fn.ROM,
+		RegCount: cg.regHigh,
+		Uniforms: len(cg.fn.Params),
+	}
+	exitClause := len(cg.clauses)
+	clauseOfBlock := func(b int) int {
+		if b < 0 || b >= len(cg.blockStart) {
+			return exitClause
+		}
+		return cg.blockStart[b]
+	}
+
+	for _, draft := range cg.clauses {
+		var c gpu.Clause
+		for _, it := range draft.items {
+			switch {
+			case it.isNop:
+				c.Instrs = append(c.Instrs, gpu.Instr{Op: gpu.OpNOP})
+			case it.isTerm:
+				switch it.term {
+				case TermRet:
+					c.Instrs = append(c.Instrs, gpu.Instr{Op: gpu.OpRET})
+				case TermBarrier:
+					c.Instrs = append(c.Instrs, gpu.Instr{Op: gpu.OpBARRIER})
+				case TermBr:
+					c.Instrs = append(c.Instrs, gpu.Instr{
+						Op:  gpu.OpBR,
+						Imm: gpu.BranchImm(clauseOfBlock(it.target), 0),
+					})
+				case TermBrc:
+					var imm uint32
+					cond, err := cg.operandByte(it.cond, &imm)
+					if err != nil {
+						return nil, err
+					}
+					c.Instrs = append(c.Instrs, gpu.Instr{
+						Op: gpu.OpBRC,
+						A:  cond,
+						Imm: gpu.BranchImm(
+							clauseOfBlock(it.target),
+							clauseOfBlock(it.rejoin)),
+					})
+				}
+			default:
+				in := it.inst
+				var gi gpu.Instr
+				gi.Op = in.Op
+				var imm uint32
+				var err error
+				if gi.A, err = cg.operandByte(in.A, &imm); err != nil {
+					return nil, err
+				}
+				if in.B.Kind != OpdNone {
+					if gi.B, err = cg.operandByte(in.B, &imm); err != nil {
+						return nil, err
+					}
+				} else {
+					gi.B = gpu.S(gpu.SpecZero)
+				}
+				if in.Dst >= 0 {
+					if gi.Dst, err = cg.operandByte(vr(in.Dst), &imm); err != nil {
+						return nil, err
+					}
+				}
+				if isLS(in.Op) && in.MemOff != 0 {
+					imm = uint32(in.MemOff)
+				}
+				gi.Imm = imm
+				c.Instrs = append(c.Instrs, gi)
+			}
+		}
+		prog.Clauses = append(prog.Clauses, c)
+	}
+	return prog, nil
+}

@@ -1,0 +1,187 @@
+package clc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mobilesim/internal/clc"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/simtest"
+)
+
+// Differential fuzzing of the whole toolchain + GPU: random integer
+// expression kernels are compiled with every compiler version, executed
+// on the simulated GPU, and compared against a host-side evaluator of the
+// same expression. Integer semantics are exact, so any mismatch is a
+// compiler or execution-engine bug.
+
+type evalFn func(v [4]int32) int32
+
+// exprGen builds a random int expression over variables v0..v3 as both
+// CLite source and a Go evaluator.
+type exprGen struct {
+	rnd      *rand.Rand
+	maxDepth int
+}
+
+func (g *exprGen) gen(depth int) (string, evalFn) {
+	if depth >= g.maxDepth || g.rnd.Intn(4) == 0 {
+		if g.rnd.Intn(3) == 0 {
+			c := int32(g.rnd.Intn(2001) - 1000)
+			return fmt.Sprintf("%d", c), func([4]int32) int32 { return c }
+		}
+		i := g.rnd.Intn(4)
+		return fmt.Sprintf("v%d", i), func(v [4]int32) int32 { return v[i] }
+	}
+
+	switch g.rnd.Intn(8) {
+	case 0: // shift by constant
+		l, lf := g.gen(depth + 1)
+		sh := uint(g.rnd.Intn(31))
+		if g.rnd.Intn(2) == 0 {
+			return fmt.Sprintf("((%s) << %d)", l, sh),
+				func(v [4]int32) int32 { return lf(v) << sh }
+		}
+		return fmt.Sprintf("((%s) >> %d)", l, sh),
+			func(v [4]int32) int32 { return lf(v) >> sh }
+
+	case 1: // comparison feeding a ternary
+		l, lf := g.gen(depth + 1)
+		r, rf := g.gen(depth + 1)
+		cmps := []struct {
+			src string
+			f   func(a, b int32) bool
+		}{
+			{"<", func(a, b int32) bool { return a < b }},
+			{"<=", func(a, b int32) bool { return a <= b }},
+			{">", func(a, b int32) bool { return a > b }},
+			{">=", func(a, b int32) bool { return a >= b }},
+			{"==", func(a, b int32) bool { return a == b }},
+			{"!=", func(a, b int32) bool { return a != b }},
+		}
+		cmp := cmps[g.rnd.Intn(len(cmps))]
+		litA := int32(g.rnd.Intn(1001) - 500)
+		litB := int32(g.rnd.Intn(1001) - 500)
+		return fmt.Sprintf("((%s) %s (%s) ? %d : %d)", l, cmp.src, r, litA, litB),
+			func(v [4]int32) int32 {
+				if cmp.f(lf(v), rf(v)) {
+					return litA
+				}
+				return litB
+			}
+
+	case 2: // min/max
+		l, lf := g.gen(depth + 1)
+		r, rf := g.gen(depth + 1)
+		if g.rnd.Intn(2) == 0 {
+			return fmt.Sprintf("min(%s, %s)", l, r), func(v [4]int32) int32 {
+				a, b := lf(v), rf(v)
+				if a < b {
+					return a
+				}
+				return b
+			}
+		}
+		return fmt.Sprintf("max(%s, %s)", l, r), func(v [4]int32) int32 {
+			a, b := lf(v), rf(v)
+			if a > b {
+				return a
+			}
+			return b
+		}
+
+	default: // binary arithmetic / bitwise
+		type binop struct {
+			src string
+			f   func(a, b int32) int32
+		}
+		ops := []binop{
+			{"+", func(a, b int32) int32 { return a + b }},
+			{"-", func(a, b int32) int32 { return a - b }},
+			{"*", func(a, b int32) int32 { return a * b }},
+			{"&", func(a, b int32) int32 { return a & b }},
+			{"|", func(a, b int32) int32 { return a | b }},
+			{"^", func(a, b int32) int32 { return a ^ b }},
+			{"/", func(a, b int32) int32 {
+				if b == 0 {
+					return 0
+				}
+				if a == -1<<31 && b == -1 {
+					return a
+				}
+				return a / b
+			}},
+			{"%", func(a, b int32) int32 {
+				if b == 0 || (a == -1<<31 && b == -1) {
+					return 0
+				}
+				return a % b
+			}},
+		}
+		op := ops[g.rnd.Intn(len(ops))]
+		l, lf := g.gen(depth + 1)
+		r, rf := g.gen(depth + 1)
+		return fmt.Sprintf("((%s) %s (%s))", l, op.src, r),
+			func(v [4]int32) int32 { return op.f(lf(v), rf(v)) }
+	}
+}
+
+func TestDifferentialFuzzExpressions(t *testing.T) {
+	h := simtest.New(t, gpu.DefaultConfig())
+	rnd := rand.New(rand.NewSource(20260612))
+	const n = 64
+	versions := clc.VersionNames()
+
+	for round := 0; round < 60; round++ {
+		g := &exprGen{rnd: rnd, maxDepth: 4}
+		src, eval := g.gen(0)
+		kernelSrc := fmt.Sprintf(`
+kernel void fz(global int* in0, global int* in1, global int* in2, global int* out) {
+    int i = get_global_id(0);
+    int v0 = in0[i];
+    int v1 = in1[i];
+    int v2 = in2[i];
+    int v3 = i;
+    out[i] = %s;
+}
+`, src)
+
+		ins := make([][]int32, 3)
+		args := make([]uint64, 4)
+		for b := 0; b < 3; b++ {
+			ins[b] = make([]int32, n)
+			for i := range ins[b] {
+				switch rnd.Intn(5) {
+				case 0:
+					ins[b][i] = 0
+				case 1:
+					ins[b][i] = -1
+				case 2:
+					ins[b][i] = 1 << 30
+				default:
+					ins[b][i] = int32(rnd.Uint32())
+				}
+			}
+			args[b] = h.AllocBuf(4 * n)
+			h.WriteI32(args[b], ins[b])
+		}
+		args[3] = h.AllocBuf(4 * n)
+
+		ver := versions[rnd.Intn(len(versions))]
+		k, err := clc.Compile(kernelSrc, "fz", clc.Options{Version: ver})
+		if err != nil {
+			t.Fatalf("round %d (%s): compile: %v\nexpr: %s", round, ver, err, src)
+		}
+		h.RunKernel(k, [3]uint32{n, 1, 1}, [3]uint32{16, 1, 1}, args)
+		got := h.ReadI32(args[3], n)
+		for i := 0; i < n; i++ {
+			want := eval([4]int32{ins[0][i], ins[1][i], ins[2][i], int32(i)})
+			if got[i] != want {
+				t.Fatalf("round %d version %s lane %d: got %d want %d\nexpr: %s\ninputs: %v",
+					round, ver, i, got[i], want, src,
+					[]int32{ins[0][i], ins[1][i], ins[2][i], int32(i)})
+			}
+		}
+	}
+}

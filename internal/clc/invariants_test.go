@@ -1,0 +1,158 @@
+package clc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mobilesim/internal/clc"
+	"mobilesim/internal/gpu"
+)
+
+// Structural invariants every compiled program must satisfy, checked over
+// every benchmark kernel x every compiler version. These are the
+// contracts the GPU decoder and execution engines rely on.
+
+// checkProgramInvariants validates one compiled program.
+func checkProgramInvariants(t *testing.T, k *clc.CompiledKernel, ver string) {
+	t.Helper()
+	p := k.Program
+	limit := clc.Versions[ver].MaxClauseSlots
+
+	for ci, c := range p.Clauses {
+		ctx := fmt.Sprintf("version %s clause %d", ver, ci)
+		if c.Slots() == 0 || c.Slots() > limit {
+			t.Errorf("%s: %d slots outside 1..%d", ctx, c.Slots(), limit)
+		}
+		tempDefined := map[uint8]bool{}
+		for ii, in := range c.Instrs {
+			// Clause-terminal instructions only in the last slot.
+			if gpu.IsClauseTerminal(in.Op) && ii != len(c.Instrs)-1 {
+				t.Errorf("%s: terminal %v at slot %d of %d", ctx, in.Op, ii, len(c.Instrs))
+			}
+			// Temp-register reads must be dominated by a def in the same
+			// clause (temps are clause-local).
+			checkSrc := func(o uint8) {
+				kind, idx := gpu.OperKind(o)
+				if kind == gpu.OperTemp && !tempDefined[idx] {
+					t.Errorf("%s slot %d: reads t%d before any def in clause (%v)", ctx, ii, idx, in)
+				}
+			}
+			switch in.Op {
+			case gpu.OpNOP, gpu.OpRET, gpu.OpBARRIER, gpu.OpBR:
+			case gpu.OpBRC:
+				checkSrc(in.A)
+			case gpu.OpLDG, gpu.OpLDG64, gpu.OpLDGB, gpu.OpLDL:
+				checkSrc(in.A)
+			case gpu.OpSTG, gpu.OpSTG64, gpu.OpSTGB, gpu.OpSTL:
+				checkSrc(in.A)
+				checkSrc(in.B)
+			case gpu.OpFMA, gpu.OpSEL:
+				checkSrc(in.A)
+				checkSrc(in.B)
+				checkSrc(in.Dst) // accumulator read
+			default:
+				checkSrc(in.A)
+				checkSrc(in.B)
+			}
+			if kind, idx := gpu.OperKind(in.Dst); kind == gpu.OperTemp {
+				tempDefined[idx] = true
+			}
+			// Register indices in bounds; uniform indices within the
+			// declared argument count.
+			for _, o := range []uint8{in.Dst, in.A, in.B} {
+				kind, idx := gpu.OperKind(o)
+				switch kind {
+				case gpu.OperGRF:
+					if int(idx) >= p.RegCount {
+						t.Errorf("%s: r%d beyond declared count %d", ctx, idx, p.RegCount)
+					}
+				case gpu.OperUniform:
+					if int(idx) >= p.Uniforms {
+						t.Errorf("%s: c%d beyond uniform count %d", ctx, idx, p.Uniforms)
+					}
+				}
+			}
+			// ROM references in range.
+			if in.A == gpu.Rom || in.B == gpu.Rom {
+				if int(in.Imm) >= len(p.ROM) {
+					t.Errorf("%s: rom[%d] beyond table size %d", ctx, in.Imm, len(p.ROM))
+				}
+			}
+			// Branch targets valid.
+			switch in.Op {
+			case gpu.OpBR:
+				if in.BranchTarget() >= len(p.Clauses) {
+					t.Errorf("%s: br to %d of %d clauses", ctx, in.BranchTarget(), len(p.Clauses))
+				}
+			case gpu.OpBRC:
+				if in.BranchTarget() >= len(p.Clauses) || in.Reconverge() > len(p.Clauses) {
+					t.Errorf("%s: brc out of range (%d/%d of %d)", ctx,
+						in.BranchTarget(), in.Reconverge(), len(p.Clauses))
+				}
+			}
+		}
+	}
+	// Serialize/parse round trip preserves everything.
+	raw, err := gpu.Serialize(p)
+	if err != nil {
+		t.Fatalf("version %s: serialize: %v", ver, err)
+	}
+	q, err := gpu.ParseBinary(raw)
+	if err != nil {
+		t.Fatalf("version %s: reparse: %v", ver, err)
+	}
+	if len(q.Clauses) != len(p.Clauses) || q.RegCount != p.RegCount {
+		t.Errorf("version %s: round trip changed shape", ver)
+	}
+}
+
+// kernelCorpus collects representative kernels exercising every front-end
+// feature (the benchmark kernels cover the rest via their own tests).
+var kernelCorpus = []string{
+	`kernel void k(global float* a, global float* b, global float* c, int n) {
+	    int i = get_global_id(0);
+	    if (i < n) { c[i] = a[i] + b[i]; }
+	}`,
+	`kernel void k(global int* o) {
+	    int i = get_global_id(0);
+	    int acc = 0;
+	    for (int j = 0; j < i; j++) {
+	        if ((j & 3) == 0) { continue; }
+	        if (j > 40) { break; }
+	        acc += j * j - (j << 1) + (j % 5);
+	    }
+	    o[i] = acc;
+	}`,
+	`kernel void k(global float* o, float x) {
+	    int i = get_global_id(0);
+	    float v = sqrt(fabs(x)) + exp(x * 0.01f) - log(fabs(x) + 1.0f);
+	    v = fmin(fmax(v, -10.0f), 10.0f) + sin(x) * cos(x) + floor(x);
+	    o[i] = i == 0 ? v : -v;
+	}`,
+	`kernel void k(global int* in, global int* o) {
+	    local int tile[128];
+	    int l = get_local_id(0);
+	    tile[l] = in[get_global_id(0)];
+	    barrier();
+	    int v = tile[(l + 1) % get_local_size(0)];
+	    o[get_global_id(0)] = min(max(v, 0), 1000) + abs(-v);
+	}`,
+	`kernel void k(global uchar* img, global uchar* o, int w) {
+	    int x = get_global_id(0);
+	    int y = get_global_id(1);
+	    int v = img[y * w + x];
+	    o[y * w + x] = (uchar)((v * 3 + img[y * w + x + 1]) / 4);
+	}`,
+}
+
+func TestCompiledProgramInvariants(t *testing.T) {
+	for ci, src := range kernelCorpus {
+		for _, ver := range clc.VersionNames() {
+			k, err := clc.Compile(src, "k", clc.Options{Version: ver})
+			if err != nil {
+				t.Fatalf("corpus %d version %s: %v", ci, ver, err)
+			}
+			checkProgramInvariants(t, k, ver)
+		}
+	}
+}

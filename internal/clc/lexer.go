@@ -1,0 +1,195 @@
+package clc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer tokenises CLite source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// multi-character operators, longest first.
+var punct2 = []string{
+	"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peekByte()
+
+	if isIdentStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentStart(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	}
+
+	if isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])) {
+		return l.lexNumber(line, col)
+	}
+
+	rest := l.src[l.pos:]
+	for _, p := range punct2 {
+		if strings.HasPrefix(rest, p) {
+			for range p {
+				l.advance()
+			}
+			return token{kind: tokPunct, text: p, line: line, col: col}, nil
+		}
+	}
+	l.advance()
+	return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+}
+
+func (l *lexer) lexNumber(line, col int) (token, error) {
+	start := l.pos
+	isFloat := false
+	if l.peekByte() == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHexDigit(l.peekByte()) {
+			l.advance()
+		}
+	} else {
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		if l.pos < len(l.src) && l.peekByte() == '.' {
+			isFloat = true
+			l.advance()
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		if l.pos < len(l.src) && (l.peekByte() == 'e' || l.peekByte() == 'E') {
+			isFloat = true
+			l.advance()
+			if l.peekByte() == '+' || l.peekByte() == '-' {
+				l.advance()
+			}
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+	}
+	text := l.src[start:l.pos]
+	// Optional f suffix forces float.
+	if l.pos < len(l.src) && (l.peekByte() == 'f' || l.peekByte() == 'F') {
+		l.advance()
+		isFloat = true
+	}
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, errAt(line, col, "bad float literal %q", text)
+		}
+		return token{kind: tokFloatLit, text: text, floatVal: v, line: line, col: col}, nil
+	}
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		return token{}, errAt(line, col, "bad integer literal %q", text)
+	}
+	return token{kind: tokIntLit, text: text, intVal: v, line: line, col: col}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexAll tokenises the whole input (plus trailing EOF token).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,962 @@
+package clc
+
+import (
+	"math"
+
+	"mobilesim/internal/gpu"
+)
+
+// lowerer translates one kernel's AST into IR, type-checking as it goes.
+type lowerer struct {
+	fn   *Fn
+	ver  Version
+	cur  *Block
+	vars []scope // lexical scopes
+
+	// loop context for break/continue: sentinel block ids (unique
+	// negative values) patched to real targets when the loop closes.
+	breakTargets    []int
+	continueTargets []int
+	nextSentinel    int
+
+	locals map[string]*LocalArray
+
+	// romIndex dedupes ROM constants.
+	romIndex map[uint64]int
+
+	// cse caches 64-bit address computations within the current block when
+	// the version enables addressing folding.
+	cse map[cseKey]int
+}
+
+type scope map[string]*varInfo
+
+type varInfo struct {
+	typ  Type
+	vreg int // scalar storage
+	uni  int // uniform slot for params (-1 for locals)
+}
+
+type cseKey struct {
+	op   gpu.Opcode
+	a, b Opd
+}
+
+// lowerKernel type-checks and lowers a kernel to IR.
+func lowerKernel(k *Kernel, ver Version) (*Fn, error) {
+	lo := &lowerer{
+		fn:       &Fn{Name: k.Name, Params: k.Params},
+		ver:      ver,
+		locals:   map[string]*LocalArray{},
+		romIndex: map[uint64]int{},
+	}
+	lo.pushScope()
+	for i, p := range k.Params {
+		lo.declare(p.Name, &varInfo{typ: p.Type, vreg: -1, uni: i})
+	}
+	// Hoist local array declarations (they may appear anywhere in the
+	// body; OpenCL requires kernel scope, we enforce uniqueness).
+	var offset uint32
+	if err := hoistLocals(k.Body, lo.locals, &offset); err != nil {
+		return nil, err
+	}
+	lo.fn.LocalBytes = offset
+
+	lo.newBlock()
+	if err := lo.lowerBlockStmt(k.Body); err != nil {
+		return nil, err
+	}
+	lo.cur.Term = TermRet
+	return lo.fn, nil
+}
+
+func hoistLocals(b *BlockStmt, out map[string]*LocalArray, offset *uint32) error {
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *localDeclStmt:
+			if _, dup := out[st.arr.Name]; dup {
+				return errAt(st.line, 1, "duplicate local array %q", st.arr.Name)
+			}
+			arr := st.arr
+			arr.Offset = *offset
+			*offset += uint32(arr.Count) * arr.Elem.Size()
+			// Round to 8 bytes to keep offsets tidy.
+			*offset = (*offset + 7) &^ 7
+			out[arr.Name] = &arr
+		case *BlockStmt:
+			if err := hoistLocals(st, out, offset); err != nil {
+				return err
+			}
+		case *IfStmt:
+			if err := hoistLocals(st.Then, out, offset); err != nil {
+				return err
+			}
+			if st.Else != nil {
+				if err := hoistLocals(st.Else, out, offset); err != nil {
+					return err
+				}
+			}
+		case *ForStmt:
+			if err := hoistLocals(st.Body, out, offset); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func (lo *lowerer) pushScope() { lo.vars = append(lo.vars, scope{}) }
+func (lo *lowerer) popScope()  { lo.vars = lo.vars[:len(lo.vars)-1] }
+
+func (lo *lowerer) declare(name string, v *varInfo) {
+	lo.vars[len(lo.vars)-1][name] = v
+}
+
+func (lo *lowerer) lookup(name string) *varInfo {
+	for i := len(lo.vars) - 1; i >= 0; i-- {
+		if v, ok := lo.vars[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) newVReg() int {
+	id := lo.fn.NumVRegs
+	lo.fn.NumVRegs++
+	return id
+}
+
+// newBlock appends a fresh block and makes it current.
+func (lo *lowerer) newBlock() *Block {
+	b := &Block{ID: len(lo.fn.Blocks)}
+	lo.fn.Blocks = append(lo.fn.Blocks, b)
+	lo.cur = b
+	lo.cse = map[cseKey]int{}
+	return b
+}
+
+// emit appends an instruction to the current block. Redefining a vreg
+// invalidates any cached address computations that consumed it.
+func (lo *lowerer) emit(op gpu.Opcode, dst int, a, b Opd) {
+	if dst >= 0 && len(lo.cse) > 0 {
+		for k := range lo.cse {
+			if (k.a.Kind == OpdVReg && k.a.ID == dst) ||
+				(k.b.Kind == OpdVReg && k.b.ID == dst) {
+				delete(lo.cse, k)
+			}
+		}
+	}
+	lo.cur.Insts = append(lo.cur.Insts, IRInst{Op: op, Dst: dst, A: a, B: b})
+}
+
+func (lo *lowerer) emitMem(op gpu.Opcode, dst int, addr, val Opd, off int32) {
+	lo.cur.Insts = append(lo.cur.Insts, IRInst{Op: op, Dst: dst, A: addr, B: val, MemOff: off})
+}
+
+// emitCSE emits a pure 64-bit computation, reusing an earlier identical one
+// in the same block when the version folds addressing.
+func (lo *lowerer) emitCSE(op gpu.Opcode, a, b Opd) Opd {
+	if lo.ver.FoldAddressing {
+		if v, ok := lo.cse[cseKey{op, a, b}]; ok {
+			return vr(v)
+		}
+	}
+	dst := lo.newVReg()
+	lo.emit(op, dst, a, b)
+	if lo.ver.FoldAddressing {
+		lo.cse[cseKey{op, a, b}] = dst
+	}
+	return vr(dst)
+}
+
+// constOpd materialises a 32-bit constant per the version's constant
+// strategy: inline immediate or ROM pool.
+func (lo *lowerer) constOpd(bits uint32) Opd {
+	if !lo.ver.ConstPool {
+		return immOpd(bits)
+	}
+	key := uint64(bits)
+	idx, ok := lo.romIndex[key]
+	if !ok {
+		idx = len(lo.fn.ROM)
+		lo.fn.ROM = append(lo.fn.ROM, key)
+		lo.romIndex[key] = idx
+	}
+	return romOpd(idx)
+}
+
+// value is a typed rvalue: an operand plus its CLite type.
+type value struct {
+	opd Opd
+	typ Type
+}
+
+// --- statements --------------------------------------------------------------
+
+func (lo *lowerer) lowerBlockStmt(b *BlockStmt) error {
+	lo.pushScope()
+	defer lo.popScope()
+	for _, s := range b.Stmts {
+		if err := lo.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) lowerStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *localDeclStmt:
+		return nil // hoisted
+	case *BlockStmt:
+		return lo.lowerBlockStmt(st)
+	case *DeclStmt:
+		return lo.lowerDecl(st)
+	case *AssignStmt:
+		return lo.lowerAssign(st)
+	case *IfStmt:
+		return lo.lowerIf(st)
+	case *ForStmt:
+		return lo.lowerFor(st)
+	case *BreakStmt:
+		if len(lo.breakTargets) == 0 {
+			return errAt(st.line, 1, "break outside loop")
+		}
+		lo.cur.Term = TermBr
+		lo.cur.Target = lo.breakTargets[len(lo.breakTargets)-1]
+		lo.newBlock() // unreachable continuation
+		return nil
+	case *ContinueStmt:
+		if len(lo.continueTargets) == 0 {
+			return errAt(st.line, 1, "continue outside loop")
+		}
+		lo.cur.Term = TermBr
+		lo.cur.Target = lo.continueTargets[len(lo.continueTargets)-1]
+		lo.newBlock()
+		return nil
+	case *ReturnStmt:
+		lo.cur.Term = TermRet
+		lo.newBlock()
+		return nil
+	case *ExprStmt:
+		_, err := lo.lowerExpr(st.X)
+		return err
+	}
+	return errAt(0, 0, "unsupported statement %T", s)
+}
+
+func (lo *lowerer) lowerDecl(d *DeclStmt) error {
+	v := &varInfo{typ: d.Type, vreg: lo.newVReg(), uni: -1}
+	if d.Init != nil {
+		init, err := lo.lowerExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		init, err = lo.convert(init, d.Type, d.line)
+		if err != nil {
+			return err
+		}
+		lo.emit(gpu.OpMOV, v.vreg, init.opd, Opd{})
+	} else {
+		lo.emit(gpu.OpMOV, v.vreg, special(gpu.SpecZero), Opd{})
+	}
+	lo.declare(d.Name, v)
+	return nil
+}
+
+func (lo *lowerer) lowerAssign(a *AssignStmt) error {
+	// Compute RHS (for compound ops, combined with the current value).
+	switch lhs := a.LHS.(type) {
+	case *Ident:
+		v := lo.lookup(lhs.Name)
+		if v == nil {
+			return errAt(lhs.line, lhs.col, "undefined variable %q", lhs.Name)
+		}
+		if v.vreg < 0 {
+			return errAt(lhs.line, lhs.col, "cannot assign to parameter %q", lhs.Name)
+		}
+		rhs, err := lo.lowerExpr(a.RHS)
+		if err != nil {
+			return err
+		}
+		if a.Op != "" {
+			cur := value{opd: vr(v.vreg), typ: v.typ}
+			rhs, err = lo.binaryOp(a.Op, cur, rhs, a.line)
+			if err != nil {
+				return err
+			}
+		}
+		rhs, err = lo.convert(rhs, v.typ, a.line)
+		if err != nil {
+			return err
+		}
+		lo.emit(gpu.OpMOV, v.vreg, rhs.opd, Opd{})
+		return nil
+
+	case *Index:
+		return lo.lowerIndexedStore(lhs, a)
+	}
+	line, col := a.LHS.Pos()
+	return errAt(line, col, "assignment target must be a variable or element")
+}
+
+func (lo *lowerer) lowerIndexedStore(lhs *Index, a *AssignStmt) error {
+	base, elem, isLocal, err := lo.resolveBase(lhs)
+	if err != nil {
+		return err
+	}
+	addr, off, err := lo.address(base, elem, isLocal, lhs.Idx)
+	if err != nil {
+		return err
+	}
+	elemType := tFloat
+	if elem == ElemInt || elem == ElemUChar {
+		elemType = tInt
+	}
+	rhs, err := lo.lowerExpr(a.RHS)
+	if err != nil {
+		return err
+	}
+	if a.Op != "" {
+		cur, err2 := lo.loadElem(addr, off, elem, isLocal)
+		if err2 != nil {
+			return err2
+		}
+		rhs, err = lo.binaryOp(a.Op, cur, rhs, a.line)
+		if err != nil {
+			return err
+		}
+	}
+	rhs, err = lo.convert(rhs, elemType, a.line)
+	if err != nil {
+		return err
+	}
+	if isLocal {
+		lo.emitMem(gpu.OpSTL, -1, addr, rhs.opd, off)
+		return nil
+	}
+	op := gpu.OpSTG
+	if elem == ElemUChar {
+		op = gpu.OpSTGB
+	}
+	lo.emitMem(op, -1, addr, rhs.opd, off)
+	return nil
+}
+
+func (lo *lowerer) lowerIf(s *IfStmt) error {
+	cond, err := lo.lowerExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	condBlock := lo.cur
+	condBlock.Term = TermBrc
+	condBlock.Cond = cond.opd
+
+	// Layout: cond | else... | then... | join. BRC(cond) jumps to "then",
+	// falls through into "else".
+	elseStart := lo.newBlock()
+	if s.Else != nil {
+		if err := lo.lowerBlockStmt(s.Else); err != nil {
+			return err
+		}
+	}
+	elseEnd := lo.cur
+	_ = elseStart
+
+	thenStart := lo.newBlock()
+	condBlock.Target = thenStart.ID
+	if err := lo.lowerBlockStmt(s.Then); err != nil {
+		return err
+	}
+	thenEnd := lo.cur
+
+	join := lo.newBlock()
+	elseEnd.Term = TermBr
+	elseEnd.Target = join.ID
+	// thenEnd falls through into join (next block in layout).
+	_ = thenEnd
+	return nil
+}
+
+func (lo *lowerer) lowerFor(s *ForStmt) error {
+	lo.pushScope()
+	defer lo.popScope()
+	if s.Init != nil {
+		if err := lo.lowerStmt(s.Init); err != nil {
+			return err
+		}
+	}
+
+	// Layout: head(cond) | body... | post | exit.
+	// head: brc !cond -> exit (exit is placed after the loop; target
+	// patched at the end).
+	head := lo.newBlock()
+	headID := head.ID
+	var exitPatch *Block
+	if s.Cond != nil {
+		cond, err := lo.lowerExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		notCond := lo.newVReg()
+		lo.emit(gpu.OpICMPEQ, notCond, cond.opd, special(gpu.SpecZero))
+		lo.cur.Term = TermBrc
+		lo.cur.Cond = vr(notCond)
+		exitPatch = lo.cur
+	}
+
+	// Break/continue targets are not known yet (their blocks are created
+	// after the body); use unique negative sentinels patched below.
+	lo.nextSentinel -= 2
+	brkSent, cntSent := lo.nextSentinel, lo.nextSentinel-1
+	lo.newBlock() // body start
+	lo.breakTargets = append(lo.breakTargets, brkSent)
+	lo.continueTargets = append(lo.continueTargets, cntSent)
+	if err := lo.lowerBlockStmt(s.Body); err != nil {
+		return err
+	}
+
+	post := lo.newBlock()
+	if s.Post != nil {
+		if err := lo.lowerStmt(s.Post); err != nil {
+			return err
+		}
+	}
+	lo.cur.Term = TermBr
+	lo.cur.Target = headID
+
+	exit := lo.newBlock()
+	if exitPatch != nil {
+		exitPatch.Target = exit.ID
+	}
+
+	lo.breakTargets = lo.breakTargets[:len(lo.breakTargets)-1]
+	lo.continueTargets = lo.continueTargets[:len(lo.continueTargets)-1]
+	for _, b := range lo.fn.Blocks {
+		if b.Term == TermBr && b.Target == brkSent {
+			b.Target = exit.ID
+		}
+		if b.Term == TermBr && b.Target == cntSent {
+			b.Target = post.ID
+		}
+	}
+	return nil
+}
+
+// --- expressions ---------------------------------------------------------------
+
+func (lo *lowerer) lowerExpr(e Expr) (value, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return value{opd: lo.constOpd(uint32(int32(ex.Val))), typ: tInt}, nil
+	case *FloatLit:
+		return value{opd: lo.constOpd(math.Float32bits(float32(ex.Val))), typ: tFloat}, nil
+	case *Ident:
+		v := lo.lookup(ex.Name)
+		if v == nil {
+			return value{}, errAt(ex.line, ex.col, "undefined identifier %q", ex.Name)
+		}
+		if v.uni >= 0 {
+			return value{opd: uni(v.uni), typ: v.typ}, nil
+		}
+		return value{opd: vr(v.vreg), typ: v.typ}, nil
+	case *Binary:
+		l, err := lo.lowerExpr(ex.L)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := lo.lowerExpr(ex.R)
+		if err != nil {
+			return value{}, err
+		}
+		return lo.binaryOp(ex.Op, l, r, ex.line)
+	case *Unary:
+		return lo.lowerUnary(ex)
+	case *Cond:
+		return lo.lowerTernary(ex)
+	case *Index:
+		base, elem, isLocal, err := lo.resolveBase(ex)
+		if err != nil {
+			return value{}, err
+		}
+		addr, off, err := lo.address(base, elem, isLocal, ex.Idx)
+		if err != nil {
+			return value{}, err
+		}
+		return lo.loadElem(addr, off, elem, isLocal)
+	case *Call:
+		return lo.lowerCall(ex)
+	case *CastExpr:
+		x, err := lo.lowerExpr(ex.X)
+		if err != nil {
+			return value{}, err
+		}
+		return lo.convert(x, ex.To, ex.line)
+	}
+	return value{}, errAt(0, 0, "unsupported expression %T", e)
+}
+
+// convert coerces a value to the requested type (int<->float; bool ~ int).
+func (lo *lowerer) convert(v value, to Type, line int) (value, error) {
+	from := v.typ
+	if from.Kind == TypeBool {
+		from = tInt
+	}
+	t := to
+	if t.Kind == TypeBool {
+		t = tInt
+	}
+	if from.Kind == t.Kind {
+		return value{opd: v.opd, typ: to}, nil
+	}
+	switch {
+	case from.Kind == TypeInt && t.Kind == TypeFloat:
+		dst := lo.newVReg()
+		lo.emit(gpu.OpI2F, dst, v.opd, Opd{})
+		return value{opd: vr(dst), typ: tFloat}, nil
+	case from.Kind == TypeFloat && t.Kind == TypeInt:
+		dst := lo.newVReg()
+		lo.emit(gpu.OpF2I, dst, v.opd, Opd{})
+		return value{opd: vr(dst), typ: to}, nil
+	}
+	return value{}, errAt(line, 1, "cannot convert %s to %s", from, to)
+}
+
+var intBinOps = map[string]gpu.Opcode{
+	"+": gpu.OpIADD, "-": gpu.OpISUB, "*": gpu.OpIMUL, "/": gpu.OpIDIV,
+	"%": gpu.OpIMOD, "<<": gpu.OpSHL, ">>": gpu.OpSAR,
+	"&": gpu.OpAND, "|": gpu.OpOR, "^": gpu.OpXOR,
+}
+
+var floatBinOps = map[string]gpu.Opcode{
+	"+": gpu.OpFADD, "-": gpu.OpFSUB, "*": gpu.OpFMUL, "/": gpu.OpFDIV,
+}
+
+func (lo *lowerer) binaryOp(op string, l, r value, line int) (value, error) {
+	// Comparisons.
+	if op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" || op == ">=" {
+		return lo.compareOp(op, l, r, line)
+	}
+	// Logical: values are 0/1 ints; eager bitwise evaluation.
+	if op == "&&" || op == "||" {
+		li, err := lo.convert(l, tInt, line)
+		if err != nil {
+			return value{}, err
+		}
+		ri, err := lo.convert(r, tInt, line)
+		if err != nil {
+			return value{}, err
+		}
+		gop := gpu.OpAND
+		if op == "||" {
+			gop = gpu.OpOR
+		}
+		dst := lo.newVReg()
+		lo.emit(gop, dst, lo.normBool(li), lo.normBool(ri))
+		return value{opd: vr(dst), typ: tBool}, nil
+	}
+
+	// Arithmetic with implicit int->float promotion.
+	if l.typ.Kind == TypeFloat || r.typ.Kind == TypeFloat {
+		lf, err := lo.convert(l, tFloat, line)
+		if err != nil {
+			return value{}, err
+		}
+		rf, err := lo.convert(r, tFloat, line)
+		if err != nil {
+			return value{}, err
+		}
+		gop, ok := floatBinOps[op]
+		if !ok {
+			return value{}, errAt(line, 1, "operator %q not defined for float", op)
+		}
+		dst := lo.newVReg()
+		lo.emit(gop, dst, lf.opd, rf.opd)
+		return value{opd: vr(dst), typ: tFloat}, nil
+	}
+	gop, ok := intBinOps[op]
+	if !ok {
+		return value{}, errAt(line, 1, "unsupported operator %q", op)
+	}
+	li, err := lo.convert(l, tInt, line)
+	if err != nil {
+		return value{}, err
+	}
+	ri, err := lo.convert(r, tInt, line)
+	if err != nil {
+		return value{}, err
+	}
+	dst := lo.newVReg()
+	lo.emit(gop, dst, li.opd, ri.opd)
+	return value{opd: vr(dst), typ: tInt}, nil
+}
+
+// normBool collapses an int to 0/1 via x != 0.
+func (lo *lowerer) normBool(v value) Opd {
+	dst := lo.newVReg()
+	lo.emit(gpu.OpICMPNE, dst, v.opd, special(gpu.SpecZero))
+	return vr(dst)
+}
+
+func (lo *lowerer) compareOp(op string, l, r value, line int) (value, error) {
+	isFloat := l.typ.Kind == TypeFloat || r.typ.Kind == TypeFloat
+	var err error
+	if isFloat {
+		if l, err = lo.convert(l, tFloat, line); err != nil {
+			return value{}, err
+		}
+		if r, err = lo.convert(r, tFloat, line); err != nil {
+			return value{}, err
+		}
+	} else {
+		if l, err = lo.convert(l, tInt, line); err != nil {
+			return value{}, err
+		}
+		if r, err = lo.convert(r, tInt, line); err != nil {
+			return value{}, err
+		}
+	}
+	a, b := l.opd, r.opd
+	var gop gpu.Opcode
+	switch op {
+	case "==":
+		gop = pick(isFloat, gpu.OpFCMPEQ, gpu.OpICMPEQ)
+	case "!=":
+		if isFloat {
+			// !(a == b)
+			eq := lo.newVReg()
+			lo.emit(gpu.OpFCMPEQ, eq, a, b)
+			dst := lo.newVReg()
+			lo.emit(gpu.OpICMPEQ, dst, vr(eq), special(gpu.SpecZero))
+			return value{opd: vr(dst), typ: tBool}, nil
+		}
+		gop = gpu.OpICMPNE
+	case "<":
+		gop = pick(isFloat, gpu.OpFCMPLT, gpu.OpICMPLT)
+	case "<=":
+		gop = pick(isFloat, gpu.OpFCMPLE, gpu.OpICMPLE)
+	case ">":
+		gop = pick(isFloat, gpu.OpFCMPLT, gpu.OpICMPLT)
+		a, b = b, a
+	case ">=":
+		gop = pick(isFloat, gpu.OpFCMPLE, gpu.OpICMPLE)
+		a, b = b, a
+	}
+	dst := lo.newVReg()
+	lo.emit(gop, dst, a, b)
+	return value{opd: vr(dst), typ: tBool}, nil
+}
+
+func pick(cond bool, a, b gpu.Opcode) gpu.Opcode {
+	if cond {
+		return a
+	}
+	return b
+}
+
+func (lo *lowerer) lowerUnary(ex *Unary) (value, error) {
+	x, err := lo.lowerExpr(ex.X)
+	if err != nil {
+		return value{}, err
+	}
+	switch ex.Op {
+	case "-":
+		dst := lo.newVReg()
+		if x.typ.Kind == TypeFloat {
+			lo.emit(gpu.OpFNEG, dst, x.opd, Opd{})
+			return value{opd: vr(dst), typ: tFloat}, nil
+		}
+		lo.emit(gpu.OpISUB, dst, special(gpu.SpecZero), x.opd)
+		return value{opd: vr(dst), typ: tInt}, nil
+	case "!":
+		xi, err := lo.convert(x, tInt, ex.line)
+		if err != nil {
+			return value{}, err
+		}
+		dst := lo.newVReg()
+		lo.emit(gpu.OpICMPEQ, dst, xi.opd, special(gpu.SpecZero))
+		return value{opd: vr(dst), typ: tBool}, nil
+	case "~":
+		xi, err := lo.convert(x, tInt, ex.line)
+		if err != nil {
+			return value{}, err
+		}
+		dst := lo.newVReg()
+		lo.emit(gpu.OpXOR, dst, xi.opd, immOpd(0xFFFFFFFF))
+		return value{opd: vr(dst), typ: tInt}, nil
+	}
+	return value{}, errAt(ex.line, ex.col, "unsupported unary %q", ex.Op)
+}
+
+// lowerTernary lowers c ? a : b through a divergent diamond into a vreg.
+func (lo *lowerer) lowerTernary(ex *Cond) (value, error) {
+	cond, err := lo.lowerExpr(ex.C)
+	if err != nil {
+		return value{}, err
+	}
+	// Determine result type by lowering both sides; to keep evaluation
+	// single-path we lower into branches like an if/else.
+	result := lo.newVReg()
+	condBlock := lo.cur
+	condBlock.Term = TermBrc
+	condBlock.Cond = cond.opd
+
+	// else path (fallthrough)
+	lo.newBlock()
+	bv, err := lo.lowerExpr(ex.B)
+	if err != nil {
+		return value{}, err
+	}
+	elseEnd := lo.cur
+
+	thenStart := lo.newBlock()
+	condBlock.Target = thenStart.ID
+	av, err := lo.lowerExpr(ex.A)
+	if err != nil {
+		return value{}, err
+	}
+	// Unify types: promote to float if either side is float.
+	typ := tInt
+	if av.typ.Kind == TypeFloat || bv.typ.Kind == TypeFloat {
+		typ = tFloat
+	}
+	if av, err = lo.convert(av, typ, ex.line); err != nil {
+		return value{}, err
+	}
+	lo.emit(gpu.OpMOV, result, av.opd, Opd{})
+	thenEnd := lo.cur
+	_ = thenEnd
+
+	// Patch the else MOV: we must emit it in the else block, after its
+	// expression. Do it now by appending to elseEnd (conversion insts went
+	// to the else blocks already; a cross-block convert would be wrong, so
+	// require bv to convert in elseEnd context).
+	savedCur := lo.cur
+	lo.cur = elseEnd
+	if bv, err = lo.convert(bv, typ, ex.line); err != nil {
+		return value{}, err
+	}
+	lo.emit(gpu.OpMOV, result, bv.opd, Opd{})
+	elseEnd.Term = TermBr
+	lo.cur = savedCur
+
+	join := lo.newBlock()
+	elseEnd.Target = join.ID
+	return value{opd: vr(result), typ: typ}, nil
+}
+
+// resolveBase resolves the base of an index expression: a global pointer
+// parameter or a local array.
+func (lo *lowerer) resolveBase(ix *Index) (base *varInfo, elem ElemKind, isLocal bool, err error) {
+	id, ok := ix.Base.(*Ident)
+	if !ok {
+		line, col := ix.Base.Pos()
+		return nil, 0, false, errAt(line, col, "indexed base must be a pointer parameter or local array")
+	}
+	if arr, ok := lo.locals[id.Name]; ok {
+		return &varInfo{typ: Type{Kind: TypeLocalPtr, Elem: arr.Elem}, vreg: -1, uni: int(arr.Offset)},
+			arr.Elem, true, nil
+	}
+	v := lo.lookup(id.Name)
+	if v == nil {
+		return nil, 0, false, errAt(id.line, id.col, "undefined identifier %q", id.Name)
+	}
+	if v.typ.Kind != TypeGlobalPtr {
+		return nil, 0, false, errAt(id.line, id.col, "%q is not indexable", id.Name)
+	}
+	return v, v.typ.Elem, false, nil
+}
+
+// address computes the effective address (global VA or local byte offset)
+// for base[idx], folding constant index components into the returned
+// immediate offset when the version enables it.
+func (lo *lowerer) address(base *varInfo, elem ElemKind, isLocal bool, idx Expr) (Opd, int32, error) {
+	size := elem.Size()
+	var constOff int64
+
+	// Fold `expr +/- literal` into the memory offset.
+	if lo.ver.FoldAddressing {
+		for {
+			b, ok := idx.(*Binary)
+			if !ok {
+				break
+			}
+			if lit, ok := b.R.(*IntLit); ok && (b.Op == "+" || b.Op == "-") {
+				if b.Op == "+" {
+					constOff += lit.Val
+				} else {
+					constOff -= lit.Val
+				}
+				idx = b.L
+				continue
+			}
+			if lit, ok := b.L.(*IntLit); ok && b.Op == "+" {
+				constOff += lit.Val
+				idx = b.R
+				continue
+			}
+			break
+		}
+	}
+
+	iv, err := lo.lowerExpr(idx)
+	if err != nil {
+		return Opd{}, 0, err
+	}
+	line, _ := idx.Pos()
+	iv, err = lo.convert(iv, tInt, line)
+	if err != nil {
+		return Opd{}, 0, err
+	}
+
+	memOff := int32(constOff) * int32(size)
+	if isLocal {
+		// offset = arrayBase + idx*size (+ folded)
+		scaled := lo.emitCSE(gpu.OpIMUL, iv.opd, immOpd(size))
+		off := lo.emitCSE(gpu.OpIADD, scaled, immOpd(uint32(base.uni)))
+		return off, memOff, nil
+	}
+	scaled := lo.emitCSE(gpu.OpMUL64, iv.opd, immOpd(size))
+	addr := lo.emitCSE(gpu.OpADD64, uni(base.uni), scaled)
+	return addr, memOff, nil
+}
+
+func (lo *lowerer) loadElem(addr Opd, off int32, elem ElemKind, isLocal bool) (value, error) {
+	dst := lo.newVReg()
+	typ := tFloat
+	if elem == ElemInt || elem == ElemUChar {
+		typ = tInt
+	}
+	if isLocal {
+		lo.emitMem(gpu.OpLDL, dst, addr, Opd{}, off)
+		return value{opd: vr(dst), typ: typ}, nil
+	}
+	op := gpu.OpLDG
+	if elem == ElemUChar {
+		op = gpu.OpLDGB
+	}
+	lo.emitMem(op, dst, addr, Opd{}, off)
+	return value{opd: vr(dst), typ: typ}, nil
+}
+
+// builtins: name -> (gpu op, arity, float?)
+var floatUnaryBuiltins = map[string]gpu.Opcode{
+	"sqrt": gpu.OpFSQRT, "fabs": gpu.OpFABS, "exp": gpu.OpFEXP,
+	"log": gpu.OpFLOG, "sin": gpu.OpFSIN, "cos": gpu.OpFCOS,
+	"floor": gpu.OpFFLOOR,
+}
+
+var floatBinaryBuiltins = map[string]gpu.Opcode{
+	"fmin": gpu.OpFMIN, "fmax": gpu.OpFMAX, "pown_unused": gpu.OpNOP,
+}
+
+var dimSpecials = map[string][3]uint8{
+	"get_global_id":   {gpu.SpecGIDX, gpu.SpecGIDY, gpu.SpecGIDZ},
+	"get_local_id":    {gpu.SpecLIDX, gpu.SpecLIDY, gpu.SpecLIDZ},
+	"get_group_id":    {gpu.SpecWGIDX, gpu.SpecWGIDY, gpu.SpecWGIDZ},
+	"get_global_size": {gpu.SpecGSZX, gpu.SpecGSZY, gpu.SpecGSZZ},
+	"get_local_size":  {gpu.SpecLSZX, gpu.SpecLSZY, gpu.SpecLSZZ},
+}
+
+func (lo *lowerer) lowerCall(ex *Call) (value, error) {
+	if specs, ok := dimSpecials[ex.Name]; ok {
+		if len(ex.Args) != 1 {
+			return value{}, errAt(ex.line, ex.col, "%s takes one dimension argument", ex.Name)
+		}
+		lit, ok := ex.Args[0].(*IntLit)
+		if !ok || lit.Val < 0 || lit.Val > 2 {
+			return value{}, errAt(ex.line, ex.col, "%s dimension must be literal 0, 1 or 2", ex.Name)
+		}
+		return value{opd: special(specs[lit.Val]), typ: tInt}, nil
+	}
+
+	switch ex.Name {
+	case "barrier":
+		lo.cur.Term = TermBarrier
+		lo.newBlock()
+		return value{opd: special(gpu.SpecZero), typ: tInt}, nil
+	case "min", "max":
+		if len(ex.Args) != 2 {
+			return value{}, errAt(ex.line, ex.col, "%s takes two arguments", ex.Name)
+		}
+		a, err := lo.lowerExpr(ex.Args[0])
+		if err != nil {
+			return value{}, err
+		}
+		b, err := lo.lowerExpr(ex.Args[1])
+		if err != nil {
+			return value{}, err
+		}
+		if a.typ.Kind == TypeFloat || b.typ.Kind == TypeFloat {
+			if a, err = lo.convert(a, tFloat, ex.line); err != nil {
+				return value{}, err
+			}
+			if b, err = lo.convert(b, tFloat, ex.line); err != nil {
+				return value{}, err
+			}
+			dst := lo.newVReg()
+			lo.emit(pick(ex.Name == "min", gpu.OpFMIN, gpu.OpFMAX), dst, a.opd, b.opd)
+			return value{opd: vr(dst), typ: tFloat}, nil
+		}
+		dst := lo.newVReg()
+		lo.emit(pick(ex.Name == "min", gpu.OpIMIN, gpu.OpIMAX), dst, a.opd, b.opd)
+		return value{opd: vr(dst), typ: tInt}, nil
+	case "abs":
+		if len(ex.Args) != 1 {
+			return value{}, errAt(ex.line, ex.col, "abs takes one argument")
+		}
+		x, err := lo.lowerExpr(ex.Args[0])
+		if err != nil {
+			return value{}, err
+		}
+		if x.typ.Kind == TypeFloat {
+			dst := lo.newVReg()
+			lo.emit(gpu.OpFABS, dst, x.opd, Opd{})
+			return value{opd: vr(dst), typ: tFloat}, nil
+		}
+		neg := lo.newVReg()
+		lo.emit(gpu.OpISUB, neg, special(gpu.SpecZero), x.opd)
+		dst := lo.newVReg()
+		lo.emit(gpu.OpIMAX, dst, x.opd, vr(neg))
+		return value{opd: vr(dst), typ: tInt}, nil
+	}
+
+	if op, ok := floatUnaryBuiltins[ex.Name]; ok {
+		if len(ex.Args) != 1 {
+			return value{}, errAt(ex.line, ex.col, "%s takes one argument", ex.Name)
+		}
+		x, err := lo.lowerExpr(ex.Args[0])
+		if err != nil {
+			return value{}, err
+		}
+		if x, err = lo.convert(x, tFloat, ex.line); err != nil {
+			return value{}, err
+		}
+		dst := lo.newVReg()
+		lo.emit(op, dst, x.opd, Opd{})
+		return value{opd: vr(dst), typ: tFloat}, nil
+	}
+	if op, ok := floatBinaryBuiltins[ex.Name]; ok && len(ex.Args) == 2 {
+		a, err := lo.lowerExpr(ex.Args[0])
+		if err != nil {
+			return value{}, err
+		}
+		b, err := lo.lowerExpr(ex.Args[1])
+		if err != nil {
+			return value{}, err
+		}
+		if a, err = lo.convert(a, tFloat, ex.line); err != nil {
+			return value{}, err
+		}
+		if b, err = lo.convert(b, tFloat, ex.line); err != nil {
+			return value{}, err
+		}
+		dst := lo.newVReg()
+		lo.emit(op, dst, a.opd, b.opd)
+		return value{opd: vr(dst), typ: tFloat}, nil
+	}
+	return value{}, errAt(ex.line, ex.col, "unknown builtin %q", ex.Name)
+}

@@ -1,0 +1,634 @@
+package clc
+
+import "fmt"
+
+// parser is a recursive-descent parser for CLite.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// ParseKernels parses a translation unit containing one or more kernels.
+func ParseKernels(src string) ([]*Kernel, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var kernels []*Kernel
+	for !p.at(tokEOF, "") {
+		k, err := p.parseKernel()
+		if err != nil {
+			return nil, err
+		}
+		kernels = append(kernels, k)
+	}
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("clc: no kernels in source")
+	}
+	return kernels, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, errAt(t.line, t.col, "expected %q, found %q", want, t.String())
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	t := p.cur()
+	return errAt(t.line, t.col, format, args...)
+}
+
+// parseKernel parses `kernel void name(params) { body }`.
+func (p *parser) parseKernel() (*Kernel, error) {
+	if _, err := p.expect(tokKeyword, "kernel"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "void"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	k := &Kernel{Name: name.text}
+	for !p.accept(tokPunct, ")") {
+		if len(k.Params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		k.Params = append(k.Params, param)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+	return k, nil
+}
+
+func (p *parser) parseParam() (Param, error) {
+	p.accept(tokKeyword, "const")
+	if p.accept(tokKeyword, "global") {
+		elem, err := p.parseElemKind()
+		if err != nil {
+			return Param{}, err
+		}
+		if _, err := p.expect(tokPunct, "*"); err != nil {
+			return Param{}, err
+		}
+		p.accept(tokKeyword, "const")
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return Param{}, err
+		}
+		return Param{Name: name.text, Type: Type{Kind: TypeGlobalPtr, Elem: elem}}, nil
+	}
+	switch {
+	case p.accept(tokKeyword, "int"), p.accept(tokKeyword, "uint"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return Param{}, err
+		}
+		return Param{Name: name.text, Type: tInt}, nil
+	case p.accept(tokKeyword, "float"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return Param{}, err
+		}
+		return Param{Name: name.text, Type: tFloat}, nil
+	}
+	return Param{}, p.errHere("expected parameter type, found %q", p.cur().String())
+}
+
+func (p *parser) parseElemKind() (ElemKind, error) {
+	switch {
+	case p.accept(tokKeyword, "float"):
+		return ElemFloat, nil
+	case p.accept(tokKeyword, "int"), p.accept(tokKeyword, "uint"):
+		return ElemInt, nil
+	case p.accept(tokKeyword, "uchar"):
+		return ElemUChar, nil
+	}
+	return 0, p.errHere("expected pointee type, found %q", p.cur().String())
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errHere("unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	return b, nil
+}
+
+// parseStmt parses one statement. Returns (nil, nil) for bare semicolons.
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.accept(tokPunct, ";"):
+		return nil, nil
+	case p.at(tokPunct, "{"):
+		return p.parseBlock()
+	case p.at(tokKeyword, "local"):
+		return p.parseLocalDecl()
+	case p.at(tokKeyword, "int") || p.at(tokKeyword, "uint") ||
+		p.at(tokKeyword, "float") || p.at(tokKeyword, "bool") ||
+		p.at(tokKeyword, "const"):
+		s, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.accept(tokKeyword, "if"):
+		return p.parseIf()
+	case p.accept(tokKeyword, "for"):
+		return p.parseFor()
+	case p.accept(tokKeyword, "while"):
+		return p.parseWhile()
+	case p.accept(tokKeyword, "do"):
+		return nil, errAt(t.line, t.col, "do/while is not supported; use while")
+	case p.accept(tokKeyword, "break"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{line: t.line}, nil
+	case p.accept(tokKeyword, "continue"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{line: t.line}, nil
+	case p.accept(tokKeyword, "return"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{line: t.line}, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *parser) parseLocalDecl() (Stmt, error) {
+	t := p.cur()
+	p.pos++ // local
+	elem, err := p.parseElemKind()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "["); err != nil {
+		return nil, err
+	}
+	size := p.cur()
+	if size.kind != tokIntLit || size.intVal <= 0 {
+		return nil, errAt(size.line, size.col, "local array size must be a positive integer literal")
+	}
+	p.pos++
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	// Recorded on the kernel by sema; carried via a marker statement.
+	return &localDeclStmt{
+		arr:  LocalArray{Name: name.text, Elem: elem, Count: int(size.intVal)},
+		line: t.line,
+	}, nil
+}
+
+// localDeclStmt is internal: sema hoists these onto the Kernel.
+type localDeclStmt struct {
+	arr  LocalArray
+	line int
+}
+
+func (*localDeclStmt) stmtNode() {}
+
+func (p *parser) parseDecl() (Stmt, error) {
+	t := p.cur()
+	p.accept(tokKeyword, "const")
+	var typ Type
+	switch {
+	case p.accept(tokKeyword, "int"), p.accept(tokKeyword, "uint"):
+		typ = tInt
+	case p.accept(tokKeyword, "float"):
+		typ = tFloat
+	case p.accept(tokKeyword, "bool"):
+		typ = tBool
+	default:
+		return nil, p.errHere("expected type in declaration")
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: name.text, Type: typ, line: t.line}
+	if p.accept(tokPunct, "=") {
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses assignments, ++/--, and expression statements.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	t := p.cur()
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(tokPunct, "="):
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, RHS: rhs, line: t.line}, nil
+	case p.at(tokPunct, "+=") || p.at(tokPunct, "-=") || p.at(tokPunct, "*=") ||
+		p.at(tokPunct, "/=") || p.at(tokPunct, "%=") || p.at(tokPunct, "&=") ||
+		p.at(tokPunct, "|=") || p.at(tokPunct, "^=") || p.at(tokPunct, "<<=") ||
+		p.at(tokPunct, ">>="):
+		op := p.cur().text
+		p.pos++
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, Op: op[:len(op)-1], RHS: rhs, line: t.line}, nil
+	case p.accept(tokPunct, "++"):
+		one := &IntLit{Val: 1, exprBase: exprBase{line: t.line}}
+		return &AssignStmt{LHS: lhs, Op: "+", RHS: one, line: t.line}, nil
+	case p.accept(tokPunct, "--"):
+		one := &IntLit{Val: 1, exprBase: exprBase{line: t.line}}
+		return &AssignStmt{LHS: lhs, Op: "-", RHS: one, line: t.line}, nil
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	thenB, err := p.parseBlockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: thenB}
+	if p.accept(tokKeyword, "else") {
+		if p.accept(tokKeyword, "if") {
+			elif, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = &BlockStmt{Stmts: []Stmt{elif}}
+		} else {
+			s.Else, err = p.parseBlockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseBlockOrStmt allows unbraced single-statement bodies.
+func (p *parser) parseBlockOrStmt() (*BlockStmt, error) {
+	if p.at(tokPunct, "{") {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return &BlockStmt{}, nil
+	}
+	return &BlockStmt{Stmts: []Stmt{s}}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{}
+	if !p.accept(tokPunct, ";") {
+		var err error
+		if p.at(tokKeyword, "int") || p.at(tokKeyword, "uint") || p.at(tokKeyword, "float") {
+			f.Init, err = p.parseDecl()
+		} else {
+			f.Init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(tokPunct, ";") {
+		var err error
+		f.Cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.at(tokPunct, ")") {
+		var err error
+		f.Post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Cond: cond, Body: body}, nil
+}
+
+// --- Expressions (precedence climbing) --------------------------------------
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *parser) parseTernary() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, "?") {
+		return c, nil
+	}
+	line, col := c.Pos()
+	a, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	b, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{C: c, A: a, B: b, exprBase: exprBase{line: line, col: col}}, nil
+}
+
+// binary operator precedence, low to high.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		line, col := lhs.Pos()
+		lhs = &Binary{Op: t.text, L: lhs, R: rhs, exprBase: exprBase{line: line, col: col}}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.accept(tokPunct, "-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x, exprBase: exprBase{line: t.line, col: t.col}}, nil
+	case p.accept(tokPunct, "!"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x, exprBase: exprBase{line: t.line, col: t.col}}, nil
+	case p.accept(tokPunct, "~"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "~", X: x, exprBase: exprBase{line: t.line, col: t.col}}, nil
+	case p.accept(tokPunct, "+"):
+		return p.parseUnary()
+	}
+	// Cast: "(" type ")" unary
+	if p.at(tokPunct, "(") && p.peek().kind == tokKeyword &&
+		(p.peek().text == "int" || p.peek().text == "float" ||
+			p.peek().text == "uint" || p.peek().text == "uchar") {
+		p.pos++ // (
+		kind := p.cur().text
+		var to Type
+		switch kind {
+		case "int", "uint", "uchar":
+			to = tInt
+		case "float":
+			to = tFloat
+		}
+		p.pos++
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		cast := Expr(&CastExpr{To: to, X: x, exprBase: exprBase{line: t.line, col: t.col}})
+		if kind == "uchar" {
+			// (uchar)x truncates to the low byte.
+			cast = &Binary{Op: "&", L: cast,
+				R:        &IntLit{Val: 0xFF, exprBase: exprBase{line: t.line, col: t.col}},
+				exprBase: exprBase{line: t.line, col: t.col}}
+		}
+		return cast, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Base: x, Idx: idx, exprBase: exprBase{line: t.line, col: t.col}}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIntLit:
+		p.pos++
+		return &IntLit{Val: t.intVal, exprBase: exprBase{line: t.line, col: t.col}}, nil
+	case tokFloatLit:
+		p.pos++
+		return &FloatLit{Val: t.floatVal, exprBase: exprBase{line: t.line, col: t.col}}, nil
+	case tokIdent:
+		p.pos++
+		if p.accept(tokPunct, "(") {
+			call := &Call{Name: t.text, exprBase: exprBase{line: t.line, col: t.col}}
+			for !p.accept(tokPunct, ")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.text, exprBase: exprBase{line: t.line, col: t.col}}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, errAt(t.line, t.col, "unexpected token %q in expression", t.String())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

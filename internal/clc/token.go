@@ -1,0 +1,66 @@
+// Package clc is the OpenCL-C-subset compiler ("CLite") that stands in for
+// the vendor-supplied Mali toolchain: the runtime JIT-compiles kernel
+// source through it at program-build time, producing binaries in the
+// simulator's Bifrost-style clause format. Like the vendor compiler it
+// ships several versions (5.6 … 6.2) whose pass pipelines generate
+// measurably different code (Fig 1 of the paper).
+package clc
+
+import "fmt"
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokPunct   // operators and punctuation
+	tokKeyword // reserved words
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	// For literals.
+	intVal   int64
+	floatVal float64
+	line     int
+	col      int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokIntLit:
+		return fmt.Sprintf("int(%d)", t.intVal)
+	case tokFloatLit:
+		return fmt.Sprintf("float(%g)", t.floatVal)
+	default:
+		return t.text
+	}
+}
+
+var keywords = map[string]bool{
+	"kernel": true, "void": true, "global": true, "local": true,
+	"int": true, "uint": true, "float": true, "uchar": true, "bool": true,
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true, "const": true,
+}
+
+// Error is a compiler diagnostic with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("clc: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

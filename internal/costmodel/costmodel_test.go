@@ -1,0 +1,81 @@
+package costmodel
+
+import (
+	"testing"
+
+	"mobilesim/internal/stats"
+)
+
+func TestMobileGlobalTrafficDominates(t *testing.T) {
+	m := MaliG71()
+	memBound := stats.GPUStats{ArithInstr: 1000, GlobalLS: 1000}
+	aluBound := stats.GPUStats{ArithInstr: 10000, GlobalLS: 10}
+	if m.Estimate(&memBound) <= m.Estimate(&aluBound) {
+		t.Error("global traffic should dominate mobile cost")
+	}
+}
+
+func TestMobileRegisterPressurePenalisesGlobal(t *testing.T) {
+	m := MaliG71()
+	low := stats.GPUStats{GlobalLS: 1000, RegistersUsed: 8}
+	high := stats.GPUStats{GlobalLS: 1000, RegistersUsed: 40}
+	lo, hi := m.Estimate(&low), m.Estimate(&high)
+	if hi <= lo {
+		t.Errorf("register pressure should cost: %f vs %f", lo, hi)
+	}
+	if hi/lo < 2 {
+		t.Errorf("latency exposure too weak: %f", hi/lo)
+	}
+}
+
+func TestMobileLocalCheaperThanGlobal(t *testing.T) {
+	m := MaliG71()
+	global := stats.GPUStats{GlobalLS: 1000}
+	local := stats.GPUStats{LocalLS: 1000}
+	if m.Estimate(&local) >= m.Estimate(&global) {
+		t.Error("local traffic should be cheaper than LPDDR traffic")
+	}
+}
+
+func TestDesktopCoalescingCliff(t *testing.T) {
+	d := K20m()
+	gs := stats.GPUStats{MainMemAcc: 10000}
+	coalesced := d.Estimate(&gs, KernelProfile{CoalescedFraction: 1}, 0)
+	strided := d.Estimate(&gs, KernelProfile{CoalescedFraction: 0}, 0)
+	if strided/coalesced < 3 {
+		t.Errorf("uncoalesced penalty too small: %f vs %f", strided, coalesced)
+	}
+}
+
+func TestDesktopRegisterBlockingHelpsALU(t *testing.T) {
+	d := K20m()
+	gs := stats.GPUStats{ArithInstr: 100000}
+	plain := d.Estimate(&gs, KernelProfile{CoalescedFraction: 1, RegisterBlocking: 1}, 0)
+	blocked := d.Estimate(&gs, KernelProfile{CoalescedFraction: 1, RegisterBlocking: 4}, 0)
+	if blocked >= plain {
+		t.Error("register blocking should expose ILP on desktop")
+	}
+	// Capped: absurd blocking factors don't go negative.
+	extreme := d.Estimate(&gs, KernelProfile{CoalescedFraction: 1, RegisterBlocking: 100}, 0)
+	if extreme <= 0 || extreme != blocked {
+		t.Errorf("blocking bonus should cap: %f vs %f", extreme, blocked)
+	}
+}
+
+func TestDesktopCacheHitsAbsorbTraffic(t *testing.T) {
+	d := K20m()
+	gs := stats.GPUStats{MainMemAcc: 10000}
+	cold := d.Estimate(&gs, KernelProfile{CoalescedFraction: 1}, 0)
+	warm := d.Estimate(&gs, KernelProfile{CoalescedFraction: 1, CacheHitFraction: 0.9}, 0)
+	if warm >= cold/5 {
+		t.Errorf("cache hits should absorb DRAM cost: %f vs %f", warm, cold)
+	}
+}
+
+func TestLaunchOverheadCharged(t *testing.T) {
+	d := K20m()
+	var empty stats.GPUStats
+	if d.Estimate(&empty, KernelProfile{}, 10) != 10*d.LaunchOverhead {
+		t.Error("launch overhead not charged per launch")
+	}
+}

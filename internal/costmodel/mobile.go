@@ -1,0 +1,50 @@
+package costmodel
+
+import "mobilesim/internal/stats"
+
+// MobileModel maps simulated Mali statistics to a relative runtime on a
+// Mali-G71-class device. The paper's own conclusions calibrate it: on
+// mobile platforms data movement dominates execution time and cost
+// ([29] in the paper), external (LPDDR) traffic is far more expensive
+// than core-local traffic, and a high register footprint cuts resident
+// thread-group occupancy, leaving the core unable to hide main-memory
+// latency — which is how desktop-style register blocking "triggers
+// bottlenecks on mobile GPUs".
+type MobileModel struct {
+	// ALUCost is the per-arithmetic-instruction cost.
+	ALUCost float64
+	// GlobalMemCost is the per-access cost of main-memory (LPDDR) traffic.
+	GlobalMemCost float64
+	// LocalMemCost is the per-access cost of core-local storage.
+	LocalMemCost float64
+	// NopCost charges issue slots wasted on padding.
+	NopCost float64
+	// RegisterPressureKnee is the GRF footprint beyond which occupancy
+	// halves; above it global traffic costs LatencyExposure times more
+	// because too few quads remain resident to hide memory latency.
+	RegisterPressureKnee uint64
+	LatencyExposure      float64
+}
+
+// MaliG71 returns coefficients for the simulated device.
+func MaliG71() MobileModel {
+	return MobileModel{
+		ALUCost:              0.25,
+		GlobalMemCost:        8.0, // LPDDR: the dominant cost
+		LocalMemCost:         1.0,
+		NopCost:              0.12,
+		RegisterPressureKnee: 24,
+		LatencyExposure:      3.0,
+	}
+}
+
+// Estimate produces a relative runtime from simulated counters.
+func (m MobileModel) Estimate(gs *stats.GPUStats) float64 {
+	g := float64(gs.GlobalLS) * m.GlobalMemCost
+	if gs.RegistersUsed > m.RegisterPressureKnee {
+		g *= m.LatencyExposure
+	}
+	return float64(gs.ArithInstr)*m.ALUCost +
+		float64(gs.LocalLS)*m.LocalMemCost +
+		float64(gs.NopInstr)*m.NopCost + g
+}

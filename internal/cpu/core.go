@@ -1,0 +1,313 @@
+package cpu
+
+import (
+	"fmt"
+
+	"mobilesim/internal/irq"
+	"mobilesim/internal/mem"
+	"mobilesim/internal/mmu"
+)
+
+// Engine selects how a core executes guest code.
+type Engine int
+
+const (
+	// EngineDBT executes through the basic-block translation cache
+	// (decode once per block, replay thereafter). This is the paper's
+	// QEMU-style mode and the default.
+	EngineDBT Engine = iota
+	// EngineInterp decodes every instruction on every execution. It models
+	// the per-instruction-dispatch CPU simulation of the Multi2Sim-style
+	// baseline and serves as the DBT ablation reference.
+	EngineInterp
+)
+
+func (e Engine) String() string {
+	if e == EngineDBT {
+		return "dbt"
+	}
+	return "interp"
+}
+
+// StopReason reports why Run returned.
+type StopReason int
+
+const (
+	// StopHalted means the core executed HLT.
+	StopHalted StopReason = iota
+	// StopBudget means the instruction budget was exhausted.
+	StopBudget
+	// StopError means the core hit an unrecoverable condition (exception
+	// with no vector table installed).
+	StopError
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalted:
+		return "halted"
+	case StopBudget:
+		return "budget"
+	case StopError:
+		return "error"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(r))
+}
+
+// SVCHandler is an optional host hook invoked for SVC when the guest has
+// not installed a vector table (VBAR == 0). It lets bare-metal example
+// programs request host services; a full guest stack installs VBAR and
+// handles SVC itself. Returning false halts the core.
+type SVCHandler func(c *Core, imm uint16) bool
+
+// Core is one VA64 CPU core: architectural state plus its translation
+// machinery. A Core is driven from a single goroutine.
+type Core struct {
+	// X is the general-purpose register file; X[31] is the zero register.
+	X  [32]uint64
+	PC uint64
+
+	// NZCV condition flags.
+	FlagN, FlagZ, FlagC, FlagV bool
+
+	sys [NumSysRegs]uint64
+
+	bus    *mem.Bus
+	walker *mmu.Walker
+	intc   *irq.Controller
+
+	engine Engine
+	btc    *blockCache
+
+	// Instret counts retired instructions.
+	Instret uint64
+	// Faults counts taken synchronous exceptions.
+	Faults uint64
+	// IRQs counts taken interrupts.
+	IRQs uint64
+
+	halted  bool
+	stopErr error
+
+	// OnSVC is consulted when VBAR is zero; see SVCHandler.
+	OnSVC SVCHandler
+}
+
+// NewCore creates a core with the given ID wired to the bus and interrupt
+// controller. The controller may be nil for device-less unit tests (WFI
+// then behaves as NOP).
+func NewCore(id int, bus *mem.Bus, intc *irq.Controller) *Core {
+	c := &Core{
+		bus:    bus,
+		walker: mmu.NewWalker(bus),
+		intc:   intc,
+		engine: EngineDBT,
+	}
+	c.sys[SysCPUID] = uint64(id)
+	c.btc = newBlockCache()
+	return c
+}
+
+// SetEngine selects the execution engine. Switching flushes the block cache.
+func (c *Core) SetEngine(e Engine) {
+	c.engine = e
+	c.btc.flush()
+}
+
+// Engine returns the active execution engine.
+func (c *Core) Engine() Engine { return c.engine }
+
+// Walker exposes the core's MMU walker (for platform setup and tests).
+func (c *Core) Walker() *mmu.Walker { return c.walker }
+
+// Halted reports whether the core has executed HLT or stopped on error.
+func (c *Core) Halted() bool { return c.halted }
+
+// Err returns the unrecoverable error that stopped the core, if any.
+func (c *Core) Err() error { return c.stopErr }
+
+// Reset clears halted state and jumps to the entry point. Architectural
+// registers keep their values (like a warm reset); callers zero X
+// themselves when needed.
+func (c *Core) Reset(entry uint64) {
+	c.halted = false
+	c.stopErr = nil
+	c.PC = entry
+}
+
+// Sys reads a system register.
+func (c *Core) Sys(r SysReg) uint64 { return c.sys[r] }
+
+// SetSys writes a system register, applying side effects (TTBR0/SCTLR
+// reprogram the MMU and flush the translation caches).
+func (c *Core) SetSys(r SysReg, v uint64) {
+	if r == SysCPUID {
+		return // read-only
+	}
+	c.sys[r] = v
+	if r == SysTTBR0 || r == SysSCTLR {
+		c.applyMMU()
+	}
+}
+
+func (c *Core) applyMMU() {
+	root := uint64(0)
+	if c.sys[SysSCTLR]&1 != 0 {
+		root = c.sys[SysTTBR0]
+	}
+	c.walker.SetRoot(root)
+	c.btc.flush() // virtual code mappings may have changed
+}
+
+// irqEnabled reports whether the guest has interrupts unmasked.
+func (c *Core) irqEnabled() bool { return c.sys[SysIE]&1 != 0 }
+
+// --- Memory access -------------------------------------------------------
+
+// load performs a data load; on fault it takes the exception and reports
+// ok=false so the executor abandons the instruction.
+func (c *Core) load(va uint64, size int) (uint64, bool) {
+	pa, fault := c.walker.Translate(va, mem.Read)
+	if fault != nil {
+		c.raiseSync(ExcAbortRead, va, c.PC)
+		return 0, false
+	}
+	v, err := c.bus.Read(pa, size)
+	if err != nil {
+		c.raiseSync(ExcAbortRead, va, c.PC)
+		return 0, false
+	}
+	return v, true
+}
+
+func (c *Core) store(va uint64, size int, val uint64) bool {
+	pa, fault := c.walker.Translate(va, mem.Write)
+	if fault != nil {
+		c.raiseSync(ExcAbortWrit, va, c.PC)
+		return false
+	}
+	if err := c.bus.Write(pa, size, val); err != nil {
+		c.raiseSync(ExcAbortWrit, va, c.PC)
+		return false
+	}
+	c.btc.noteWrite(va)
+	return true
+}
+
+// fetch translates and reads one instruction word.
+func (c *Core) fetch(va uint64) (uint32, bool) {
+	if va%4 != 0 {
+		c.raiseSync(ExcAbortExec, va, va)
+		return 0, false
+	}
+	pa, fault := c.walker.Translate(va, mem.Execute)
+	if fault != nil {
+		c.raiseSync(ExcAbortExec, va, va)
+		return 0, false
+	}
+	w, err := c.bus.Read(pa, 4)
+	if err != nil {
+		c.raiseSync(ExcAbortExec, va, va)
+		return 0, false
+	}
+	return uint32(w), true
+}
+
+// --- Exceptions ----------------------------------------------------------
+
+// raiseSync enters the synchronous exception vector: ESR/FAR/ELR/SPSR are
+// latched, interrupts masked, and control transfers to VBAR+VecSync. With
+// no vector table installed the core stops with an error (bare-metal test
+// programs are expected not to fault).
+func (c *Core) raiseSync(cause, far, retPC uint64) {
+	c.Faults++
+	vbar := c.sys[SysVBAR]
+	if vbar == 0 {
+		c.halted = true
+		c.stopErr = fmt.Errorf("cpu: unhandled exception cause=%d far=%#x pc=%#x", cause, far, retPC)
+		return
+	}
+	c.sys[SysESR] = cause
+	c.sys[SysFAR] = far
+	c.sys[SysELR] = retPC
+	c.sys[SysSPSR] = c.sys[SysIE]
+	c.sys[SysIE] = 0
+	c.PC = vbar + VecSync
+}
+
+// takeIRQ enters the IRQ vector. retPC is the instruction to resume at.
+// The interrupt is claimed from the controller (clearing its pending
+// latch, like reading a GIC's IAR); the claimed line number is made
+// visible to the handler in ESR as 0x100|line.
+func (c *Core) takeIRQ(retPC uint64) {
+	vbar := c.sys[SysVBAR]
+	if vbar == 0 {
+		// No handler installed: leave the interrupt pending; the host-side
+		// stack (driver model) will claim it instead.
+		return
+	}
+	line, ok := c.intc.Claim()
+	if !ok {
+		return // raced with another claimer
+	}
+	c.IRQs++
+	c.sys[SysESR] = 0x100 | uint64(line)
+	c.sys[SysELR] = retPC
+	c.sys[SysSPSR] = c.sys[SysIE]
+	c.sys[SysIE] = 0
+	c.PC = vbar + VecIRQ
+}
+
+// eret returns from an exception.
+func (c *Core) eret() {
+	c.sys[SysIE] = c.sys[SysSPSR]
+	c.PC = c.sys[SysELR]
+}
+
+// pendingIRQ reports whether an interrupt should be taken now.
+func (c *Core) pendingIRQ() bool {
+	return c.intc != nil && c.irqEnabled() && c.sys[SysVBAR] != 0 && c.intc.Pending()
+}
+
+// --- Top-level run loop --------------------------------------------------
+
+// Run executes up to budget instructions and returns why it stopped.
+func (c *Core) Run(budget uint64) StopReason {
+	if c.engine == EngineDBT {
+		return c.runDBT(budget)
+	}
+	return c.runInterp(budget)
+}
+
+// CallRoutine performs a host-initiated guest call: arguments in X0..X7,
+// LR set to a sentinel, execution until the routine returns (BR LR to the
+// sentinel) or halts. It returns X0. This is how the driver model runs its
+// guest-code helpers (memcpy, descriptor writers) on the simulated CPU.
+func (c *Core) CallRoutine(entry uint64, args ...uint64) (uint64, error) {
+	const sentinel = 0xFFFF_FFFF_FFFF_FF00
+	if len(args) > 8 {
+		return 0, fmt.Errorf("cpu: CallRoutine: too many args (%d)", len(args))
+	}
+	for i, a := range args {
+		c.X[i] = a
+	}
+	for i := len(args); i < 8; i++ {
+		c.X[i] = 0
+	}
+	c.X[LR] = sentinel
+	c.halted = false
+	c.stopErr = nil
+	c.PC = entry
+	for {
+		c.Run(1 << 22)
+		if c.PC == sentinel {
+			return c.X[0], nil
+		}
+		if c.halted {
+			if c.stopErr != nil {
+				return 0, c.stopErr
+			}
+			return c.X[0], nil // HLT also terminates a routine
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package cpu
+
+import "fmt"
+
+// Disasm renders a decoded instruction at the given PC in assembler syntax.
+// Branch targets are shown as absolute addresses.
+func Disasm(in Inst, pc uint64) string {
+	switch in.Op {
+	case OpNOP, OpHLT, OpERET, OpWFI:
+		return in.Op.String()
+	case OpSVC:
+		return fmt.Sprintf("svc #%d", in.Imm)
+	case OpMRS:
+		return fmt.Sprintf("mrs x%d, s%d", in.Rd, in.Imm)
+	case OpMSR:
+		return fmt.Sprintf("msr s%d, x%d", in.Imm, in.Rd)
+	case OpADD, OpSUB, OpAND, OpORR, OpEOR, OpMUL, OpSDIV, OpUDIV,
+		OpLSL, OpLSR, OpASR, OpADDS, OpSUBS:
+		return fmt.Sprintf("%s x%d, x%d, x%d", in.Op, in.Rd, in.Rn, in.Rm)
+	case OpCSEL:
+		return fmt.Sprintf("csel x%d, x%d, x%d, %s", in.Rd, in.Rn, in.Rm, in.Cond)
+	case OpADDI, OpSUBI, OpANDI, OpORRI, OpEORI, OpLSLI, OpLSRI, OpASRI, OpSUBSI:
+		return fmt.Sprintf("%s x%d, x%d, #%d", in.Op, in.Rd, in.Rn, in.Imm)
+	case OpMOVZ, OpMOVK:
+		if in.Rm == 0 {
+			return fmt.Sprintf("%s x%d, #%d", in.Op, in.Rd, in.Imm)
+		}
+		return fmt.Sprintf("%s x%d, #%d, lsl #%d", in.Op, in.Rd, in.Imm, 16*in.Rm)
+	case OpLDRB, OpLDRH, OpLDRW, OpLDRX, OpSTRB, OpSTRH, OpSTRW, OpSTRX:
+		return fmt.Sprintf("%s x%d, [x%d, #%d]", in.Op, in.Rd, in.Rn, in.Imm)
+	case OpB, OpBL:
+		return fmt.Sprintf("%s %#x", in.Op, pc+uint64(in.Imm)*4)
+	case OpBR, OpBLR:
+		return fmt.Sprintf("%s x%d", in.Op, in.Rn)
+	case OpBCOND:
+		return fmt.Sprintf("b.%s %#x", in.Cond, pc+uint64(in.Imm)*4)
+	}
+	return fmt.Sprintf(".word %#x (undefined)", Encode(in))
+}

@@ -1,0 +1,127 @@
+package dev
+
+import (
+	"fmt"
+	"sync"
+
+	"mobilesim/internal/irq"
+	"mobilesim/internal/mem"
+)
+
+// Block device register offsets. The guest programs a simple descriptor
+// (sector, RAM address, count) and issues a command; completion raises the
+// block interrupt. This stands in for the simulated storage device the
+// paper boots its root filesystem from.
+const (
+	BlkSector  = 0x00 // sector number
+	BlkAddr    = 0x08 // physical RAM address for DMA
+	BlkCount   = 0x10 // sector count
+	BlkCommand = 0x18 // 1 = read, 2 = write
+	BlkStatus  = 0x20 // bit 0: done, bit 1: error
+	BlkAck     = 0x28 // write: clear status + IRQ
+)
+
+// BlkSize is the MMIO window size.
+const BlkSize = 0x1000
+
+// SectorSize is the device's sector granularity.
+const SectorSize = 512
+
+// Block is a DMA-capable virtual disk backed by an in-memory image.
+type Block struct {
+	mu     sync.Mutex
+	image  []byte
+	bus    *mem.Bus
+	intc   *irq.Controller
+	line   irq.Line
+	sector uint64
+	addr   uint64
+	count  uint64
+	status uint64
+
+	// Reads and Writes count completed commands.
+	Reads, Writes uint64
+}
+
+// NewBlock creates a disk with the given image contents (retained, not
+// copied) performing DMA through the bus.
+func NewBlock(image []byte, bus *mem.Bus, intc *irq.Controller, line irq.Line) *Block {
+	return &Block{image: image, bus: bus, intc: intc, line: line}
+}
+
+// ReadReg implements mem.Device.
+func (d *Block) ReadReg(off uint64, size int) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch off {
+	case BlkSector:
+		return d.sector, nil
+	case BlkAddr:
+		return d.addr, nil
+	case BlkCount:
+		return d.count, nil
+	case BlkStatus:
+		return d.status, nil
+	}
+	return 0, nil
+}
+
+// WriteReg implements mem.Device.
+func (d *Block) WriteReg(off uint64, size int, val uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch off {
+	case BlkSector:
+		d.sector = val
+	case BlkAddr:
+		d.addr = val
+	case BlkCount:
+		d.count = val
+	case BlkCommand:
+		d.execute(val)
+	case BlkAck:
+		d.status = 0
+		if d.intc != nil {
+			d.intc.Deassert(d.line)
+		}
+	}
+	return nil
+}
+
+func (d *Block) execute(cmd uint64) {
+	start := d.sector * SectorSize
+	n := d.count * SectorSize
+	fail := func() {
+		d.status = 2
+		if d.intc != nil {
+			d.intc.Assert(d.line)
+		}
+	}
+	if start+n > uint64(len(d.image)) || n == 0 {
+		fail()
+		return
+	}
+	var err error
+	switch cmd {
+	case 1:
+		err = d.bus.WriteBytes(d.addr, d.image[start:start+n])
+		if err == nil {
+			d.Reads++
+		}
+	case 2:
+		err = d.bus.ReadBytes(d.addr, d.image[start:start+n])
+		if err == nil {
+			d.Writes++
+		}
+	default:
+		err = fmt.Errorf("dev: unknown block command %d", cmd)
+	}
+	if err != nil {
+		fail()
+		return
+	}
+	d.status = 1
+	if d.intc != nil {
+		d.intc.Assert(d.line)
+	}
+}

@@ -1,0 +1,197 @@
+package dev
+
+import (
+	"bytes"
+	"testing"
+
+	"mobilesim/internal/irq"
+	"mobilesim/internal/mem"
+)
+
+func TestUARTTransmit(t *testing.T) {
+	var out bytes.Buffer
+	u := NewUART(&out, nil, irq.LineUART)
+	for _, b := range []byte("hi") {
+		if err := u.WriteReg(UARTData, 1, uint64(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.String() != "hi" {
+		t.Errorf("transmitted %q", out.String())
+	}
+	if u.TxSent != 2 {
+		t.Errorf("TxSent = %d", u.TxSent)
+	}
+}
+
+func TestUARTReceiveAndStatus(t *testing.T) {
+	intc := irq.New()
+	intc.Enable(irq.LineUART)
+	u := NewUART(nil, intc, irq.LineUART)
+
+	s, _ := u.ReadReg(UARTStatus, 4)
+	if s&1 != 0 {
+		t.Error("RX bit set with empty fifo")
+	}
+	if s&2 == 0 {
+		t.Error("TX ready bit should always be set")
+	}
+
+	// Enable RX interrupts, feed data, expect IRQ.
+	if err := u.WriteReg(UARTCtrl, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	u.Feed([]byte{0x41, 0x42})
+	if !intc.Pending() {
+		t.Error("feed with rxIRQ enabled should assert the line")
+	}
+	v, _ := u.ReadReg(UARTData, 1)
+	if v != 0x41 {
+		t.Errorf("first rx byte = %#x", v)
+	}
+	v, _ = u.ReadReg(UARTData, 1)
+	if v != 0x42 {
+		t.Errorf("second rx byte = %#x", v)
+	}
+	v, _ = u.ReadReg(UARTData, 1)
+	if v != 0 {
+		t.Errorf("empty fifo read = %#x, want 0", v)
+	}
+}
+
+func TestTimerCompareIRQ(t *testing.T) {
+	intc := irq.New()
+	intc.Enable(irq.LineTimer)
+	tm := NewTimer(intc, irq.LineTimer)
+
+	if err := tm.WriteReg(TimerCompare, 8, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.WriteReg(TimerCtrl, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	tm.Tick(50)
+	if intc.Pending() {
+		t.Error("fired before compare value")
+	}
+	tm.Tick(60)
+	if !intc.Pending() {
+		t.Error("should fire at/after compare value")
+	}
+	if _, ok := intc.Claim(); !ok {
+		t.Fatal("claim failed")
+	}
+	// Fires only once until re-armed.
+	tm.Tick(10)
+	if intc.Pending() {
+		t.Error("timer should not re-fire without re-arming")
+	}
+	// Ack + new compare re-arms.
+	if err := tm.WriteReg(TimerAck, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.WriteReg(TimerCompare, 8, 200); err != nil {
+		t.Fatal(err)
+	}
+	tm.Tick(100) // count now 220
+	if !intc.Pending() {
+		t.Error("re-armed timer should fire")
+	}
+	if got, _ := tm.ReadReg(TimerCount, 8); got != 220 {
+		t.Errorf("count = %d", got)
+	}
+}
+
+func TestBlockReadWrite(t *testing.T) {
+	bus := mem.NewBus(mem.NewRAM(0, 1<<20))
+	intc := irq.New()
+	intc.Enable(irq.LineBlock)
+	image := make([]byte, 8*SectorSize)
+	for i := range image {
+		image[i] = byte(i)
+	}
+	d := NewBlock(image, bus, intc, irq.LineBlock)
+
+	// Read sector 2 into RAM at 0x4000.
+	mustWrite := func(off, val uint64) {
+		t.Helper()
+		if err := d.WriteReg(off, 8, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite(BlkSector, 2)
+	mustWrite(BlkAddr, 0x4000)
+	mustWrite(BlkCount, 1)
+	mustWrite(BlkCommand, 1)
+
+	st, _ := d.ReadReg(BlkStatus, 8)
+	if st != 1 {
+		t.Fatalf("status = %d, want done", st)
+	}
+	if !intc.Pending() {
+		t.Error("completion should raise IRQ")
+	}
+	got := make([]byte, SectorSize)
+	if err := bus.ReadBytes(0x4000, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != image[2*SectorSize] || got[511] != image[2*SectorSize+511] {
+		t.Error("DMA read contents wrong")
+	}
+
+	// Write RAM back to sector 0.
+	if err := bus.WriteBytes(0x5000, []byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(BlkAck, 0)
+	mustWrite(BlkSector, 0)
+	mustWrite(BlkAddr, 0x5000)
+	mustWrite(BlkCommand, 2)
+	if image[0] != 9 || image[1] != 9 || image[2] != 9 {
+		t.Error("DMA write contents wrong")
+	}
+	if d.Reads != 1 || d.Writes != 1 {
+		t.Errorf("Reads=%d Writes=%d", d.Reads, d.Writes)
+	}
+}
+
+func TestBlockErrors(t *testing.T) {
+	bus := mem.NewBus(mem.NewRAM(0, 1<<16))
+	d := NewBlock(make([]byte, 4*SectorSize), bus, nil, irq.LineBlock)
+	set := func(off, val uint64) { _ = d.WriteReg(off, 8, val) }
+
+	// Out-of-range sector.
+	set(BlkSector, 100)
+	set(BlkAddr, 0)
+	set(BlkCount, 1)
+	set(BlkCommand, 1)
+	if st, _ := d.ReadReg(BlkStatus, 8); st != 2 {
+		t.Errorf("out-of-range status = %d, want error", st)
+	}
+
+	// Zero count.
+	set(BlkAck, 0)
+	set(BlkSector, 0)
+	set(BlkCount, 0)
+	set(BlkCommand, 1)
+	if st, _ := d.ReadReg(BlkStatus, 8); st != 2 {
+		t.Errorf("zero-count status = %d, want error", st)
+	}
+
+	// Bad DMA address.
+	set(BlkAck, 0)
+	set(BlkCount, 1)
+	set(BlkAddr, 0xFFFF_0000)
+	set(BlkCommand, 1)
+	if st, _ := d.ReadReg(BlkStatus, 8); st != 2 {
+		t.Errorf("bad-DMA status = %d, want error", st)
+	}
+
+	// Unknown command.
+	set(BlkAck, 0)
+	set(BlkAddr, 0)
+	set(BlkCommand, 7)
+	if st, _ := d.ReadReg(BlkStatus, 8); st != 2 {
+		t.Errorf("bad-command status = %d, want error", st)
+	}
+}

@@ -1,0 +1,94 @@
+package dev
+
+import (
+	"sync"
+
+	"mobilesim/internal/irq"
+)
+
+// Timer register offsets.
+const (
+	TimerCount   = 0x00 // read: current tick count
+	TimerCompare = 0x08 // write: raise IRQ when count reaches value
+	TimerCtrl    = 0x10 // bit 0: enable compare interrupt
+	TimerAck     = 0x18 // write: clear pending timer interrupt
+)
+
+// TimerSize is the MMIO window size.
+const TimerSize = 0x1000
+
+// Timer is a virtual-time counter: it advances when the platform calls
+// Tick (typically once per simulation quantum), keeping the simulation
+// deterministic rather than wall-clock driven.
+type Timer struct {
+	mu      sync.Mutex
+	count   uint64
+	compare uint64
+	enabled bool
+	fired   bool
+	intc    *irq.Controller
+	line    irq.Line
+}
+
+// NewTimer creates a timer wired to an interrupt line.
+func NewTimer(intc *irq.Controller, line irq.Line) *Timer {
+	return &Timer{intc: intc, line: line}
+}
+
+// Tick advances virtual time by n ticks and fires the compare interrupt
+// if armed and reached.
+func (t *Timer) Tick(n uint64) {
+	t.mu.Lock()
+	t.count += n
+	fire := t.enabled && !t.fired && t.count >= t.compare
+	if fire {
+		t.fired = true
+	}
+	t.mu.Unlock()
+	if fire && t.intc != nil {
+		t.intc.Assert(t.line)
+	}
+}
+
+// Count returns current virtual time (for host-side scheduling).
+func (t *Timer) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// ReadReg implements mem.Device.
+func (t *Timer) ReadReg(off uint64, size int) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch off {
+	case TimerCount:
+		return t.count, nil
+	case TimerCompare:
+		return t.compare, nil
+	case TimerCtrl:
+		if t.enabled {
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// WriteReg implements mem.Device.
+func (t *Timer) WriteReg(off uint64, size int, val uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch off {
+	case TimerCompare:
+		t.compare = val
+		t.fired = false
+	case TimerCtrl:
+		t.enabled = val&1 != 0
+	case TimerAck:
+		t.fired = false
+		if t.intc != nil {
+			t.intc.Deassert(t.line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// Package dev implements the platform peripherals the full-system
+// environment requires beyond CPU and GPU: a UART console, a programmable
+// timer, and a block storage device. The paper's simulator models the
+// Versatile Express / Juno platform devices for the same reason — so an
+// unmodified software stack finds the hardware it expects.
+package dev
+
+import (
+	"io"
+	"sync"
+
+	"mobilesim/internal/irq"
+)
+
+// UART register offsets (PL011-flavoured, minimal).
+const (
+	UARTData   = 0x00 // write: transmit byte; read: receive byte
+	UARTStatus = 0x04 // bit 0: RX has data; bit 1: TX ready (always 1)
+	UARTCtrl   = 0x08 // bit 0: RX interrupt enable
+)
+
+// UARTSize is the MMIO window size.
+const UARTSize = 0x1000
+
+// UART is the console device. Transmitted bytes go to an io.Writer;
+// received bytes are pushed by the host via Feed and raise the UART
+// interrupt line when enabled.
+type UART struct {
+	mu     sync.Mutex
+	out    io.Writer
+	rx     []byte
+	rxIRQ  bool
+	intc   *irq.Controller
+	line   irq.Line
+	TxSent uint64
+}
+
+// NewUART creates a UART writing transmitted bytes to out (may be nil to
+// discard) and signalling the given interrupt line.
+func NewUART(out io.Writer, intc *irq.Controller, line irq.Line) *UART {
+	return &UART{out: out, intc: intc, line: line}
+}
+
+// Feed injects received bytes (host -> guest).
+func (u *UART) Feed(b []byte) {
+	u.mu.Lock()
+	u.rx = append(u.rx, b...)
+	raise := u.rxIRQ && u.intc != nil
+	u.mu.Unlock()
+	if raise {
+		u.intc.Assert(u.line)
+	}
+}
+
+// ReadReg implements mem.Device.
+func (u *UART) ReadReg(off uint64, size int) (uint64, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	switch off {
+	case UARTData:
+		if len(u.rx) == 0 {
+			return 0, nil
+		}
+		b := u.rx[0]
+		u.rx = u.rx[1:]
+		if len(u.rx) == 0 && u.intc != nil {
+			u.intc.Deassert(u.line)
+		}
+		return uint64(b), nil
+	case UARTStatus:
+		s := uint64(2) // TX always ready
+		if len(u.rx) > 0 {
+			s |= 1
+		}
+		return s, nil
+	case UARTCtrl:
+		if u.rxIRQ {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, nil
+}
+
+// WriteReg implements mem.Device.
+func (u *UART) WriteReg(off uint64, size int, val uint64) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	switch off {
+	case UARTData:
+		u.TxSent++
+		if u.out != nil {
+			_, _ = u.out.Write([]byte{byte(val)})
+		}
+	case UARTCtrl:
+		u.rxIRQ = val&1 != 0
+	}
+	return nil
+}

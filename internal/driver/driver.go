@@ -1,0 +1,198 @@
+// Package driver is the simulator's equivalent of the vendor's kernel-
+// space GPU driver ("kbase"): it owns the GPU address space, allocates and
+// maps memory for the runtime, builds and submits job chains, and handles
+// the GPU interrupt. Its only channel to the GPU is the hardware
+// interface — MMIO registers, shared memory, page tables and the IRQ
+// line — and its bulk work (buffer copies, descriptor writes, register
+// accesses) executes as real guest code on the simulated CPU, so the
+// CPU-side cost of the software stack is measured, not modelled.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"mobilesim/internal/cpu"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/irq"
+	"mobilesim/internal/mem"
+	"mobilesim/internal/mmu"
+	"mobilesim/internal/platform"
+)
+
+// stagingSize is the bounce-buffer size for host<->guest copies.
+const stagingSize = 4 << 20
+
+// Driver is one opened GPU device context.
+type Driver struct {
+	P    *platform.Platform
+	Core *cpu.Core
+	AS   *mmu.AddressSpace
+
+	staging uint64
+
+	// Jobs submitted and interrupts served, driver-side view.
+	JobsSubmitted uint64
+	IRQsHandled   uint64
+
+	// CPUTime is host wall-clock spent simulating driver-side guest code
+	// (the Fig 9 "driver runtime" metric). Waiting for the GPU does not
+	// count.
+	CPUTime time.Duration
+}
+
+// Open initialises the GPU: builds an address space, soft-resets the
+// device, programs AS0 and unmasks interrupts — all through guest code and
+// MMIO, as the kernel module's probe path would.
+func Open(p *platform.Platform) (*Driver, error) {
+	as, err := mmu.NewAddressSpace(p.Bus, p.Alloc)
+	if err != nil {
+		return nil, err
+	}
+	d := &Driver{P: p, Core: p.CPUs[0], AS: as}
+	p.Intc.Enable(irq.LineGPU)
+
+	if _, err := d.call("gpu_init", platform.GPUBase, as.Root()); err != nil {
+		return nil, fmt.Errorf("driver: gpu_init: %w", err)
+	}
+	d.staging, err = d.allocPhys(stagingSize)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// call runs a firmware routine on the simulated CPU.
+func (d *Driver) call(name string, args ...uint64) (uint64, error) {
+	entry, err := d.P.Firmware.Entry(name)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	v, err := d.Core.CallRoutine(entry, args...)
+	d.CPUTime += time.Since(t0)
+	return v, err
+}
+
+// allocPhys grabs physically contiguous pages (CPU-only memory, not GPU
+// mapped).
+func (d *Driver) allocPhys(size int) (uint64, error) {
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	return d.P.Alloc.AllocPages(pages)
+}
+
+// AllocGPU allocates guest memory and maps it into the GPU address space
+// (identity VA=PA, as a kernel's physically-contiguous carveout would be).
+// The mapping goes through real page tables that the GPU MMU walks.
+func (d *Driver) AllocGPU(size int) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("driver: bad allocation size %d", size)
+	}
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	pa, err := d.P.Alloc.AllocPages(pages)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.AS.MapRange(pa, pa, uint64(pages)*mem.PageSize, mmu.PermR|mmu.PermW); err != nil {
+		return 0, err
+	}
+	return pa, nil
+}
+
+// CopyToDevice writes data into GPU-visible memory. The application-side
+// bytes are staged (the app already produced them), then the runtime's
+// guest memcpy moves them into the buffer on the simulated CPU — the cost
+// that dominates driver runtime for large inputs (Fig 9).
+func (d *Driver) CopyToDevice(va uint64, data []byte) error {
+	for off := 0; off < len(data); off += stagingSize {
+		n := len(data) - off
+		if n > stagingSize {
+			n = stagingSize
+		}
+		if err := d.P.Bus.WriteBytes(d.staging, data[off:off+n]); err != nil {
+			return err
+		}
+		if _, err := d.call("memcpy", va+uint64(off), d.staging, uint64(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CopyFromDevice reads n bytes back from GPU-visible memory through the
+// same guest-code path.
+func (d *Driver) CopyFromDevice(va uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for off := 0; off < n; off += stagingSize {
+		c := n - off
+		if c > stagingSize {
+			c = stagingSize
+		}
+		if _, err := d.call("memcpy", d.staging, va+uint64(off), uint64(c)); err != nil {
+			return nil, err
+		}
+		if err := d.P.Bus.ReadBytes(d.staging, out[off:off+c]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ZeroDevice clears a GPU-visible range via guest memset.
+func (d *Driver) ZeroDevice(va uint64, n int) error {
+	_, err := d.call("memset", va, 0, uint64(n))
+	return err
+}
+
+// Submit writes a job-chain head pointer and rings the job slot doorbell.
+func (d *Driver) Submit(head uint64) error {
+	if _, err := d.call("gpu_submit", platform.GPUBase+gpu.RegJS0Head, head); err != nil {
+		return err
+	}
+	d.JobsSubmitted++
+	return nil
+}
+
+// WaitJob blocks until the GPU raises an interrupt, runs the guest ISR to
+// read and acknowledge it, and returns the rawstat. A fault rawstat is
+// returned, not an error; hardware-interface errors are.
+func (d *Driver) WaitJob() (uint32, error) {
+	for {
+		raw, err := d.call("gpu_isr", platform.GPUBase)
+		if err != nil {
+			return 0, err
+		}
+		if raw != 0 {
+			d.IRQsHandled++
+			d.P.Intc.Claim()
+			return uint32(raw), nil
+		}
+		<-d.P.Intc.WaitChan()
+	}
+}
+
+// SubmitAndWait is the common synchronous path: returns an error when the
+// chain faulted.
+func (d *Driver) SubmitAndWait(head uint64) error {
+	if err := d.Submit(head); err != nil {
+		return err
+	}
+	raw, err := d.WaitJob()
+	if err != nil {
+		return err
+	}
+	if raw&(gpu.IRQJobFault|gpu.IRQMMUFault) != 0 {
+		fa, _ := d.P.GPU.ReadReg(gpu.RegAS0FaultAddr, 8)
+		return fmt.Errorf("driver: GPU fault (rawstat=%#x, fault addr=%#x)", raw, fa)
+	}
+	if raw&gpu.IRQJobDone == 0 {
+		return fmt.Errorf("driver: unexpected rawstat %#x", raw)
+	}
+	return nil
+}
+
+// WriteDescriptor copies an encoded job descriptor into GPU memory through
+// the guest path.
+func (d *Driver) WriteDescriptor(va uint64, desc *gpu.JobDescriptor) error {
+	return d.CopyToDevice(va, gpu.EncodeDescriptor(desc))
+}

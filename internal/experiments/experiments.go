@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V). Each Fig*/Table* function runs the relevant workloads
+// on the simulator, prints the same rows/series the paper reports, and
+// returns the structured data so benchmarks and tests can assert shape
+// properties. The per-experiment index lives in DESIGN.md; measured-vs-
+// paper notes live in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/platform"
+	"mobilesim/internal/stats"
+	"mobilesim/internal/workloads"
+)
+
+// ScaleKind selects workload input sizes.
+type ScaleKind string
+
+// Scale presets.
+const (
+	ScaleSmall   ScaleKind = "small"   // seconds-fast, CI-sized
+	ScaleDefault ScaleKind = "default" // minutes, bench-sized
+	ScalePaper   ScaleKind = "paper"   // Table II sizes (can take hours)
+)
+
+// Options configures a run.
+type Options struct {
+	Scale ScaleKind
+	// HostThreads overrides the GPU worker count (0 = default 8).
+	HostThreads int
+	// CompilerVersion overrides the JIT version (empty = default).
+	CompilerVersion string
+}
+
+func (o Options) scaleOf(s *workloads.Spec) int {
+	switch o.Scale {
+	case ScalePaper:
+		return s.PaperScale
+	case ScaleDefault:
+		return s.DefaultScale
+	default:
+		return s.SmallScale
+	}
+}
+
+func (o Options) gpuConfig() gpu.Config {
+	cfg := gpu.DefaultConfig()
+	if o.HostThreads > 0 {
+		cfg.HostThreads = o.HostThreads
+	}
+	return cfg
+}
+
+// runOutcome couples a workload result with the stats snapshots.
+type runOutcome struct {
+	res     *workloads.Result
+	gs      stats.GPUStats
+	sys     stats.SystemStats
+	cpuTime time.Duration // driver-side guest simulation time
+	setup   time.Duration // host-native input generation time
+}
+
+// runOne executes a named workload on a fresh platform.
+func runOne(spec *workloads.Spec, opt Options, mutate func(*platform.Platform)) (*runOutcome, error) {
+	p, err := platform.New(platform.Config{RAMSize: 1 << 30, GPU: opt.gpuConfig()})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	if mutate != nil {
+		mutate(p)
+	}
+	ctx, err := cl.NewContext(p, opt.CompilerVersion)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	inst := spec.Make(opt.scaleOf(spec))
+	setup := time.Since(t0)
+	res, err := inst.Run(ctx, spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Verified {
+		return nil, fmt.Errorf("%s failed verification: %w", spec.Name, res.VerifyErr)
+	}
+	gs, sys := p.GPU.Stats()
+	return &runOutcome{res: res, gs: gs, sys: sys, cpuTime: ctx.Drv.CPUTime, setup: setup}, nil
+}
+
+// table streams aligned columns.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+var small = Options{Scale: ScaleSmall}
+
+func TestFig1CompilerVersionsDiffer(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig1(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d versions, want 5", len(rows))
+	}
+	// 5.6 is the unit baseline.
+	if rows[0].ArithCycles != 1 || rows[0].Registers != 1 {
+		t.Errorf("baseline row not normalised: %+v", rows[0])
+	}
+	// Substantial differences across versions (paper: up to 47%).
+	var spread float64
+	for _, r := range rows {
+		if d := absf(r.ArithCycles - 1); d > spread {
+			spread = d
+		}
+	}
+	if spread < 0.1 {
+		t.Errorf("arith-cycle spread %.2f too small; versions indistinguishable", spread)
+	}
+	// 6.1 == 6.2 as in the paper.
+	if rows[3] != (Fig1Row{Version: "6.1", ArithCycles: rows[4].ArithCycles,
+		ArithInstrs: rows[4].ArithInstrs, LSCycles: rows[4].LSCycles,
+		LSInstrs: rows[4].LSInstrs, Registers: rows[4].Registers, Absolute: rows[4].Absolute}) {
+		t.Errorf("6.1 and 6.2 should produce identical code:\n%+v\n%+v", rows[3], rows[4])
+	}
+}
+
+func TestFig6DivergenceCFG(t *testing.T) {
+	var buf bytes.Buffer
+	rendered, err := Fig6(&buf, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rendered, "dvg.") {
+		t.Error("BFS CFG shows no divergence annotations")
+	}
+	if !strings.Contains(rendered, "->") {
+		t.Error("CFG has no edges")
+	}
+}
+
+func TestFig7SlowdownShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig7(&buf, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if r.GPUOnly <= 0 || r.FullSystem <= 0 {
+			t.Errorf("%s: non-positive slowdown %+v", r.Name, r)
+		}
+	}
+}
+
+func TestFig9BaselineScalesWorse(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig9(&buf, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	// The interpreted baseline must pay substantially more CPU time than
+	// the DBT stack at the largest size (the Fig 9 gap).
+	if float64(last.M2SCPUTime) < 1.5*float64(last.OursCPUTime) {
+		t.Errorf("baseline CPU time %v not clearly above ours %v", last.M2SCPUTime, last.OursCPUTime)
+	}
+	// Both grow with input size.
+	if rows[len(rows)-1].OursCPUTime <= rows[0].OursCPUTime {
+		t.Error("driver time should grow with input size")
+	}
+}
+
+func TestTable3SystemStatsShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table3(&buf, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	bfs, sobel, stencil := byName["BFS"], byName["SobelFilter"], byName["Stencil"]
+	// BFS is control-heavy: many jobs, far more register traffic and
+	// interrupts than single-kernel benchmarks.
+	if bfs.Sys.ComputeJobs < 5 || bfs.Sys.ComputeJobs <= sobel.Sys.ComputeJobs {
+		t.Errorf("BFS jobs = %d, sobel = %d; BFS should dominate", bfs.Sys.ComputeJobs, sobel.Sys.ComputeJobs)
+	}
+	if bfs.Sys.CtrlRegWrites <= sobel.Sys.CtrlRegWrites {
+		t.Error("BFS should generate more control-register writes than SobelFilter")
+	}
+	// Stencil submits one job per iteration.
+	if stencil.Sys.ComputeJobs < 10 {
+		t.Errorf("stencil jobs = %d, want its iteration count", stencil.Sys.ComputeJobs)
+	}
+	// One interrupt per submission (plus none spurious).
+	if sobel.Sys.IRQsAsserted == 0 {
+		t.Error("SobelFilter should raise at least one interrupt")
+	}
+}
+
+func TestTables2And4Print(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SobelFilter") {
+		t.Error("Table II missing benchmarks")
+	}
+	buf.Reset()
+	if err := Table4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"GPGPU-Sim", "Multi2Sim", "This reproduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table IV missing %q", want)
+		}
+	}
+}
+
+func TestFig14RelativeMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig14(&buf, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, expr := rows[0], rows[1]
+	if fast.ArithInstr >= 1 || expr.ArithInstr >= fast.ArithInstr {
+		t.Errorf("instruction ratios should shrink: fast=%.2f express=%.2f", fast.ArithInstr, expr.ArithInstr)
+	}
+	if fast.LocalLS <= fast.ArithInstr {
+		t.Errorf("local-LS ratio (%.2f) should exceed the instruction ratio (%.2f)", fast.LocalLS, fast.ArithInstr)
+	}
+	if !(expr.FPSRel > fast.FPSRel && fast.FPSRel > 1) {
+		t.Errorf("FPS should improve: fast=%.2f express=%.2f", fast.FPSRel, expr.FPSRel)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig15(&buf, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d variants", len(rows))
+	}
+	byID := map[int]Fig15Row{}
+	for _, r := range rows {
+		byID[r.ID] = r
+	}
+	// Mali winner is variant 4; desktop winner is variant 6; no
+	// correlation between the two platforms.
+	for id := 1; id <= 6; id++ {
+		if id != 4 && byID[4].MaliTime >= byID[id].MaliTime {
+			t.Errorf("variant 4 should win on Mali (v4=%.2f v%d=%.2f)", byID[4].MaliTime, id, byID[id].MaliTime)
+		}
+		if id != 6 && byID[6].NVIDIATime >= byID[id].NVIDIATime {
+			t.Errorf("variant 6 should win on NVIDIA model (v6=%.2f v%d=%.2f)", byID[6].NVIDIATime, id, byID[id].NVIDIATime)
+		}
+	}
+	if byID[1].NVIDIATime != 1 {
+		t.Errorf("variant 1 should be the NVIDIA-model slowest (=1.0), got %.2f", byID[1].NVIDIATime)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/cpu"
+	"mobilesim/internal/m2s"
+	"mobilesim/internal/platform"
+	"mobilesim/internal/workloads"
+)
+
+// fig7Benchmarks are the nine AMD APP kernels of Fig 7.
+var fig7Benchmarks = []string{
+	"BinarySearch", "BinomialOption", "BitonicSort", "DCT", "DwtHaar1D",
+	"MatrixTranspose", "Reduction", "SobelFilter", "URNG",
+}
+
+// Fig7Row reports simulation slowdown for one benchmark.
+type Fig7Row struct {
+	Name string
+	// GPUOnly is simulated-kernel time over native-kernel time.
+	GPUOnly float64
+	// FullSystem is whole-run simulated time over whole-run native time
+	// (native includes input generation, the benchmark's host phase).
+	FullSystem float64
+}
+
+// Fig7 measures simulation slowdown relative to native execution, GPU-only
+// and full-system, as Fig 7 does against the HiKey960.
+func Fig7(w io.Writer, opt Options) ([]Fig7Row, error) {
+	header(w, "Fig 7: simulation slowdown vs native execution")
+	var rows []Fig7Row
+	for _, name := range fig7Benchmarks {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out, err := runOne(spec, opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		simGPU := out.res.SimDuration - out.cpuTime
+		if simGPU <= 0 {
+			simGPU = out.res.SimDuration
+		}
+		nativeKernel := out.res.NativeDuration
+		nativeFull := out.res.NativeDuration + out.setup
+		rows = append(rows, Fig7Row{
+			Name:       name,
+			GPUOnly:    ratioDur(simGPU, nativeKernel),
+			FullSystem: ratioDur(out.res.SimDuration, nativeFull),
+		})
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "benchmark\tGPU-only slowdown\tfull-system slowdown")
+	var gSum, fSum float64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0fx\t%.0fx\n", r.Name, r.GPUOnly, r.FullSystem)
+		gSum += r.GPUOnly
+		fSum += r.FullSystem
+	}
+	fmt.Fprintf(tw, "average\t%.0fx\t%.0fx\n", gSum/float64(len(rows)), fSum/float64(len(rows)))
+	return rows, tw.Flush()
+}
+
+func ratioDur(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// fig8Benchmarks are the 13 kernels of Fig 8.
+var fig8Benchmarks = []string{
+	"BinarySearch", "BinomialOption", "BitonicSort", "DCT", "DwtHaar1D",
+	"FloydWarshall", "MatrixTranspose", "RecursiveGaussian", "Reduction",
+	"ScanLargeArrays", "SobelFilter", "SGEMM", "Stencil",
+}
+
+// Fig8Row reports our simulator's speed relative to the baseline.
+type Fig8Row struct {
+	Name string
+	// Speedup is baseline time / our time (no instrumentation cost
+	// difference: instrumentation is always-on counters).
+	Speedup float64
+	// SpeedupInstrumented additionally collects the divergence CFG, the
+	// costly optional instrumentation.
+	SpeedupInstrumented float64
+}
+
+// Fig8 compares full-system simulation speed against the Multi2Sim-style
+// baseline mode (per-instruction CPU dispatch, flat GPU address space),
+// with and without CFG instrumentation.
+func Fig8(w io.Writer, opt Options) ([]Fig8Row, error) {
+	header(w, "Fig 8: speed relative to Multi2Sim-style functional baseline (=1.0)")
+	var rows []Fig8Row
+	for _, name := range fig8Benchmarks {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		// Baseline mode: interpreter CPU (per-instruction dispatch).
+		base, err := runOne(spec, opt, func(p *platform.Platform) {
+			for _, c := range p.CPUs {
+				c.SetEngine(cpu.EngineInterp)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		ours, err := runOne(spec, opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		instrOpt := opt
+		oursInstr, err := runOneCFG(spec, instrOpt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{
+			Name:                name,
+			Speedup:             ratioDur(base.res.SimDuration, ours.res.SimDuration),
+			SpeedupInstrumented: ratioDur(base.res.SimDuration, oursInstr.res.SimDuration),
+		})
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "benchmark\tw/o instrum.\twith instrum.")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\n", r.Name, r.Speedup, r.SpeedupInstrumented)
+	}
+	return rows, tw.Flush()
+}
+
+func runOneCFG(spec *workloads.Spec, opt Options) (*runOutcome, error) {
+	cfg := opt.gpuConfig()
+	cfg.CollectCFG = true
+	p, err := platform.New(platform.Config{RAMSize: 1 << 30, GPU: cfg})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	ctx, err := cl.NewContext(p, opt.CompilerVersion)
+	if err != nil {
+		return nil, err
+	}
+	inst := spec.Make(opt.scaleOf(spec))
+	res, err := inst.Run(ctx, spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	gs, sys := p.GPU.Stats()
+	return &runOutcome{res: res, gs: gs, sys: sys, cpuTime: ctx.Drv.CPUTime}, nil
+}
+
+// Fig9Row is one input size of the driver-runtime scaling sweep.
+type Fig9Row struct {
+	Dim         int
+	OursCPUTime time.Duration
+	M2SCPUTime  time.Duration
+}
+
+// Fig9 sweeps SobelFilter input sizes and reports the CPU-side software-
+// stack simulation time on our DBT-based stack vs the Multi2Sim-style
+// interpreted runtime.
+func Fig9(w io.Writer, opt Options) ([]Fig9Row, error) {
+	header(w, "Fig 9: CPU-side driver runtime vs input size (SobelFilter)")
+	dims := []int{256, 384, 512, 640, 768}
+	if opt.Scale == ScalePaper {
+		dims = []int{256, 512, 768, 1024, 1280, 1536}
+	} else if opt.Scale == ScaleSmall {
+		dims = []int{64, 128, 256}
+	}
+	var rows []Fig9Row
+	for _, dim := range dims {
+		ours, err := sobelDriverTime(dim, opt)
+		if err != nil {
+			return nil, err
+		}
+		base, err := sobelM2STime(dim, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{Dim: dim, OursCPUTime: ours, M2SCPUTime: base})
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "input\tour simulator\tMulti2Sim-style")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%dx%d\t%v\t%v\n", r.Dim, r.Dim,
+			r.OursCPUTime.Round(time.Millisecond), r.M2SCPUTime.Round(time.Millisecond))
+	}
+	return rows, tw.Flush()
+}
+
+func sobelDriverTime(dim int, opt Options) (time.Duration, error) {
+	p, err := platform.New(platform.Config{RAMSize: 1 << 30, GPU: opt.gpuConfig()})
+	if err != nil {
+		return 0, err
+	}
+	defer p.Close()
+	ctx, err := cl.NewContext(p, opt.CompilerVersion)
+	if err != nil {
+		return 0, err
+	}
+	inst := workloads.MakeSobelInstance(dim)
+	if _, err := inst.Sim(ctx); err != nil {
+		return 0, err
+	}
+	return ctx.Drv.CPUTime, nil
+}
+
+// sobelM2STime runs SobelFilter through the intercepted-runtime baseline.
+func sobelM2STime(dim int, opt Options) (time.Duration, error) {
+	c, err := m2s.New(1<<30, opt.gpuConfig())
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	w := (dim + 15) / 16 * 16
+	h := w
+	img := make([]byte, w*h)
+	for i := range img {
+		img[i] = byte(i * 131)
+	}
+	in, err := c.CreateBuffer(w * h)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.CreateBuffer(w * h)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.WriteBuffer(in, img); err != nil {
+		return 0, err
+	}
+	k, err := c.BuildKernel(sobelM2SSrc, "sobel")
+	if err != nil {
+		return 0, err
+	}
+	k.SetArgBuffer(0, in)
+	k.SetArgBuffer(1, out)
+	k.SetArgInt(2, int32(w))
+	k.SetArgInt(3, int32(h))
+	if err := c.Enqueue(k, [3]uint32{uint32(w), uint32(h), 1}, [3]uint32{16, 16, 1}); err != nil {
+		return 0, err
+	}
+	if _, err := c.ReadBuffer(out, w*h); err != nil {
+		return 0, err
+	}
+	return c.CPUTime, nil
+}
+
+const sobelM2SSrc = `
+kernel void sobel(global uchar* in, global uchar* out, int w, int h) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+        int i00 = in[(y - 1) * w + x - 1];
+        int i10 = in[(y - 1) * w + x];
+        int i20 = in[(y - 1) * w + x + 1];
+        int i01 = in[y * w + x - 1];
+        int i21 = in[y * w + x + 1];
+        int i02 = in[(y + 1) * w + x - 1];
+        int i12 = in[(y + 1) * w + x];
+        int i22 = in[(y + 1) * w + x + 1];
+        int gx = i00 + 2 * i01 + i02 - i20 - 2 * i21 - i22;
+        int gy = i00 + 2 * i10 + i20 - i02 - 2 * i12 - i22;
+        float m = sqrt((float)(gx * gx + gy * gy)) / 2.0f;
+        out[y * w + x] = min((int)m, 255);
+    } else if (x < w && y < h) {
+        out[y * w + x] = 0;
+    }
+}
+`
+
+// Fig10Row is one host-thread count of the scaling sweep.
+type Fig10Row struct {
+	Threads             int
+	SobelSpeedup        float64
+	BinarySearchSpeedup float64
+}
+
+// Fig10 maps shader cores onto increasing host-thread counts and reports
+// the speedup for the best case (SobelFilter) and worst case
+// (BinarySearch).
+func Fig10(w io.Writer, opt Options) ([]Fig10Row, error) {
+	header(w, "Fig 10: host-thread scaling (speedup over 1 thread)")
+	fmt.Fprintf(w, "(host machine exposes %d CPU core(s) to the simulator; the paper's\n"+
+		" scaling host was a 32-core Xeon — speedups saturate at the core count)\n",
+		runtime.GOMAXPROCS(0))
+	threads := []int{1, 2, 4, 8, 16, 32, 64}
+	if opt.Scale == ScaleSmall {
+		threads = []int{1, 2, 4, 8}
+	}
+	timeFor := func(name string, ht int) (time.Duration, error) {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return 0, err
+		}
+		o := opt
+		o.HostThreads = ht
+		out, err := runOne(spec, o, nil)
+		if err != nil {
+			return 0, err
+		}
+		return out.res.SimDuration, nil
+	}
+	var rows []Fig10Row
+	var sobelBase, bsBase time.Duration
+	for i, ht := range threads {
+		st, err := timeFor("SobelFilter", ht)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := timeFor("BinarySearch", ht)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			sobelBase, bsBase = st, bt
+		}
+		rows = append(rows, Fig10Row{
+			Threads:             ht,
+			SobelSpeedup:        ratioDur(sobelBase, st),
+			BinarySearchSpeedup: ratioDur(bsBase, bt),
+		})
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "host threads\tSobelFilter\tBinarySearch")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\n", r.Threads, r.SobelSpeedup, r.BinarySearchSpeedup)
+	}
+	return rows, tw.Flush()
+}

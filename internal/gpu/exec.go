@@ -1,0 +1,634 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"mobilesim/internal/mem"
+	"mobilesim/internal/mmu"
+	"mobilesim/internal/stats"
+)
+
+// WarpSize is the quad width: Bifrost groups threads into bundles of four
+// that fill the 128-bit data unit and execute in lockstep.
+const WarpSize = 4
+
+// localMemory abstracts the workgroup-local store. Hardware workgroups use
+// driver-allocated guest memory accessed through the GPU MMU; virtual-core
+// over-commit falls back to host shadow buffers (§III-B3).
+type localMemory interface {
+	load(off uint64) (uint32, error)
+	store(off uint64, v uint32) error
+}
+
+// guestLocal is local memory backed by a guest allocation.
+type guestLocal struct {
+	base   uint64 // guest VA of the slot
+	size   uint64
+	walker *mmu.Walker
+	bus    *mem.Bus
+}
+
+func (g *guestLocal) load(off uint64) (uint32, error) {
+	if off+4 > g.size {
+		return 0, fmt.Errorf("gpu: local load at %#x beyond %#x", off, g.size)
+	}
+	pa, fault := g.walker.Translate(g.base+off, mem.Read)
+	if fault != nil {
+		return 0, fault
+	}
+	v, err := g.bus.Read(pa, 4)
+	return uint32(v), err
+}
+
+func (g *guestLocal) store(off uint64, v uint32) error {
+	if off+4 > g.size {
+		return fmt.Errorf("gpu: local store at %#x beyond %#x", off, g.size)
+	}
+	pa, fault := g.walker.Translate(g.base+off, mem.Write)
+	if fault != nil {
+		return fault
+	}
+	return g.bus.Write(pa, 4, uint64(v))
+}
+
+// shadowLocal is host-side local memory for over-committed virtual cores.
+type shadowLocal struct{ buf []byte }
+
+func (s *shadowLocal) load(off uint64) (uint32, error) {
+	if off+4 > uint64(len(s.buf)) {
+		return 0, fmt.Errorf("gpu: shadow local load at %#x beyond %#x", off, len(s.buf))
+	}
+	return uint32(s.buf[off]) | uint32(s.buf[off+1])<<8 |
+		uint32(s.buf[off+2])<<16 | uint32(s.buf[off+3])<<24, nil
+}
+
+func (s *shadowLocal) store(off uint64, v uint32) error {
+	if off+4 > uint64(len(s.buf)) {
+		return fmt.Errorf("gpu: shadow local store at %#x beyond %#x", off, len(s.buf))
+	}
+	s.buf[off] = byte(v)
+	s.buf[off+1] = byte(v >> 8)
+	s.buf[off+2] = byte(v >> 16)
+	s.buf[off+3] = byte(v >> 24)
+	return nil
+}
+
+// warpStatus reports how a warp's execution step ended.
+type warpStatus int
+
+const (
+	warpRunning warpStatus = iota
+	warpAtBarrier
+	warpDone
+)
+
+// divFrame is one SIMT reconvergence stack entry. On divergence the warp
+// runs the fallthrough path first; the taken path and the full mask to
+// restore at the reconvergence clause are recorded here.
+type divFrame struct {
+	rejoin   int // clause index where paths reconverge
+	pendPC   int // deferred path entry clause; -1 once consumed
+	pendMask [WarpSize]bool
+	joinMask [WarpSize]bool
+}
+
+// warp is a quad of threads executing in lockstep.
+type warp struct {
+	lanes  int // live lanes (tail warps may be partial)
+	active [WarpSize]bool
+	exited [WarpSize]bool
+	regs   [WarpSize][NumGRF]uint64
+	temps  [WarpSize][NumTemp]uint64
+
+	gid [WarpSize][3]uint32
+	lid [WarpSize][3]uint32
+
+	pc    int // current clause index
+	stack []divFrame
+}
+
+func (w *warp) activeCount() int {
+	n := 0
+	for i := 0; i < w.lanes; i++ {
+		if w.active[i] && !w.exited[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func (w *warp) allExited() bool {
+	for i := 0; i < w.lanes; i++ {
+		if !w.exited[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// execContext is everything a warp needs from its surrounding workgroup
+// and worker: program, argument values, memory paths and stat shards.
+type execContext struct {
+	prog     *Program
+	uniforms []uint64
+	bus      *mem.Bus
+	walker   *mmu.Walker
+	local    localMemory
+
+	wgid [3]uint32
+	gsz  [3]uint32
+	lsz  [3]uint32
+
+	gs    *stats.GPUStats
+	cfg   *stats.CFG // nil when CFG collection is off
+	trace *traceSink // nil when instruction tracing is off
+}
+
+// clauseBudget caps clauses executed per warp per job as a runaway guard
+// (a shader looping forever would otherwise hang the Job Manager).
+const clauseBudget = 1 << 24
+
+// runWarp executes the warp until it terminates or reaches a barrier.
+func (e *execContext) runWarp(w *warp) (warpStatus, error) {
+	for steps := 0; ; steps++ {
+		if steps > clauseBudget {
+			return warpDone, fmt.Errorf("gpu: clause budget exhausted (infinite loop in shader?)")
+		}
+
+		// Reconvergence: entering the rejoin clause of stacked frames.
+		for len(w.stack) > 0 && w.pc == w.stack[len(w.stack)-1].rejoin {
+			f := &w.stack[len(w.stack)-1]
+			if f.pendPC >= 0 {
+				// Switch to the deferred path; leave a marker frame.
+				w.active = f.pendMask
+				w.pc = f.pendPC
+				f.pendPC = -1
+			} else {
+				// Both paths done: restore the pre-branch mask (minus
+				// lanes that exited inside the region).
+				for i := range w.active {
+					w.active[i] = f.joinMask[i] && !w.exited[i]
+				}
+				w.stack = w.stack[:len(w.stack)-1]
+			}
+		}
+
+		if w.pc >= len(e.prog.Clauses) {
+			return warpDone, nil
+		}
+		if w.activeCount() == 0 {
+			if w.allExited() && len(w.stack) == 0 {
+				return warpDone, nil
+			}
+			// All current lanes inactive but stack pending: fall through
+			// to the next clause so reconvergence checks progress.
+			w.pc++
+			continue
+		}
+
+		st, err := e.execClause(w)
+		if err != nil {
+			return warpDone, err
+		}
+		switch st {
+		case warpAtBarrier:
+			return warpAtBarrier, nil
+		case warpDone:
+			if w.allExited() && len(w.stack) == 0 {
+				return warpDone, nil
+			}
+		}
+	}
+}
+
+// execClause runs all slots of the current clause on all active lanes and
+// applies the clause-terminal control flow. Clause temporaries are
+// (semantically) dead across clause boundaries.
+func (e *execContext) execClause(w *warp) (warpStatus, error) {
+	ci := w.pc
+	c := &e.prog.Clauses[ci]
+	act := uint64(w.activeCount())
+
+	e.gs.ClausesExec++
+	e.gs.ClauseSizeHist[min(c.Slots(), stats.MaxClauseSlots)]++
+	// Unfilled issue slots: a clause of N slots issues in ceil(N/2) tuples;
+	// the odd slot is an architecturally empty issue slot, on top of any
+	// explicit scheduler padding NOPs. Both show up as "empty slots" in
+	// the instruction mix (Fig 11).
+	e.gs.NopInstr += act * uint64(c.Tuples()*2-c.Slots())
+
+	var blk *stats.CFGBlock
+	if e.cfg != nil {
+		blk = e.cfg.Block(c.Addr)
+		blk.ThreadsIn += act
+		blk.WarpsIn++
+	}
+	if e.trace != nil {
+		e.trace.clauseEntry(e.wgid, w.gid[0][0], ci, c.Addr, int(act))
+	}
+
+	next := ci + 1 // fallthrough
+	for ii := range c.Instrs {
+		in := &c.Instrs[ii]
+		switch Classify(in.Op) {
+		case ClassNop:
+			e.gs.NopInstr += act
+			continue
+		case ClassArith:
+			e.gs.ArithInstr += act
+		case ClassLS:
+			e.gs.LSInstr += act
+		case ClassCF:
+			e.gs.CFInstr += act
+		}
+
+		switch in.Op {
+		case OpBARRIER:
+			if blk != nil {
+				blk.Terminator = "barrier"
+				blk.Out[e.clauseAddr(next)] += act
+			}
+			w.pc = next
+			return warpAtBarrier, nil
+
+		case OpRET:
+			for i := 0; i < w.lanes; i++ {
+				if w.active[i] && !w.exited[i] {
+					w.exited[i] = true
+					w.active[i] = false
+				}
+			}
+			if blk != nil {
+				blk.Terminator = "ret"
+				blk.ExitCount += act
+			}
+			w.pc = next
+			return warpDone, nil
+
+		case OpBR:
+			tgt := in.BranchTarget()
+			if blk != nil {
+				blk.Terminator = "br"
+				blk.Out[e.clauseAddr(tgt)] += act
+			}
+			w.pc = tgt
+			return warpRunning, nil
+
+		case OpBRC:
+			e.gs.Branches++
+			tgt, rejoin := in.BranchTarget(), in.Reconverge()
+			var taken, fall [WarpSize]bool
+			nTaken, nFall := 0, 0
+			for i := 0; i < w.lanes; i++ {
+				if !w.active[i] || w.exited[i] {
+					continue
+				}
+				if e.read(w, i, in.A, in) != 0 {
+					taken[i] = true
+					nTaken++
+				} else {
+					fall[i] = true
+					nFall++
+				}
+			}
+			if blk != nil {
+				blk.Terminator = "brc"
+				if nTaken > 0 {
+					blk.Out[e.clauseAddr(tgt)] += uint64(nTaken)
+				}
+				if nFall > 0 {
+					blk.Out[e.clauseAddr(next)] += uint64(nFall)
+				}
+			}
+			switch {
+			case nFall == 0:
+				w.pc = tgt
+			case nTaken == 0:
+				w.pc = next
+			default:
+				e.gs.DivergentBranches++
+				if blk != nil {
+					blk.Diverged++
+				}
+				w.stack = append(w.stack, divFrame{
+					rejoin:   rejoin,
+					pendPC:   tgt,
+					pendMask: taken,
+					joinMask: w.active,
+				})
+				w.active = fall
+				w.pc = next
+			}
+			return warpRunning, nil
+
+		default:
+			// JIT fast path: pre-specialised closure with operand
+			// accessors resolved at decode time (skipped under tracing).
+			if e.prog.jit != nil && e.trace == nil {
+				if op := e.prog.jit.clauses[ci][ii]; op != nil {
+					for i := 0; i < w.lanes; i++ {
+						if w.active[i] && !w.exited[i] {
+							if err := op(e, w, i); err != nil {
+								return warpDone, err
+							}
+						}
+					}
+					continue
+				}
+			}
+			for i := 0; i < w.lanes; i++ {
+				if !w.active[i] || w.exited[i] {
+					continue
+				}
+				if err := e.execLane(w, i, in); err != nil {
+					return warpDone, err
+				}
+			}
+		}
+	}
+
+	if blk != nil {
+		blk.Terminator = "fallthrough"
+		blk.Out[e.clauseAddr(next)] += act
+	}
+	w.pc = next
+	return warpRunning, nil
+}
+
+// clauseAddr maps a clause index to its binary address for CFG reporting;
+// "one past the end" maps to a synthetic exit address.
+func (e *execContext) clauseAddr(idx int) uint64 {
+	if idx < len(e.prog.Clauses) {
+		return e.prog.Clauses[idx].Addr
+	}
+	return 0xFFFF
+}
+
+func f32(v uint64) float32   { return math.Float32frombits(uint32(v)) }
+func fbits(f float32) uint64 { return uint64(math.Float32bits(f)) }
+
+// read evaluates a source operand for one lane, recording the data-access
+// breakdown (Fig 12).
+func (e *execContext) read(w *warp, lane int, o uint8, in *Instr) uint64 {
+	kind, idx := OperKind(o)
+	switch kind {
+	case OperGRF:
+		e.gs.GRFRead++
+		return w.regs[lane][idx]
+	case OperTemp:
+		e.gs.TempAcc++
+		return w.temps[lane][idx]
+	case OperUniform:
+		e.gs.ConstRead++
+		if int(idx) < len(e.uniforms) {
+			return e.uniforms[idx]
+		}
+		return 0
+	default:
+		switch idx {
+		case SpecImm:
+			e.gs.ROMRead++
+			return uint64(in.Imm)
+		case SpecROM:
+			e.gs.ROMRead++
+			if int(in.Imm) < len(e.prog.ROM) {
+				return e.prog.ROM[in.Imm]
+			}
+			return 0
+		case SpecZero:
+			return 0
+		case SpecGIDX, SpecGIDY, SpecGIDZ:
+			return uint64(w.gid[lane][idx-SpecGIDX])
+		case SpecLIDX, SpecLIDY, SpecLIDZ:
+			return uint64(w.lid[lane][idx-SpecLIDX])
+		case SpecWGIDX, SpecWGIDY, SpecWGIDZ:
+			return uint64(e.wgid[idx-SpecWGIDX])
+		case SpecGSZX, SpecGSZY, SpecGSZZ:
+			return uint64(e.gsz[idx-SpecGSZX])
+		case SpecLSZX, SpecLSZY, SpecLSZZ:
+			return uint64(e.lsz[idx-SpecLSZX])
+		}
+		return 0
+	}
+}
+
+// write stores a result operand for one lane.
+func (e *execContext) write(w *warp, lane int, o uint8, v uint64) {
+	kind, idx := OperKind(o)
+	switch kind {
+	case OperGRF:
+		e.gs.GRFWrite++
+		w.regs[lane][idx] = v
+	case OperTemp:
+		e.gs.TempAcc++
+		w.temps[lane][idx] = v
+	}
+}
+
+// execLane executes a non-control, non-barrier instruction for one lane.
+func (e *execContext) execLane(w *warp, lane int, in *Instr) error {
+	switch in.Op {
+	case OpLDG, OpLDG64, OpLDGB:
+		addr := e.read(w, lane, in.A, in) + uint64(int64(int32(in.Imm)))
+		size := 4
+		switch in.Op {
+		case OpLDG64:
+			size = 8
+		case OpLDGB:
+			size = 1
+		}
+		e.gs.GlobalLS++
+		e.gs.MainMemAcc++
+		pa, fault := e.walker.Translate(addr, mem.Read)
+		if fault != nil {
+			return fault
+		}
+		v, err := e.bus.Read(pa, size)
+		if err != nil {
+			return err
+		}
+		e.write(w, lane, in.Dst, v)
+		if e.trace != nil {
+			e.trace.inst(lane, w.gid[lane], in, v, true)
+		}
+		return nil
+
+	case OpSTG, OpSTG64, OpSTGB:
+		addr := e.read(w, lane, in.A, in) + uint64(int64(int32(in.Imm)))
+		v := e.read(w, lane, in.B, in)
+		size := 4
+		switch in.Op {
+		case OpSTG64:
+			size = 8
+		case OpSTGB:
+			size = 1
+		}
+		e.gs.GlobalLS++
+		e.gs.MainMemAcc++
+		pa, fault := e.walker.Translate(addr, mem.Write)
+		if fault != nil {
+			return fault
+		}
+		if e.trace != nil {
+			e.trace.inst(lane, w.gid[lane], in, v, true)
+		}
+		return e.bus.Write(pa, size, v)
+
+	case OpLDL:
+		off := e.read(w, lane, in.A, in) + uint64(int64(int32(in.Imm)))
+		e.gs.LocalLS++
+		e.gs.LocalAcc++
+		v, err := e.local.load(off)
+		if err != nil {
+			return err
+		}
+		e.write(w, lane, in.Dst, uint64(v))
+		return nil
+
+	case OpSTL:
+		off := e.read(w, lane, in.A, in) + uint64(int64(int32(in.Imm)))
+		v := e.read(w, lane, in.B, in)
+		e.gs.LocalLS++
+		e.gs.LocalAcc++
+		return e.local.store(off, uint32(v))
+	}
+
+	a := e.read(w, lane, in.A, in)
+	var b uint64
+	switch in.Op {
+	case OpMOV, OpI2F, OpF2I, OpFABS, OpFNEG, OpFSQRT, OpFEXP, OpFLOG,
+		OpFSIN, OpFCOS, OpFFLOOR:
+		// unary: B unused
+	default:
+		b = e.read(w, lane, in.B, in)
+	}
+
+	var r uint64
+	switch in.Op {
+	case OpMOV:
+		r = a
+	case OpI2F:
+		r = fbits(float32(int32(a)))
+	case OpF2I:
+		r = uint64(uint32(int32(f32(a))))
+	case OpIADD:
+		r = uint64(uint32(a) + uint32(b))
+	case OpISUB:
+		r = uint64(uint32(a) - uint32(b))
+	case OpIMUL:
+		r = uint64(uint32(a) * uint32(b))
+	case OpIDIV:
+		if int32(b) == 0 {
+			r = 0
+		} else if int32(a) == math.MinInt32 && int32(b) == -1 {
+			r = uint64(uint32(a))
+		} else {
+			r = uint64(uint32(int32(a) / int32(b)))
+		}
+	case OpIMOD:
+		if int32(b) == 0 {
+			r = 0
+		} else if int32(a) == math.MinInt32 && int32(b) == -1 {
+			r = 0
+		} else {
+			r = uint64(uint32(int32(a) % int32(b)))
+		}
+	case OpSHL:
+		r = uint64(uint32(a) << (uint32(b) & 31))
+	case OpSHR:
+		r = uint64(uint32(a) >> (uint32(b) & 31))
+	case OpSAR:
+		r = uint64(uint32(int32(a) >> (uint32(b) & 31)))
+	case OpAND:
+		r = a & b
+	case OpOR:
+		r = a | b
+	case OpXOR:
+		r = a ^ b
+	case OpIMIN:
+		if int32(a) < int32(b) {
+			r = uint64(uint32(a))
+		} else {
+			r = uint64(uint32(b))
+		}
+	case OpIMAX:
+		if int32(a) > int32(b) {
+			r = uint64(uint32(a))
+		} else {
+			r = uint64(uint32(b))
+		}
+	case OpADD64:
+		r = a + b
+	case OpMUL64:
+		r = a * b
+	case OpFADD:
+		r = fbits(f32(a) + f32(b))
+	case OpFSUB:
+		r = fbits(f32(a) - f32(b))
+	case OpFMUL:
+		r = fbits(f32(a) * f32(b))
+	case OpFDIV:
+		r = fbits(f32(a) / f32(b))
+	case OpFMA:
+		acc := e.read(w, lane, in.Dst, in)
+		r = fbits(f32(acc) + f32(a)*f32(b))
+	case OpFMIN:
+		r = fbits(float32(math.Min(float64(f32(a)), float64(f32(b)))))
+	case OpFMAX:
+		r = fbits(float32(math.Max(float64(f32(a)), float64(f32(b)))))
+	case OpFABS:
+		r = fbits(float32(math.Abs(float64(f32(a)))))
+	case OpFNEG:
+		r = fbits(-f32(a))
+	case OpFSQRT:
+		r = fbits(float32(math.Sqrt(float64(f32(a)))))
+	case OpFEXP:
+		r = fbits(float32(math.Exp(float64(f32(a)))))
+	case OpFLOG:
+		r = fbits(float32(math.Log(float64(f32(a)))))
+	case OpFSIN:
+		r = fbits(float32(math.Sin(float64(f32(a)))))
+	case OpFCOS:
+		r = fbits(float32(math.Cos(float64(f32(a)))))
+	case OpFFLOOR:
+		r = fbits(float32(math.Floor(float64(f32(a)))))
+	case OpICMPEQ:
+		r = b2u(uint32(a) == uint32(b))
+	case OpICMPNE:
+		r = b2u(uint32(a) != uint32(b))
+	case OpICMPLT:
+		r = b2u(int32(a) < int32(b))
+	case OpICMPLE:
+		r = b2u(int32(a) <= int32(b))
+	case OpUCMPLT:
+		r = b2u(uint32(a) < uint32(b))
+	case OpFCMPEQ:
+		r = b2u(f32(a) == f32(b))
+	case OpFCMPLT:
+		r = b2u(f32(a) < f32(b))
+	case OpFCMPLE:
+		r = b2u(f32(a) <= f32(b))
+	case OpSEL:
+		pred := e.read(w, lane, in.Dst, in)
+		if pred != 0 {
+			r = a
+		} else {
+			r = b
+		}
+	default:
+		return fmt.Errorf("gpu: unimplemented opcode %v", in.Op)
+	}
+	e.write(w, lane, in.Dst, r)
+	if e.trace != nil {
+		e.trace.inst(lane, w.gid[lane], in, r, true)
+	}
+	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,227 @@
+package gpu
+
+import "math"
+
+// JIT-compiled shader execution — the paper's stated future work
+// ("JIT-compiled execution of GPU code", §VII-A), in the spirit of the
+// authors' partial-evaluation work on DBT simulators [20]: at decode time
+// each ALU instruction is specialised into a closure with its operand
+// accessors pre-resolved, so the hot execution loop pays neither the
+// opcode switch nor the operand-kind decoding. Memory, control-flow and
+// special-cased instructions fall back to the interpreter path (they are
+// dominated by translation and bus work anyway).
+//
+// Enabled per device with Config.JITClauses; validated by the same
+// differential suites as the interpreter.
+
+// jitOp executes one pre-specialised instruction for one lane.
+type jitOp func(e *execContext, w *warp, lane int) error
+
+// jitProgram mirrors Program.Clauses with a closure (or nil) per slot.
+type jitProgram struct {
+	clauses [][]jitOp
+}
+
+// readFn fetches one source operand for a lane, bumping the data-access
+// counters exactly as the interpreter does.
+type readFn func(e *execContext, w *warp, lane int) uint64
+
+func compileReader(o uint8, imm uint32, prog *Program) readFn {
+	kind, idx := OperKind(o)
+	switch kind {
+	case OperGRF:
+		i := int(idx)
+		return func(e *execContext, w *warp, lane int) uint64 {
+			e.gs.GRFRead++
+			return w.regs[lane][i]
+		}
+	case OperTemp:
+		i := int(idx)
+		return func(e *execContext, w *warp, lane int) uint64 {
+			e.gs.TempAcc++
+			return w.temps[lane][i]
+		}
+	case OperUniform:
+		i := int(idx)
+		return func(e *execContext, w *warp, lane int) uint64 {
+			e.gs.ConstRead++
+			if i < len(e.uniforms) {
+				return e.uniforms[i]
+			}
+			return 0
+		}
+	default:
+		switch idx {
+		case SpecImm:
+			v := uint64(imm)
+			return func(e *execContext, w *warp, lane int) uint64 {
+				e.gs.ROMRead++
+				return v
+			}
+		case SpecROM:
+			// Resolve the ROM value at compile time: the table is
+			// immutable per program.
+			var v uint64
+			if int(imm) < len(prog.ROM) {
+				v = prog.ROM[imm]
+			}
+			return func(e *execContext, w *warp, lane int) uint64 {
+				e.gs.ROMRead++
+				return v
+			}
+		case SpecZero:
+			return func(*execContext, *warp, int) uint64 { return 0 }
+		case SpecGIDX, SpecGIDY, SpecGIDZ:
+			d := int(idx - SpecGIDX)
+			return func(e *execContext, w *warp, lane int) uint64 { return uint64(w.gid[lane][d]) }
+		case SpecLIDX, SpecLIDY, SpecLIDZ:
+			d := int(idx - SpecLIDX)
+			return func(e *execContext, w *warp, lane int) uint64 { return uint64(w.lid[lane][d]) }
+		case SpecWGIDX, SpecWGIDY, SpecWGIDZ:
+			d := int(idx - SpecWGIDX)
+			return func(e *execContext, w *warp, lane int) uint64 { return uint64(e.wgid[d]) }
+		case SpecGSZX, SpecGSZY, SpecGSZZ:
+			d := int(idx - SpecGSZX)
+			return func(e *execContext, w *warp, lane int) uint64 { return uint64(e.gsz[d]) }
+		case SpecLSZX, SpecLSZY, SpecLSZZ:
+			d := int(idx - SpecLSZX)
+			return func(e *execContext, w *warp, lane int) uint64 { return uint64(e.lsz[d]) }
+		}
+		return func(*execContext, *warp, int) uint64 { return 0 }
+	}
+}
+
+// writeFn stores a result operand for a lane.
+type writeFn func(e *execContext, w *warp, lane int, v uint64)
+
+func compileWriter(o uint8) writeFn {
+	kind, idx := OperKind(o)
+	switch kind {
+	case OperGRF:
+		i := int(idx)
+		return func(e *execContext, w *warp, lane int, v uint64) {
+			e.gs.GRFWrite++
+			w.regs[lane][i] = v
+		}
+	case OperTemp:
+		i := int(idx)
+		return func(e *execContext, w *warp, lane int, v uint64) {
+			e.gs.TempAcc++
+			w.temps[lane][i] = v
+		}
+	default:
+		return func(*execContext, *warp, int, uint64) {}
+	}
+}
+
+// binFns maps two-source ALU opcodes to their value functions.
+var binFns = map[Opcode]func(a, b uint64) uint64{
+	OpIADD:   func(a, b uint64) uint64 { return uint64(uint32(a) + uint32(b)) },
+	OpISUB:   func(a, b uint64) uint64 { return uint64(uint32(a) - uint32(b)) },
+	OpIMUL:   func(a, b uint64) uint64 { return uint64(uint32(a) * uint32(b)) },
+	OpSHL:    func(a, b uint64) uint64 { return uint64(uint32(a) << (uint32(b) & 31)) },
+	OpSHR:    func(a, b uint64) uint64 { return uint64(uint32(a) >> (uint32(b) & 31)) },
+	OpSAR:    func(a, b uint64) uint64 { return uint64(uint32(int32(a) >> (uint32(b) & 31))) },
+	OpAND:    func(a, b uint64) uint64 { return a & b },
+	OpOR:     func(a, b uint64) uint64 { return a | b },
+	OpXOR:    func(a, b uint64) uint64 { return a ^ b },
+	OpADD64:  func(a, b uint64) uint64 { return a + b },
+	OpMUL64:  func(a, b uint64) uint64 { return a * b },
+	OpFADD:   func(a, b uint64) uint64 { return fbits(f32(a) + f32(b)) },
+	OpFSUB:   func(a, b uint64) uint64 { return fbits(f32(a) - f32(b)) },
+	OpFMUL:   func(a, b uint64) uint64 { return fbits(f32(a) * f32(b)) },
+	OpFDIV:   func(a, b uint64) uint64 { return fbits(f32(a) / f32(b)) },
+	OpICMPEQ: func(a, b uint64) uint64 { return b2u(uint32(a) == uint32(b)) },
+	OpICMPNE: func(a, b uint64) uint64 { return b2u(uint32(a) != uint32(b)) },
+	OpICMPLT: func(a, b uint64) uint64 { return b2u(int32(a) < int32(b)) },
+	OpICMPLE: func(a, b uint64) uint64 { return b2u(int32(a) <= int32(b)) },
+	OpUCMPLT: func(a, b uint64) uint64 { return b2u(uint32(a) < uint32(b)) },
+	OpFCMPEQ: func(a, b uint64) uint64 { return b2u(f32(a) == f32(b)) },
+	OpFCMPLT: func(a, b uint64) uint64 { return b2u(f32(a) < f32(b)) },
+	OpFCMPLE: func(a, b uint64) uint64 { return b2u(f32(a) <= f32(b)) },
+	OpIDIV: func(a, b uint64) uint64 {
+		if int32(b) == 0 {
+			return 0
+		}
+		if int32(a) == math.MinInt32 && int32(b) == -1 {
+			return uint64(uint32(a))
+		}
+		return uint64(uint32(int32(a) / int32(b)))
+	},
+	OpIMOD: func(a, b uint64) uint64 {
+		if int32(b) == 0 || (int32(a) == math.MinInt32 && int32(b) == -1) {
+			return 0
+		}
+		return uint64(uint32(int32(a) % int32(b)))
+	},
+	OpIMIN: func(a, b uint64) uint64 {
+		if int32(a) < int32(b) {
+			return uint64(uint32(a))
+		}
+		return uint64(uint32(b))
+	},
+	OpIMAX: func(a, b uint64) uint64 {
+		if int32(a) > int32(b) {
+			return uint64(uint32(a))
+		}
+		return uint64(uint32(b))
+	},
+	OpFMIN: func(a, b uint64) uint64 {
+		return fbits(float32(math.Min(float64(f32(a)), float64(f32(b)))))
+	},
+	OpFMAX: func(a, b uint64) uint64 {
+		return fbits(float32(math.Max(float64(f32(a)), float64(f32(b)))))
+	},
+}
+
+// unFns maps one-source ALU opcodes to their value functions.
+var unFns = map[Opcode]func(a uint64) uint64{
+	OpMOV:    func(a uint64) uint64 { return a },
+	OpI2F:    func(a uint64) uint64 { return fbits(float32(int32(a))) },
+	OpF2I:    func(a uint64) uint64 { return uint64(uint32(int32(f32(a)))) },
+	OpFABS:   func(a uint64) uint64 { return fbits(float32(math.Abs(float64(f32(a))))) },
+	OpFNEG:   func(a uint64) uint64 { return fbits(-f32(a)) },
+	OpFSQRT:  func(a uint64) uint64 { return fbits(float32(math.Sqrt(float64(f32(a))))) },
+	OpFEXP:   func(a uint64) uint64 { return fbits(float32(math.Exp(float64(f32(a))))) },
+	OpFLOG:   func(a uint64) uint64 { return fbits(float32(math.Log(float64(f32(a))))) },
+	OpFSIN:   func(a uint64) uint64 { return fbits(float32(math.Sin(float64(f32(a))))) },
+	OpFCOS:   func(a uint64) uint64 { return fbits(float32(math.Cos(float64(f32(a))))) },
+	OpFFLOOR: func(a uint64) uint64 { return fbits(float32(math.Floor(float64(f32(a))))) },
+}
+
+// jitCompile specialises all JIT-able instructions of a program. Slots
+// holding memory, control-flow, FMA/SEL (accumulator forms) or NOPs stay
+// nil and take the interpreter path.
+func jitCompile(p *Program) *jitProgram {
+	jp := &jitProgram{clauses: make([][]jitOp, len(p.Clauses))}
+	for ci := range p.Clauses {
+		c := &p.Clauses[ci]
+		ops := make([]jitOp, len(c.Instrs))
+		for ii := range c.Instrs {
+			in := &c.Instrs[ii]
+			if bf, ok := binFns[in.Op]; ok {
+				ra := compileReader(in.A, in.Imm, p)
+				rb := compileReader(in.B, in.Imm, p)
+				wr := compileWriter(in.Dst)
+				f := bf
+				ops[ii] = func(e *execContext, w *warp, lane int) error {
+					wr(e, w, lane, f(ra(e, w, lane), rb(e, w, lane)))
+					return nil
+				}
+				continue
+			}
+			if uf, ok := unFns[in.Op]; ok {
+				ra := compileReader(in.A, in.Imm, p)
+				wr := compileWriter(in.Dst)
+				f := uf
+				ops[ii] = func(e *execContext, w *warp, lane int) error {
+					wr(e, w, lane, f(ra(e, w, lane)))
+					return nil
+				}
+				continue
+			}
+		}
+		jp.clauses[ci] = ops
+	}
+	return jp
+}

@@ -1,0 +1,138 @@
+package gpu_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobilesim/internal/gpu"
+)
+
+// jitConfig enables the closure-JIT execution mode.
+func jitConfig() gpu.Config {
+	cfg := gpu.DefaultConfig()
+	cfg.JITClauses = true
+	return cfg
+}
+
+func TestJITVectorAddMatchesInterpreter(t *testing.T) {
+	run := func(cfg gpu.Config) ([]int32, uint64) {
+		r := newRig(t, cfg)
+		const n = 512
+		a, b, out := r.allocBuf(4*n), r.allocBuf(4*n), r.allocBuf(4*n)
+		av, bv := make([]int32, n), make([]int32, n)
+		rnd := rand.New(rand.NewSource(5))
+		for i := range av {
+			av[i], bv[i] = rnd.Int31(), rnd.Int31()
+		}
+		r.writeInts(a, av)
+		r.writeInts(b, bv)
+		progVA, progSize := r.loadProgram(vecAddProgram())
+		raw := r.submit(&gpu.JobDescriptor{
+			JobType:    gpu.JobTypeCompute,
+			GlobalSize: [3]uint32{n, 1, 1},
+			LocalSize:  [3]uint32{64, 1, 1},
+			ShaderVA:   progVA,
+			ShaderSize: progSize,
+		}, []uint64{a, b, out})
+		if raw&gpu.IRQJobDone == 0 {
+			t.Fatalf("rawstat=%#x", raw)
+		}
+		gs, _ := r.dev.Stats()
+		return r.readInts(out, n), gs.TotalInstr()
+	}
+	interpOut, interpInstr := run(gpu.DefaultConfig())
+	jitOut, jitInstr := run(jitConfig())
+	for i := range interpOut {
+		if interpOut[i] != jitOut[i] {
+			t.Fatalf("JIT diverges at %d: %d vs %d", i, jitOut[i], interpOut[i])
+		}
+	}
+	// Same architectural work: the JIT changes host cost, not semantics
+	// or instrumentation.
+	if interpInstr != jitInstr {
+		t.Errorf("instruction counts differ: interp %d vs jit %d", interpInstr, jitInstr)
+	}
+}
+
+func TestJITDivergenceAndLoops(t *testing.T) {
+	// Run the divergence and loop programs under JIT and check results.
+	r := newRig(t, jitConfig())
+	const n = 64
+	out := r.allocBuf(4 * n)
+	progVA, progSize := r.loadProgram(divergeProgram())
+	raw := r.submit(&gpu.JobDescriptor{
+		JobType:    gpu.JobTypeCompute,
+		GlobalSize: [3]uint32{n, 1, 1},
+		LocalSize:  [3]uint32{16, 1, 1},
+		ShaderVA:   progVA,
+		ShaderSize: progSize,
+	}, []uint64{out})
+	if raw&gpu.IRQJobDone == 0 {
+		t.Fatalf("rawstat=%#x", raw)
+	}
+	got := r.readInts(out, n)
+	for i := range got {
+		want := int32(1)
+		if i%2 == 1 {
+			want = 2
+		}
+		if got[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+
+	out2 := r.allocBuf(4 * 32)
+	loopVA, loopSize := r.loadProgram(loopProgram())
+	raw = r.submit(&gpu.JobDescriptor{
+		JobType:    gpu.JobTypeCompute,
+		GlobalSize: [3]uint32{32, 1, 1},
+		LocalSize:  [3]uint32{8, 1, 1},
+		ShaderVA:   loopVA,
+		ShaderSize: loopSize,
+	}, []uint64{out2})
+	if raw&gpu.IRQJobDone == 0 {
+		t.Fatalf("loop rawstat=%#x", raw)
+	}
+	got = r.readInts(out2, 32)
+	for i := range got {
+		if want := int32(i * (i + 1) / 2); got[i] != want {
+			t.Fatalf("loop out[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+// TestJITFuzzALU re-runs the ALU fuzzing campaign through the JIT path.
+func TestJITFuzzALU(t *testing.T) {
+	r := newRig(t, jitConfig())
+	aBuf, bBuf, outBuf := r.allocBuf(8), r.allocBuf(8), r.allocBuf(8)
+	rnd := rand.New(rand.NewSource(99))
+	for op, ref := range aluRefs {
+		progVA, progSize := r.loadProgram(aluProgram(op))
+		for i := 0; i < 20; i++ {
+			a, b := rnd.Uint32(), rnd.Uint32()
+			if err := r.bus.Write(aBuf, 4, uint64(a)); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.bus.Write(bBuf, 4, uint64(b)); err != nil {
+				t.Fatal(err)
+			}
+			raw := r.submit(&gpu.JobDescriptor{
+				JobType:    gpu.JobTypeCompute,
+				GlobalSize: [3]uint32{1, 1, 1},
+				LocalSize:  [3]uint32{1, 1, 1},
+				ShaderVA:   progVA,
+				ShaderSize: progSize,
+			}, []uint64{aBuf, bBuf, outBuf})
+			if raw&gpu.IRQJobDone == 0 {
+				t.Fatalf("%v: rawstat=%#x", op, raw)
+			}
+			got, err := r.bus.Read(outBuf, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ref(a, b); got != want && !bothNaN32(uint32(got), uint32(want)) {
+				t.Errorf("jit %v(%#x,%#x) = %#x, want %#x", op, a, b, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package gpu
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// traceSink serialises instruction-trace records from concurrent workers.
+// The paper validates its GPU against Arm's reference simulator using "an
+// instruction tracing mode, where individual instructions and their
+// effects are observable" (§V-A2); this is that mode. Enable it only for
+// small kernels — it writes one line per executed instruction per lane.
+type traceSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// SetTrace enables (non-nil) or disables (nil) instruction tracing.
+// Not safe to flip while a job is running.
+func (d *Device) SetTrace(w io.Writer) {
+	if w == nil {
+		d.trace = nil
+		return
+	}
+	d.trace = &traceSink{w: w}
+}
+
+func (t *traceSink) clauseEntry(wgid [3]uint32, warpLane0 uint32, clauseIdx int, addr uint64, active int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "wg=(%d,%d,%d) warp@%d clause=%d addr=%#x active=%d\n",
+		wgid[0], wgid[1], wgid[2], warpLane0, clauseIdx, addr, active)
+}
+
+func (t *traceSink) inst(lane int, gid [3]uint32, in *Instr, result uint64, hasResult bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if hasResult {
+		fmt.Fprintf(t.w, "  t(%d,%d,%d)/%d  %-40s => %#x\n",
+			gid[0], gid[1], gid[2], lane, in.String(), result)
+		return
+	}
+	fmt.Fprintf(t.w, "  t(%d,%d,%d)/%d  %s\n", gid[0], gid[1], gid[2], lane, in.String())
+}

@@ -1,0 +1,238 @@
+// Package mem provides the simulated physical memory system: RAM regions,
+// a system bus with memory-mapped I/O dispatch, and a physical page
+// allocator. It is the lowest layer of the platform; both the CPU and GPU
+// simulators issue all of their physical accesses through this package.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the physical and virtual page size used throughout the
+// simulated platform (CPU MMU, GPU MMU, allocators).
+const PageSize = 4096
+
+// PageMask masks the offset-within-page bits of an address.
+const PageMask = PageSize - 1
+
+// AccessKind distinguishes the intent of a memory access. The MMU uses it
+// for permission checks and instrumentation uses it for classification.
+type AccessKind int
+
+const (
+	// Read is a data load.
+	Read AccessKind = iota
+	// Write is a data store.
+	Write
+	// Execute is an instruction fetch.
+	Execute
+)
+
+// String returns a short human-readable name for the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Execute:
+		return "execute"
+	}
+	return fmt.Sprintf("AccessKind(%d)", int(k))
+}
+
+// BusError reports a physical access that hit no mapped region or was
+// malformed (unaligned MMIO, bad size).
+type BusError struct {
+	Addr uint64
+	Size int
+	Kind AccessKind
+	Why  string
+}
+
+func (e *BusError) Error() string {
+	return fmt.Sprintf("mem: bus error: %s of %d bytes at %#x: %s", e.Kind, e.Size, e.Addr, e.Why)
+}
+
+// Device is a memory-mapped peripheral. Register accesses arrive with the
+// offset relative to the device's base address. Devices must tolerate
+// concurrent calls: the GPU's Job Manager runs in its own goroutine.
+type Device interface {
+	// ReadReg reads size bytes (1, 2, 4 or 8) at the given offset.
+	ReadReg(offset uint64, size int) (uint64, error)
+	// WriteReg writes size bytes (1, 2, 4 or 8) at the given offset.
+	WriteReg(offset uint64, size int, val uint64) error
+}
+
+// RAM is a contiguous block of simulated physical memory.
+type RAM struct {
+	base uint64
+	data []byte
+}
+
+// NewRAM allocates a RAM region of the given size at the given physical base.
+func NewRAM(base, size uint64) *RAM {
+	return &RAM{base: base, data: make([]byte, size)}
+}
+
+// Base returns the first physical address of the region.
+func (r *RAM) Base() uint64 { return r.base }
+
+// Size returns the region size in bytes.
+func (r *RAM) Size() uint64 { return uint64(len(r.data)) }
+
+// Contains reports whether a [addr, addr+size) access falls inside the region.
+func (r *RAM) Contains(addr uint64, size int) bool {
+	return addr >= r.base && addr+uint64(size) <= r.base+uint64(len(r.data))
+}
+
+// Bytes exposes the backing store for a physical range. It is the fast path
+// used by the CPU interpreter and GPU execution engines once an address has
+// been bounds-checked; mutating the returned slice mutates simulated memory.
+func (r *RAM) Bytes(addr uint64, size int) []byte {
+	off := addr - r.base
+	return r.data[off : off+uint64(size)]
+}
+
+// Read loads size bytes little-endian.
+func (r *RAM) Read(addr uint64, size int) (uint64, error) {
+	if !r.Contains(addr, size) {
+		return 0, &BusError{Addr: addr, Size: size, Kind: Read, Why: "outside RAM"}
+	}
+	return loadLE(r.Bytes(addr, size)), nil
+}
+
+// Write stores size bytes little-endian.
+func (r *RAM) Write(addr uint64, size int, val uint64) error {
+	if !r.Contains(addr, size) {
+		return &BusError{Addr: addr, Size: size, Kind: Write, Why: "outside RAM"}
+	}
+	storeLE(r.Bytes(addr, size), size, val)
+	return nil
+}
+
+func loadLE(b []byte) uint64 {
+	switch len(b) {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	}
+	panic(fmt.Sprintf("mem: bad access size %d", len(b)))
+}
+
+func storeLE(b []byte, size int, val uint64) {
+	switch size {
+	case 1:
+		b[0] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(b, val)
+	default:
+		panic(fmt.Sprintf("mem: bad access size %d", size))
+	}
+}
+
+type mmioRange struct {
+	base uint64
+	size uint64
+	dev  Device
+	name string
+}
+
+// Bus routes physical accesses to RAM or memory-mapped devices. RAM accesses
+// take a lock-free fast path; device ranges are scanned (platforms have a
+// handful of devices, so linear scan is fine and keeps registration simple).
+type Bus struct {
+	ram *RAM
+
+	mu    sync.RWMutex
+	mmios []mmioRange
+}
+
+// NewBus creates a bus fronting the given RAM region.
+func NewBus(ram *RAM) *Bus {
+	return &Bus{ram: ram}
+}
+
+// RAM returns the bus's RAM region (for fast-path access after translation).
+func (b *Bus) RAM() *RAM { return b.ram }
+
+// MapDevice registers a device at [base, base+size). Overlapping RAM or an
+// existing device range is a programming error and returns an error.
+func (b *Bus) MapDevice(name string, base, size uint64, dev Device) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ram.Contains(base, 1) || b.ram.Contains(base+size-1, 1) {
+		return fmt.Errorf("mem: device %s at %#x overlaps RAM", name, base)
+	}
+	for _, m := range b.mmios {
+		if base < m.base+m.size && m.base < base+size {
+			return fmt.Errorf("mem: device %s at %#x overlaps device %s", name, base, m.name)
+		}
+	}
+	b.mmios = append(b.mmios, mmioRange{base: base, size: size, dev: dev, name: name})
+	return nil
+}
+
+func (b *Bus) findDevice(addr uint64) (mmioRange, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, m := range b.mmios {
+		if addr >= m.base && addr < m.base+m.size {
+			return m, true
+		}
+	}
+	return mmioRange{}, false
+}
+
+// Read performs a physical read of size bytes (1, 2, 4 or 8).
+func (b *Bus) Read(addr uint64, size int) (uint64, error) {
+	if b.ram.Contains(addr, size) {
+		return loadLE(b.ram.Bytes(addr, size)), nil
+	}
+	if m, ok := b.findDevice(addr); ok {
+		return m.dev.ReadReg(addr-m.base, size)
+	}
+	return 0, &BusError{Addr: addr, Size: size, Kind: Read, Why: "unmapped"}
+}
+
+// Write performs a physical write of size bytes (1, 2, 4 or 8).
+func (b *Bus) Write(addr uint64, size int, val uint64) error {
+	if b.ram.Contains(addr, size) {
+		storeLE(b.ram.Bytes(addr, size), size, val)
+		return nil
+	}
+	if m, ok := b.findDevice(addr); ok {
+		return m.dev.WriteReg(addr-m.base, size, val)
+	}
+	return &BusError{Addr: addr, Size: size, Kind: Write, Why: "unmapped"}
+}
+
+// ReadBytes copies a physical range out of RAM. Device ranges are not
+// byte-copyable; crossing out of RAM returns a BusError.
+func (b *Bus) ReadBytes(addr uint64, dst []byte) error {
+	if !b.ram.Contains(addr, len(dst)) {
+		return &BusError{Addr: addr, Size: len(dst), Kind: Read, Why: "bulk access outside RAM"}
+	}
+	copy(dst, b.ram.Bytes(addr, len(dst)))
+	return nil
+}
+
+// WriteBytes copies bytes into RAM.
+func (b *Bus) WriteBytes(addr uint64, src []byte) error {
+	if !b.ram.Contains(addr, len(src)) {
+		return &BusError{Addr: addr, Size: len(src), Kind: Write, Why: "bulk access outside RAM"}
+	}
+	copy(b.ram.Bytes(addr, len(src)), src)
+	return nil
+}

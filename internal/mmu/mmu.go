@@ -1,0 +1,215 @@
+// Package mmu implements the memory-management unit shared by the CPU and
+// GPU simulators: 3-level page tables over 4 KiB pages, a software TLB, a
+// hardware-style table walker, and helpers for building address spaces.
+//
+// The format is AArch64/LPAE-flavoured but simplified to one granule:
+//
+//	VA bits [38:30] index level-2 table (1 GiB per entry)
+//	VA bits [29:21] index level-1 table (2 MiB per entry)
+//	VA bits [20:12] index level-0 table (4 KiB pages)
+//
+// Each table is one 4 KiB page of 512 eight-byte entries. A PTE is:
+//
+//	bit 0        valid
+//	bit 1        leaf (level 0 entries are always leaves)
+//	bits 2..4    permissions: R, W, X
+//	bits 12..47  physical frame number << 12
+package mmu
+
+import (
+	"fmt"
+
+	"mobilesim/internal/mem"
+)
+
+// PTE bit layout.
+const (
+	pteValid = 1 << 0
+	pteLeaf  = 1 << 1
+
+	// PermR allows data loads through the mapping.
+	PermR = 1 << 2
+	// PermW allows data stores through the mapping.
+	PermW = 1 << 3
+	// PermX allows instruction fetch through the mapping.
+	PermX = 1 << 4
+
+	permMask = PermR | PermW | PermX
+
+	pteAddrMask = 0x0000_FFFF_FFFF_F000
+)
+
+const (
+	levels    = 3
+	indexBits = 9
+	indexMask = (1 << indexBits) - 1
+)
+
+// FaultType classifies a translation failure.
+type FaultType int
+
+const (
+	// FaultTranslation means no valid mapping exists for the address.
+	FaultTranslation FaultType = iota
+	// FaultPermission means a mapping exists but forbids the access kind.
+	FaultPermission
+	// FaultBus means the walk itself touched unmapped physical memory,
+	// i.e. the page-table pointer is garbage.
+	FaultBus
+)
+
+func (t FaultType) String() string {
+	switch t {
+	case FaultTranslation:
+		return "translation"
+	case FaultPermission:
+		return "permission"
+	case FaultBus:
+		return "bus"
+	}
+	return fmt.Sprintf("FaultType(%d)", int(t))
+}
+
+// Fault reports a failed translation. It is delivered to the CPU as a
+// synchronous exception and to the GPU driver through fault registers.
+type Fault struct {
+	Type FaultType
+	VA   uint64
+	Kind mem.AccessKind
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mmu: %s fault on %s at va=%#x", f.Type, f.Kind, f.VA)
+}
+
+// vaIndex extracts the table index for a walk level (2 = top).
+func vaIndex(va uint64, level int) uint64 {
+	shift := 12 + uint(level)*indexBits
+	return (va >> shift) & indexMask
+}
+
+const tlbSize = 256 // direct-mapped; power of two
+
+type tlbEntry struct {
+	vpn   uint64 // virtual page number + 1 (0 = invalid)
+	pfn   uint64 // physical page base
+	perms uint64
+}
+
+// Walker translates virtual addresses through page tables rooted at a
+// table base register. Each CPU core and each GPU address space owns its
+// own Walker (TLBs are per translation agent, as in hardware). A Walker is
+// not safe for concurrent use.
+type Walker struct {
+	bus  *mem.Bus
+	root uint64 // physical base of top-level table; 0 = translation off
+	tlb  [tlbSize]tlbEntry
+
+	// Touched tracks distinct virtual page numbers translated since the
+	// last ResetTouched. The GPU uses it for the "pages accessed" system
+	// statistic (Table III); nil disables tracking.
+	Touched map[uint64]struct{}
+
+	// Walks counts full table walks (TLB misses).
+	Walks uint64
+	// Hits counts TLB hits.
+	Hits uint64
+}
+
+// NewWalker creates a walker with translation disabled.
+func NewWalker(bus *mem.Bus) *Walker {
+	return &Walker{bus: bus}
+}
+
+// SetRoot points the walker at a new top-level table and flushes the TLB.
+// A zero root disables translation (identity mapping, all permissions).
+func (w *Walker) SetRoot(root uint64) {
+	w.root = root
+	w.FlushTLB()
+}
+
+// Root returns the current top-level table base.
+func (w *Walker) Root() uint64 { return w.root }
+
+// Enabled reports whether translation is active.
+func (w *Walker) Enabled() bool { return w.root != 0 }
+
+// FlushTLB invalidates all cached translations.
+func (w *Walker) FlushTLB() {
+	w.tlb = [tlbSize]tlbEntry{}
+}
+
+// ResetTouched clears and enables touched-page tracking.
+func (w *Walker) ResetTouched() {
+	w.Touched = make(map[uint64]struct{})
+}
+
+// Translate maps a virtual address to a physical address, checking
+// permissions for the access kind. With translation disabled it returns
+// the address unchanged.
+func (w *Walker) Translate(va uint64, kind mem.AccessKind) (uint64, *Fault) {
+	if w.root == 0 {
+		return va, nil
+	}
+	vpn := va >> 12
+	if w.Touched != nil {
+		w.Touched[vpn] = struct{}{}
+	}
+	e := &w.tlb[vpn&(tlbSize-1)]
+	if e.vpn == vpn+1 {
+		w.Hits++
+		if !permOK(e.perms, kind) {
+			return 0, &Fault{Type: FaultPermission, VA: va, Kind: kind}
+		}
+		return e.pfn | (va & mem.PageMask), nil
+	}
+	w.Walks++
+	pfn, perms, fault := w.walk(va, kind)
+	if fault != nil {
+		return 0, fault
+	}
+	*e = tlbEntry{vpn: vpn + 1, pfn: pfn, perms: perms}
+	if !permOK(perms, kind) {
+		return 0, &Fault{Type: FaultPermission, VA: va, Kind: kind}
+	}
+	return pfn | (va & mem.PageMask), nil
+}
+
+func permOK(perms uint64, kind mem.AccessKind) bool {
+	switch kind {
+	case mem.Read:
+		return perms&PermR != 0
+	case mem.Write:
+		return perms&PermW != 0
+	case mem.Execute:
+		return perms&PermX != 0
+	}
+	return false
+}
+
+// walk performs the 3-level table walk, returning the page frame base and
+// its permissions.
+func (w *Walker) walk(va uint64, kind mem.AccessKind) (pfn, perms uint64, fault *Fault) {
+	table := w.root
+	for level := levels - 1; level >= 0; level-- {
+		entryAddr := table + vaIndex(va, level)*8
+		pte, err := w.bus.Read(entryAddr, 8)
+		if err != nil {
+			return 0, 0, &Fault{Type: FaultBus, VA: va, Kind: kind}
+		}
+		if pte&pteValid == 0 {
+			return 0, 0, &Fault{Type: FaultTranslation, VA: va, Kind: kind}
+		}
+		if pte&pteLeaf != 0 || level == 0 {
+			if level != 0 {
+				// Block mappings at higher levels are not used by our
+				// builders; treat as translation fault to keep the model
+				// strict.
+				return 0, 0, &Fault{Type: FaultTranslation, VA: va, Kind: kind}
+			}
+			return pte & pteAddrMask, pte & permMask, nil
+		}
+		table = pte & pteAddrMask
+	}
+	return 0, 0, &Fault{Type: FaultTranslation, VA: va, Kind: kind}
+}

@@ -1,0 +1,232 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobilesim/internal/mem"
+)
+
+func newTestEnv(t *testing.T) (*mem.Bus, *mem.PageAllocator, *AddressSpace) {
+	t.Helper()
+	bus := mem.NewBus(mem.NewRAM(0, 16<<20))
+	alloc, err := mem.NewPageAllocator(1<<20, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := NewAddressSpace(bus, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bus, alloc, as
+}
+
+func TestIdentityWhenDisabled(t *testing.T) {
+	bus := mem.NewBus(mem.NewRAM(0, 1<<20))
+	w := NewWalker(bus)
+	pa, fault := w.Translate(0x1234, mem.Read)
+	if fault != nil || pa != 0x1234 {
+		t.Fatalf("disabled walker: pa=%#x fault=%v", pa, fault)
+	}
+}
+
+func TestMapTranslate(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va, pa = 0x4000_0000, 0x0020_0000
+	if err := as.Map(va, pa, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+
+	got, fault := w.Translate(va+0x123, mem.Read)
+	if fault != nil {
+		t.Fatalf("translate: %v", fault)
+	}
+	if got != pa+0x123 {
+		t.Errorf("pa = %#x, want %#x", got, pa+0x123)
+	}
+}
+
+func TestPermissionFaults(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va, pa = 0x1000, 0x0020_0000
+	if err := as.Map(va, pa, PermR); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+
+	if _, fault := w.Translate(va, mem.Read); fault != nil {
+		t.Errorf("read should be allowed: %v", fault)
+	}
+	if _, fault := w.Translate(va, mem.Write); fault == nil || fault.Type != FaultPermission {
+		t.Errorf("write should permission-fault, got %v", fault)
+	}
+	if _, fault := w.Translate(va, mem.Execute); fault == nil || fault.Type != FaultPermission {
+		t.Errorf("exec should permission-fault, got %v", fault)
+	}
+}
+
+func TestTranslationFault(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+	_, fault := w.Translate(0xdead_0000, mem.Read)
+	if fault == nil || fault.Type != FaultTranslation {
+		t.Fatalf("expected translation fault, got %v", fault)
+	}
+	if fault.VA != 0xdead_0000 {
+		t.Errorf("fault VA = %#x", fault.VA)
+	}
+}
+
+func TestTLBCachesAndFlushes(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va, pa = 0x1000, 0x0020_0000
+	if err := as.Map(va, pa, PermR); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+
+	for i := 0; i < 10; i++ {
+		if _, fault := w.Translate(va, mem.Read); fault != nil {
+			t.Fatal(fault)
+		}
+	}
+	if w.Walks != 1 {
+		t.Errorf("walks = %d, want 1 (TLB should cache)", w.Walks)
+	}
+	if w.Hits != 9 {
+		t.Errorf("hits = %d, want 9", w.Hits)
+	}
+	w.FlushTLB()
+	if _, fault := w.Translate(va, mem.Read); fault != nil {
+		t.Fatal(fault)
+	}
+	if w.Walks != 2 {
+		t.Errorf("walks after flush = %d, want 2", w.Walks)
+	}
+}
+
+func TestTLBPermissionCheckedOnHit(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	if err := as.Map(0x1000, 0x0020_0000, PermR); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+	if _, fault := w.Translate(0x1000, mem.Read); fault != nil {
+		t.Fatal(fault)
+	}
+	// Now hit the TLB with a disallowed kind.
+	if _, fault := w.Translate(0x1000, mem.Write); fault == nil || fault.Type != FaultPermission {
+		t.Fatalf("TLB hit skipped permission check: %v", fault)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	if err := as.Map(0x1000, 0x0020_0000, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	if as.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d", as.MappedPages())
+	}
+	if err := as.Unmap(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if as.MappedPages() != 0 {
+		t.Fatalf("MappedPages after unmap = %d", as.MappedPages())
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+	if _, fault := w.Translate(0x1000, mem.Read); fault == nil {
+		t.Error("unmapped VA should fault")
+	}
+	// Unmapping twice is fine.
+	if err := as.Unmap(0x1000); err != nil {
+		t.Errorf("double unmap: %v", err)
+	}
+}
+
+func TestMapRangeAndLookup(t *testing.T) {
+	_, _, as := newTestEnv(t)
+	if err := as.MapRange(0x10000, 0x0030_0000, 4*mem.PageSize, PermR|PermW|PermX); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		pa, perms, ok := as.Lookup(0x10000 + i*mem.PageSize + 4)
+		if !ok {
+			t.Fatalf("page %d not mapped", i)
+		}
+		if pa != 0x0030_0000+i*mem.PageSize+4 {
+			t.Errorf("page %d: pa=%#x", i, pa)
+		}
+		if perms != PermR|PermW|PermX {
+			t.Errorf("page %d: perms=%#x", i, perms)
+		}
+	}
+	if _, _, ok := as.Lookup(0x10000 + 4*mem.PageSize); ok {
+		t.Error("page past range should not be mapped")
+	}
+}
+
+func TestTouchedPages(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	if err := as.MapRange(0, 0x0030_0000, 8*mem.PageSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+	w.ResetTouched()
+	for i := 0; i < 3; i++ {
+		for p := uint64(0); p < 5; p++ {
+			if _, fault := w.Translate(p*mem.PageSize, mem.Read); fault != nil {
+				t.Fatal(fault)
+			}
+		}
+	}
+	if len(w.Touched) != 5 {
+		t.Errorf("touched pages = %d, want 5 (distinct)", len(w.Touched))
+	}
+}
+
+func TestUnalignedAndBadPermsRejected(t *testing.T) {
+	_, _, as := newTestEnv(t)
+	if err := as.Map(0x1001, 0x2000, PermR); err == nil {
+		t.Error("unaligned VA accepted")
+	}
+	if err := as.Map(0x1000, 0x2001, PermR); err == nil {
+		t.Error("unaligned PA accepted")
+	}
+	if err := as.Map(0x1000, 0x2000, 0); err == nil {
+		t.Error("empty perms accepted")
+	}
+}
+
+// Property: for any set of page mappings, translation of any offset within
+// a mapped page returns the mapped frame plus that offset.
+func TestTranslateOffsetsProperty(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	// Map 64 pages across a sparse VA range.
+	for i := uint64(0); i < 64; i++ {
+		va := i * 0x40_0000 // spread across level-1 entries
+		pa := 0x0040_0000 + i*mem.PageSize
+		if err := as.Map(va, pa, PermR|PermW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+	f := func(page uint8, off uint16) bool {
+		i := uint64(page) % 64
+		o := uint64(off) % mem.PageSize
+		pa, fault := w.Translate(i*0x40_0000+o, mem.Read)
+		return fault == nil && pa == 0x0040_0000+i*mem.PageSize+o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

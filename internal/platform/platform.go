@@ -1,0 +1,234 @@
+// Package platform assembles the full simulated system (Fig 5 of the
+// paper): VA64 CPU cores, the Bifrost-style GPU, the interrupt controller
+// and platform devices (UART, timer, block storage), all sharing one
+// physical memory. It stands in for the Arm Versatile Express / Juno
+// platforms the paper models, augmented with a Mali-G71.
+package platform
+
+import (
+	"fmt"
+	"io"
+
+	"mobilesim/internal/asm"
+	"mobilesim/internal/cpu"
+	"mobilesim/internal/dev"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/irq"
+	"mobilesim/internal/mem"
+)
+
+// Physical memory map.
+const (
+	RAMBase = 0x8000_0000
+
+	UARTBase  = 0x1000_0000
+	TimerBase = 0x1001_0000
+	BlockBase = 0x1002_0000
+	GPUBase   = 0x1003_0000
+
+	// FirmwareBase is where the guest helper routines (memcpy, register
+	// accessors, ISR stubs) are loaded.
+	FirmwareBase = RAMBase + 0x1000
+
+	// heapBase is the first allocatable page, above the firmware image.
+	heapBase = RAMBase + 0x10_0000
+)
+
+// Config selects the platform shape.
+type Config struct {
+	// RAMSize is main memory size in bytes (default 512 MiB).
+	RAMSize uint64
+	// Cores is the CPU core count (default 4).
+	Cores int
+	// GPU configures the simulated GPU.
+	GPU gpu.Config
+	// ConsoleOut receives UART output (nil discards).
+	ConsoleOut io.Writer
+	// DiskImage backs the block device (nil for a small empty disk).
+	DiskImage []byte
+}
+
+// Platform is the assembled system.
+type Platform struct {
+	Bus   *mem.Bus
+	RAM   *mem.RAM
+	Alloc *mem.PageAllocator
+	Intc  *irq.Controller
+	UART  *dev.UART
+	Timer *dev.Timer
+	Disk  *dev.Block
+	GPU   *gpu.Device
+	CPUs  []*cpu.Core
+
+	// Firmware holds the assembled guest helper routines.
+	Firmware *asm.Program
+}
+
+// New builds and starts a platform. Callers must Close it.
+func New(cfg Config) (*Platform, error) {
+	if cfg.RAMSize == 0 {
+		cfg.RAMSize = 512 << 20
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.GPU.ShaderCores == 0 {
+		cfg.GPU = gpu.DefaultConfig()
+	}
+
+	ram := mem.NewRAM(RAMBase, cfg.RAMSize)
+	bus := mem.NewBus(ram)
+	intc := irq.New()
+
+	p := &Platform{Bus: bus, RAM: ram, Intc: intc}
+
+	p.UART = dev.NewUART(cfg.ConsoleOut, intc, irq.LineUART)
+	if err := bus.MapDevice("uart", UARTBase, dev.UARTSize, p.UART); err != nil {
+		return nil, err
+	}
+	p.Timer = dev.NewTimer(intc, irq.LineTimer)
+	if err := bus.MapDevice("timer", TimerBase, dev.TimerSize, p.Timer); err != nil {
+		return nil, err
+	}
+	disk := cfg.DiskImage
+	if disk == nil {
+		disk = make([]byte, 64*dev.SectorSize)
+	}
+	p.Disk = dev.NewBlock(disk, bus, intc, irq.LineBlock)
+	if err := bus.MapDevice("block", BlockBase, dev.BlkSize, p.Disk); err != nil {
+		return nil, err
+	}
+	p.GPU = gpu.NewDevice(cfg.GPU, bus, intc, irq.LineGPU)
+	if err := bus.MapDevice("gpu", GPUBase, gpu.RegWindowSize, p.GPU); err != nil {
+		return nil, err
+	}
+	p.GPU.Start()
+
+	alloc, err := mem.NewPageAllocator(heapBase, cfg.RAMSize-(heapBase-RAMBase))
+	if err != nil {
+		return nil, err
+	}
+	p.Alloc = alloc
+
+	for i := 0; i < cfg.Cores; i++ {
+		p.CPUs = append(p.CPUs, cpu.NewCore(i, bus, intc))
+	}
+
+	fw, err := asm.Assemble(firmwareSource, FirmwareBase)
+	if err != nil {
+		return nil, fmt.Errorf("platform: firmware assembly failed: %w", err)
+	}
+	if err := bus.WriteBytes(FirmwareBase, fw.Code); err != nil {
+		return nil, err
+	}
+	p.Firmware = fw
+	return p, nil
+}
+
+// Close stops background machinery (the GPU's Job Manager).
+func (p *Platform) Close() {
+	p.GPU.Close()
+}
+
+// firmwareSource holds the guest-side helper routines the driver and
+// runtime execute on the simulated CPU. Keeping this work in guest code is
+// what makes the CPU-side cost of the software stack real and measurable
+// (Fig 9): buffer copies and descriptor writes scale with input size and
+// run through the CPU simulator's execution engine.
+const firmwareSource = `
+// memcpy(x0=dst, x1=src, x2=len) -> x0=dst
+memcpy:
+    mov   x4, x0
+    cmpi  x2, #8
+    b.lo  mc_tail
+mc_loop8:
+    ldrx  x3, [x1]
+    strx  x3, [x0]
+    addi  x0, x0, #8
+    addi  x1, x1, #8
+    subi  x2, x2, #8
+    cmpi  x2, #8
+    b.hs  mc_loop8
+mc_tail:
+    cmpi  x2, #0
+    b.eq  mc_done
+mc_tloop:
+    ldrb  x3, [x1]
+    strb  x3, [x0]
+    addi  x0, x0, #1
+    addi  x1, x1, #1
+    subi  x2, x2, #1
+    cmpi  x2, #0
+    b.ne  mc_tloop
+mc_done:
+    mov   x0, x4
+    ret
+
+// memset(x0=dst, x1=byte, x2=len) -> x0=dst
+memset:
+    mov   x4, x0
+    cmpi  x2, #0
+    b.eq  ms_done
+ms_loop:
+    strb  x1, [x0]
+    addi  x0, x0, #1
+    subi  x2, x2, #1
+    cmpi  x2, #0
+    b.ne  ms_loop
+ms_done:
+    mov   x0, x4
+    ret
+
+// store64(x0=addr, x1=val)
+store64:
+    strx  x1, [x0]
+    ret
+
+// store32(x0=addr, x1=val)
+store32:
+    strw  x1, [x0]
+    ret
+
+// load32(x0=addr) -> x0
+load32:
+    ldrw  x0, [x0]
+    ret
+
+// load64(x0=addr) -> x0
+load64:
+    ldrx  x0, [x0]
+    ret
+
+// gpu_submit(x0=JS0_HEAD reg addr, x1=chain head VA)
+// Writes the chain head and rings the job slot doorbell.
+gpu_submit:
+    strx  x1, [x0]
+    movz  x2, #1
+    strw  x2, [x0, #8]
+    ret
+
+// gpu_isr(x0=GPU reg base) -> x0 = rawstat
+// Reads and acknowledges the GPU interrupt, as the kernel driver's
+// interrupt handler does.
+gpu_isr:
+    ldrw  x1, [x0, #4]
+    strw  x1, [x0, #8]
+    mov   x0, x1
+    ret
+
+// gpu_init(x0=GPU reg base, x1=AS0 translation table root)
+// Soft-resets the GPU, programs the address space and unmasks interrupts.
+gpu_init:
+    movz  x2, #1
+    strw  x2, [x0, #0x20]       // GPU_CMD: soft reset
+    strx  x1, [x0, #0x200]      // AS0_TRANSTAB
+    strw  x2, [x0, #0x208]      // AS0_COMMAND: apply
+    movz  x2, #7
+    strw  x2, [x0, #0xC]        // IRQ_MASK: done|fault|mmu
+    ret
+
+// gpu_status(x0=GPU reg base) -> x0 = JS0_STATUS
+gpu_status:
+    ldrw  x0, [x0, #0x110]
+    ret
+`

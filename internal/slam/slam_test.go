@@ -1,0 +1,96 @@
+package slam_test
+
+import (
+	"testing"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/costmodel"
+	"mobilesim/internal/platform"
+	"mobilesim/internal/slam"
+	"mobilesim/internal/stats"
+)
+
+func runConfig(t *testing.T, cfg slam.Config) (*slam.Metrics, stats.GPUStats, stats.SystemStats) {
+	t.Helper()
+	p, err := platform.New(platform.Config{RAMSize: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, err := cl.NewContext(p, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := slam.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, sys := p.GPU.Stats()
+	return m, gs, sys
+}
+
+func TestPipelineRunsAllConfigs(t *testing.T) {
+	for _, cfg := range []slam.Config{slam.Standard(1), slam.Fast3(1), slam.Express(1)} {
+		cfg := cfg
+		cfg.Frames = 3
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			m, gs, sys := runConfig(t, cfg)
+			if m.KernelsRun < 10 {
+				t.Errorf("only %d kernels ran", m.KernelsRun)
+			}
+			if uint64(m.KernelsRun) != sys.ComputeJobs {
+				t.Errorf("kernels %d != jobs %d", m.KernelsRun, sys.ComputeJobs)
+			}
+			if gs.LocalLS == 0 {
+				t.Error("pipeline should exercise local memory (reduce kernel)")
+			}
+			if m.FinalResidual < 0 {
+				t.Errorf("negative residual %g", m.FinalResidual)
+			}
+			t.Logf("%s: kernels=%d instr=%d residual=%g", cfg.Name, m.KernelsRun, gs.TotalInstr(), m.FinalResidual)
+		})
+	}
+}
+
+// TestConfigRatiosMatchPaperShape checks Fig 14's shape: fast3 and express
+// run small fractions of standard's instruction counts, the local-LS
+// fraction shrinks far less than the total (it is concentrated in the
+// tracking reduction, which the presets scale less aggressively), and the
+// estimated frame rate improves standard -> fast3 -> express.
+func TestConfigRatiosMatchPaperShape(t *testing.T) {
+	_, std, _ := runConfig(t, slam.Standard(1))
+	_, fast, _ := runConfig(t, slam.Fast3(1))
+	_, expr, _ := runConfig(t, slam.Express(1))
+
+	ratio := func(a, b uint64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	fastInstr := ratio(fast.TotalInstr(), std.TotalInstr())
+	exprInstr := ratio(expr.TotalInstr(), std.TotalInstr())
+	if fastInstr >= 0.35 {
+		t.Errorf("fast3 instruction ratio = %.3f, want well below standard", fastInstr)
+	}
+	if exprInstr >= fastInstr {
+		t.Errorf("express (%.3f) should be cheaper than fast3 (%.3f)", exprInstr, fastInstr)
+	}
+	// Local-LS ratio exceeds the overall instruction ratio (Fig 14's
+	// "increased local memory use relative to total instruction count").
+	fastLocal := ratio(fast.LocalLS, std.LocalLS)
+	if fastLocal <= fastInstr {
+		t.Errorf("fast3 local ratio %.3f should exceed instruction ratio %.3f", fastLocal, fastInstr)
+	}
+
+	mali := costmodel.MaliG71()
+	fpsStd := 1 / mali.Estimate(&std)
+	fpsFast := 1 / mali.Estimate(&fast)
+	fpsExpr := 1 / mali.Estimate(&expr)
+	if !(fpsStd < fpsFast && fpsFast < fpsExpr) {
+		t.Errorf("estimated FPS should improve monotonically: %.3g %.3g %.3g", fpsStd, fpsFast, fpsExpr)
+	}
+	t.Logf("instr ratios: fast3=%.3f express=%.3f; FPS rel: fast3=%.2f express=%.2f",
+		fastInstr, exprInstr, fpsFast/fpsStd, fpsExpr/fpsStd)
+}

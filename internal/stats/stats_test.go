@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeAccumulates(t *testing.T) {
+	a := GPUStats{ArithInstr: 10, LSInstr: 5, TempAcc: 3, Threads: 100, RegistersUsed: 8}
+	a.ClauseSizeHist[4] = 7
+	b := GPUStats{ArithInstr: 1, CFInstr: 2, Threads: 28, RegistersUsed: 12}
+	b.ClauseSizeHist[4] = 3
+	b.ClauseSizeHist[8] = 1
+	a.Merge(&b)
+	if a.ArithInstr != 11 || a.CFInstr != 2 || a.Threads != 128 {
+		t.Errorf("merge wrong: %+v", a)
+	}
+	if a.ClauseSizeHist[4] != 10 || a.ClauseSizeHist[8] != 1 {
+		t.Errorf("hist merge wrong: %v", a.ClauseSizeHist)
+	}
+	if a.RegistersUsed != 12 {
+		t.Errorf("registers should take max, got %d", a.RegistersUsed)
+	}
+}
+
+func TestMixFractionsSumToOne(t *testing.T) {
+	f := func(a, l, n, c uint16) bool {
+		s := GPUStats{ArithInstr: uint64(a), LSInstr: uint64(l),
+			NopInstr: uint64(n), CFInstr: uint64(c)}
+		if s.TotalInstr() == 0 {
+			fa, fl, fn, fc := s.MixFractions()
+			return fa == 0 && fl == 0 && fn == 0 && fc == 0
+		}
+		fa, fl, fn, fc := s.MixFractions()
+		sum := fa + fl + fn + fc
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataAccessFractionsSumToOne(t *testing.T) {
+	s := GPUStats{TempAcc: 10, GRFRead: 20, GRFWrite: 5, ConstRead: 3, ROMRead: 2, MainMemAcc: 60}
+	f := s.DataAccessFractions()
+	var sum float64
+	for _, v := range f {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %f", sum)
+	}
+	if f[5] != 0.6 {
+		t.Errorf("main memory share = %f, want 0.6", f[5])
+	}
+}
+
+func TestClauseSizeStats(t *testing.T) {
+	var s GPUStats
+	// 10 clauses of size 2, 10 of size 8.
+	s.ClauseSizeHist[2] = 10
+	s.ClauseSizeHist[8] = 10
+	if got := s.AvgClauseSize(); got != 5 {
+		t.Errorf("avg = %f", got)
+	}
+	min, q1, med, q3, max := s.ClauseSizeQuartiles()
+	if min != 2 || max != 8 {
+		t.Errorf("min/max = %f/%f", min, max)
+	}
+	if q1 != 2 || q3 != 8 {
+		t.Errorf("q1/q3 = %f/%f", q1, q3)
+	}
+	if med != 8 && med != 2 {
+		t.Errorf("median = %f", med)
+	}
+	// Empty stats are all-zero.
+	var empty GPUStats
+	if a, b, c, d, e := empty.ClauseSizeQuartiles(); a+b+c+d+e != 0 {
+		t.Error("empty quartiles not zero")
+	}
+}
+
+func TestCFGMergeAndRender(t *testing.T) {
+	g1 := NewCFG()
+	b := g1.Block(0x70)
+	b.ThreadsIn = 100
+	b.WarpsIn = 25
+	b.Diverged = 1
+	b.Out[0xa0] = 98
+	b.Out[0x330] = 2
+	b.Terminator = "brc"
+
+	g2 := NewCFG()
+	b2 := g2.Block(0x70)
+	b2.ThreadsIn = 50
+	b2.WarpsIn = 13
+	b2.Out[0xa0] = 50
+	e := g2.Block(0xa0)
+	e.ExitCount = 148
+
+	g1.Merge(g2)
+	blk := g1.Blocks[0x70]
+	if blk.ThreadsIn != 150 || blk.WarpsIn != 38 || blk.Out[0xa0] != 148 {
+		t.Errorf("merge wrong: %+v", blk)
+	}
+	if got := blk.DivergencePct(); got < 2.5 || got > 2.7 {
+		t.Errorf("divergence pct = %f", got)
+	}
+
+	out := g1.Render()
+	for _, want := range []string{"00000070", "dvg.", "-> 000000a0", "exit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSystemStatsMergeAndString(t *testing.T) {
+	a := SystemStats{PagesAccessed: 1, CtrlRegReads: 2, CtrlRegWrites: 3, IRQsAsserted: 4, ComputeJobs: 5, KernelLaunch: 6}
+	b := a
+	a.Merge(&b)
+	if a.ComputeJobs != 10 || a.KernelLaunch != 12 {
+		t.Errorf("merge wrong: %+v", a)
+	}
+	if !strings.Contains(a.String(), "jobs=10") {
+		t.Errorf("String() = %q", a.String())
+	}
+}

@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/clc"
+	"mobilesim/internal/platform"
+)
+
+// TestIntegerWorkloadsBitIdenticalAcrossVersions is the strongest form of
+// the paper's "100% architectural accuracy across all available
+// toolchains" claim this reproduction can make: for integer workloads the
+// outputs must be bit-identical no matter which compiler version built
+// the kernels, because every version must implement the same architecture.
+func TestIntegerWorkloadsBitIdenticalAcrossVersions(t *testing.T) {
+	for _, name := range []string{"BitonicSort", "FloydWarshall", "Reduction", "ScanLargeArrays"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref any
+			for i, ver := range clc.VersionNames() {
+				p, err := platform.New(platform.Config{RAMSize: 256 << 20})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx, err := cl.NewContext(p, ver)
+				if err != nil {
+					p.Close()
+					t.Fatal(err)
+				}
+				out, err := spec.Make(spec.SmallScale).Sim(ctx)
+				p.Close()
+				if err != nil {
+					t.Fatalf("version %s: %v", ver, err)
+				}
+				if i == 0 {
+					ref = out
+					continue
+				}
+				if !reflect.DeepEqual(ref, out) {
+					t.Fatalf("version %s output differs from %s", ver, clc.VersionNames()[0])
+				}
+			}
+		})
+	}
+}

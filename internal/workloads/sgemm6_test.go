@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"testing"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/costmodel"
+	"mobilesim/internal/platform"
+	"mobilesim/internal/stats"
+)
+
+func TestSgemmVariantsAllCorrect(t *testing.T) {
+	const m, n, k = 32, 32, 32
+	a, b := SgemmInputs(m, n, k)
+	want := SgemmNative(a, b, m, n, k)
+
+	for _, v := range SgemmVariants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := platform.New(platform.Config{RAMSize: 128 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			ctx, err := cl.NewContext(p, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunSgemmVariant(ctx, v, a, b, m, n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if !closeF32(got[i], want[i], 1e-3) {
+					t.Fatalf("c[%d] = %g, want %g", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSgemmVariantShapes checks the Fig 15 shape claims: variant 4 nearly
+// eliminates global traffic by shifting to local memory; variant 6 is the
+// most global-memory-hungry; variant 1 uses no local memory at all.
+func TestSgemmVariantShapes(t *testing.T) {
+	const m, n, k = 32, 32, 32
+	a, b := SgemmInputs(m, n, k)
+
+	type shot struct {
+		gs stats.GPUStats
+	}
+	shots := map[int]shot{}
+	for _, v := range SgemmVariants() {
+		p, err := platform.New(platform.Config{RAMSize: 128 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, err := cl.NewContext(p, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunSgemmVariant(ctx, v, a, b, m, n, k); err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		gs, _ := p.GPU.Stats()
+		shots[v.ID] = shot{gs: gs}
+		p.Close()
+	}
+
+	if shots[1].gs.LocalLS != 0 {
+		t.Errorf("naive variant should not touch local memory (got %d)", shots[1].gs.LocalLS)
+	}
+	if shots[2].gs.LocalLS == 0 || shots[4].gs.LocalLS == 0 {
+		t.Error("tiled variants must use local memory")
+	}
+	// Tiling slashes global traffic vs naive.
+	if shots[2].gs.GlobalLS*4 > shots[1].gs.GlobalLS {
+		t.Errorf("tiling should cut global traffic by >4x: naive=%d tiled=%d",
+			shots[1].gs.GlobalLS, shots[2].gs.GlobalLS)
+	}
+	// Variant 6 carries the most global traffic of the tiled/blocked group
+	// (paper: (6) greatly increases global accesses relative to (5)).
+	if shots[6].gs.GlobalLS <= shots[5].gs.GlobalLS {
+		t.Errorf("2D reg blocking should increase global traffic vs transposed tiling: %d vs %d",
+			shots[6].gs.GlobalLS, shots[5].gs.GlobalLS)
+	}
+	// Variant 6 has the largest register footprint.
+	for id := 1; id <= 5; id++ {
+		if shots[6].gs.RegistersUsed < shots[id].gs.RegistersUsed {
+			t.Errorf("variant 6 should have max registers (v6=%d, v%d=%d)",
+				shots[6].gs.RegistersUsed, id, shots[id].gs.RegistersUsed)
+		}
+	}
+
+	// Cost-model rankings (the Fig 15 headline): on Mali the local-heavy,
+	// global-light variant 4 wins and variant 6 loses; on the desktop
+	// model variant 1 is the clear loser and variant 6 competitive.
+	mali := costmodel.MaliG71()
+	desk := costmodel.K20m()
+	variants := SgemmVariants()
+	maliT := map[int]float64{}
+	deskT := map[int]float64{}
+	for _, v := range variants {
+		gs := shots[v.ID].gs
+		maliT[v.ID] = mali.Estimate(&gs)
+		deskT[v.ID] = desk.Estimate(&gs, v.Profile, 1)
+	}
+	for id := 1; id <= 6; id++ {
+		if id != 4 && maliT[4] >= maliT[id] {
+			t.Errorf("Mali model: variant 4 should be fastest (v4=%.0f v%d=%.0f)", maliT[4], id, maliT[id])
+		}
+		// The most desktop-optimised variant (6) must trigger the mobile
+		// bottleneck: slower than every other *optimised* variant.
+		if id >= 2 && id <= 5 && maliT[6] <= maliT[id] {
+			t.Errorf("Mali model: variant 6 should lose to variant %d (v6=%.0f v%d=%.0f)", id, maliT[6], id, maliT[id])
+		}
+		if id != 1 && deskT[1] <= deskT[id] {
+			t.Errorf("desktop model: variant 1 should be slowest (v1=%.0f v%d=%.0f)", deskT[1], id, deskT[id])
+		}
+		if id != 6 && deskT[6] >= deskT[id] {
+			t.Errorf("desktop model: variant 6 should be fastest (v6=%.0f v%d=%.0f)", deskT[6], id, deskT[id])
+		}
+	}
+	// No correlation between platforms: the winners differ.
+	bestDesk, bestMali := 1, 1
+	for id := 2; id <= 6; id++ {
+		if deskT[id] < deskT[bestDesk] {
+			bestDesk = id
+		}
+		if maliT[id] < maliT[bestMali] {
+			bestMali = id
+		}
+	}
+	if bestDesk == bestMali {
+		t.Errorf("winner coincides across platforms (v%d); expected divergent rankings", bestDesk)
+	}
+}

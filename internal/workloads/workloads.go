@@ -1,0 +1,258 @@
+// Package workloads implements the paper's benchmark suite (Table II):
+// the AMD APP SDK, Parboil and Rodinia kernels plus clBLAS SGEMM, each as
+// CLite OpenCL source executed through the full simulated stack, paired
+// with a host-native Go reference implementation that serves both as the
+// correctness oracle and as the "native execution" baseline for the
+// slowdown measurements (Fig 7).
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mobilesim/internal/cl"
+)
+
+// Instance is one prepared benchmark run: inputs generated, kernels ready.
+type Instance struct {
+	// Sim runs the full workload on the simulator (buffer traffic, kernel
+	// enqueues, result readback) and returns the output signature.
+	Sim func(ctx *cl.Context) (any, error)
+	// Native runs the same computation host-natively and returns the
+	// reference signature.
+	Native func() any
+	// Tol is the comparison tolerance for float outputs.
+	Tol float64
+}
+
+// Spec describes a benchmark and how to instantiate it at a given scale.
+// Scale is a linear size knob: SmallScale keeps unit tests fast,
+// DefaultScale drives benches, PaperScale approximates Table II.
+type Spec struct {
+	Name       string
+	Suite      string
+	PaperInput string
+	// Make builds an Instance; scale semantics are per workload but
+	// monotone (bigger scale, bigger input).
+	Make         func(scale int) *Instance
+	SmallScale   int
+	DefaultScale int
+	PaperScale   int
+}
+
+var registry []*Spec
+
+func register(s *Spec) { registry = append(registry, s) }
+
+// All returns the registered benchmarks sorted by name.
+func All() []*Spec {
+	out := append([]*Spec(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (*Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// Result is a completed run.
+type Result struct {
+	Name           string
+	SimDuration    time.Duration
+	NativeDuration time.Duration
+	Verified       bool
+	VerifyErr      error
+}
+
+// Run executes the instance on the given context, times the simulator and
+// native paths, and verifies outputs.
+func (inst *Instance) Run(ctx *cl.Context, name string) (*Result, error) {
+	t0 := time.Now()
+	simOut, err := inst.Sim(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("%s: sim: %w", name, err)
+	}
+	simDur := time.Since(t0)
+
+	t1 := time.Now()
+	natOut := inst.Native()
+	natDur := time.Since(t1)
+
+	res := &Result{Name: name, SimDuration: simDur, NativeDuration: natDur}
+	if err := compare(simOut, natOut, inst.Tol); err != nil {
+		res.VerifyErr = fmt.Errorf("%s: verify: %w", name, err)
+	} else {
+		res.Verified = true
+	}
+	return res, nil
+}
+
+// compare checks output signatures with tolerance for floats.
+func compare(sim, nat any, tol float64) error {
+	switch s := sim.(type) {
+	case []float32:
+		n, ok := nat.([]float32)
+		if !ok || len(n) != len(s) {
+			return fmt.Errorf("shape mismatch: sim %T/%d vs native %T", sim, len(s), nat)
+		}
+		for i := range s {
+			if !closeF32(s[i], n[i], tol) {
+				return fmt.Errorf("element %d: sim %g vs native %g", i, s[i], n[i])
+			}
+		}
+	case []int32:
+		n, ok := nat.([]int32)
+		if !ok || len(n) != len(s) {
+			return fmt.Errorf("shape mismatch: sim %T/%d vs native %T", sim, len(s), nat)
+		}
+		for i := range s {
+			if s[i] != n[i] {
+				return fmt.Errorf("element %d: sim %d vs native %d", i, s[i], n[i])
+			}
+		}
+	case []byte:
+		n, ok := nat.([]byte)
+		if !ok || len(n) != len(s) {
+			return fmt.Errorf("shape mismatch: sim %T/%d vs native %T", sim, len(s), nat)
+		}
+		for i := range s {
+			d := int(s[i]) - int(n[i])
+			if d < -1 || d > 1 { // byte quantisation slack
+				return fmt.Errorf("byte %d: sim %d vs native %d", i, s[i], n[i])
+			}
+		}
+	default:
+		return fmt.Errorf("unsupported signature type %T", sim)
+	}
+	return nil
+}
+
+func closeF32(a, b float32, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(float64(a)) && math.IsNaN(float64(b)) {
+		return true
+	}
+	d := math.Abs(float64(a) - float64(b))
+	m := math.Max(math.Abs(float64(a)), math.Abs(float64(b)))
+	if tol == 0 {
+		tol = 1e-4
+	}
+	return d <= tol || (m > 1 && d/m <= tol)
+}
+
+// rng returns a deterministic generator so sim and native paths see the
+// same inputs across runs.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func randF32s(r *rand.Rand, n int, lo, hi float32) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*r.Float32()
+	}
+	return out
+}
+
+func randI32s(r *rand.Rand, n int, max int32) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.Int31n(max)
+	}
+	return out
+}
+
+func randBytes(r *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	r.Read(out)
+	return out
+}
+
+// buffers is a small helper to cut allocation boilerplate in workloads.
+func newBufF32(ctx *cl.Context, vals []float32) (*cl.Buffer, error) {
+	b, err := ctx.CreateBuffer(4 * len(vals))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.WriteF32(b, vals); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func newBufI32(ctx *cl.Context, vals []int32) (*cl.Buffer, error) {
+	b, err := ctx.CreateBuffer(4 * len(vals))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.WriteI32(b, vals); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func newBufU8(ctx *cl.Context, vals []byte) (*cl.Buffer, error) {
+	b, err := ctx.CreateBuffer(len(vals))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.WriteBuffer(b, vals); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// kernel1 builds a program with one kernel and binds arguments in order:
+// *cl.Buffer, int32/int, float32.
+func kernel1(ctx *cl.Context, src, name string, args ...any) (*cl.Kernel, error) {
+	prog, err := ctx.BuildProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	k, err := prog.CreateKernel(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := bindArgs(k, args...); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+func bindArgs(k *cl.Kernel, args ...any) error {
+	for i, a := range args {
+		var err error
+		switch v := a.(type) {
+		case *cl.Buffer:
+			err = k.SetArgBuffer(i, v)
+		case int:
+			err = k.SetArgInt(i, int32(v))
+		case int32:
+			err = k.SetArgInt(i, v)
+		case uint32:
+			err = k.SetArgInt(i, int32(v))
+		case float32:
+			err = k.SetArgFloat(i, v)
+		case float64:
+			err = k.SetArgFloat(i, float32(v))
+		default:
+			err = fmt.Errorf("workloads: unsupported arg %d type %T", i, a)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// roundUp rounds n up to a multiple of m.
+func roundUp(n, m int) int { return (n + m - 1) / m * m }
