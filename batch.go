@@ -1,0 +1,161 @@
+package mobilesim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// BatchJob is one independent simulation in a Batch: a benchmark name, an
+// input scale, and optionally a per-job platform configuration.
+type BatchJob struct {
+	// Benchmark names a registered workload (see Benchmarks).
+	Benchmark string
+	// Scale is the input scale; <= 0 selects the benchmark's default.
+	Scale int
+	// Config overrides the batch-wide session configuration for this job
+	// when non-nil.
+	Config *Config
+}
+
+// JobResult is the outcome of one BatchJob.
+type JobResult struct {
+	// Index is the job's position in Batch.Jobs.
+	Index int
+	Job   BatchJob
+	// Result is the completed run; nil when Err is set.
+	Result *RunResult
+	// Err is the failure: a session/run error, a verification failure,
+	// or the context error for jobs cancelled before they started.
+	Err error
+}
+
+// BatchResult summarises a Batch run.
+type BatchResult struct {
+	// Jobs holds one entry per Batch.Jobs element, in order.
+	Jobs []JobResult
+	// Completed counts jobs that ran and verified; Failed counts jobs
+	// that errored or failed verification; Skipped counts jobs cancelled
+	// before starting.
+	Completed, Failed, Skipped int
+	// Aggregate merges the statistics of every job that produced a
+	// result — the many-guests-one-host view of the whole batch.
+	Aggregate Stats
+	// Wall is the elapsed time for the whole batch.
+	Wall time.Duration
+}
+
+// Batch runs N independent simulations across a bounded worker pool — the
+// first scaling layer: many concurrent guests in one host process. Each
+// job gets its own Session (own platform, GPU, driver), so jobs share
+// nothing and scale with host cores until memory bandwidth saturates.
+type Batch struct {
+	// Jobs are the simulations to run.
+	Jobs []BatchJob
+	// Workers bounds concurrent sessions; <= 0 means
+	// min(GOMAXPROCS, len(Jobs)).
+	Workers int
+	// Config is the session configuration for jobs without their own.
+	Config Config
+}
+
+// Run executes the batch, blocking until every job has finished or the
+// context is cancelled. Cancellation is honoured between jobs: running
+// simulations complete, queued jobs are marked Skipped with ctx.Err().
+// The error is ctx.Err() after cancellation and nil otherwise; per-job
+// failures are reported in the result, not as an error.
+func (b *Batch) Run(ctx context.Context) (*BatchResult, error) {
+	if len(b.Jobs) == 0 {
+		return &BatchResult{}, nil
+	}
+	// Validate every job's config up front: one bad job should fail
+	// fast, not waste a pool slot.
+	for i := range b.Jobs {
+		cfg := b.jobConfig(i)
+		if err := cfg.validate(); err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(b.Jobs) {
+		workers = len(b.Jobs)
+	}
+
+	t0 := time.Now()
+	res := &BatchResult{Jobs: make([]JobResult, len(b.Jobs))}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				res.Jobs[i] = b.runJob(ctx, i)
+			}
+		}()
+	}
+	for i := range b.Jobs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for i := range res.Jobs {
+		jr := &res.Jobs[i]
+		switch {
+		case jr.Result != nil:
+			res.Aggregate.merge(&jr.Result.Stats)
+			if jr.Err != nil {
+				res.Failed++
+			} else {
+				res.Completed++
+			}
+		case ctx.Err() != nil && jr.Err == ctx.Err():
+			res.Skipped++
+		default:
+			res.Failed++
+		}
+	}
+	res.Wall = time.Since(t0)
+	return res, ctx.Err()
+}
+
+// jobConfig resolves the effective config for job i.
+func (b *Batch) jobConfig(i int) Config {
+	if c := b.Jobs[i].Config; c != nil {
+		return *c
+	}
+	return b.Config
+}
+
+// runJob boots a fresh session, runs one benchmark and tears down.
+func (b *Batch) runJob(ctx context.Context, i int) JobResult {
+	job := b.Jobs[i]
+	jr := JobResult{Index: i, Job: job}
+	if err := ctx.Err(); err != nil {
+		jr.Err = err
+		return jr
+	}
+	sess, err := New(b.jobConfig(i))
+	if err != nil {
+		jr.Err = err
+		return jr
+	}
+	defer sess.Close()
+	run, err := sess.Run(job.Benchmark, job.Scale)
+	if err != nil {
+		jr.Err = err
+		return jr
+	}
+	jr.Result = run
+	if !run.Verified {
+		jr.Err = fmt.Errorf("%s: verification failed: %w", job.Benchmark, run.VerifyErr)
+	}
+	return jr
+}

@@ -12,8 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"mobilesim/internal/experiments"
+	"mobilesim"
 )
 
 func main() {
@@ -23,70 +24,22 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nexperiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table2 table3 table4 all")
+		fmt.Fprintf(os.Stderr, "\nexperiments: %s all\n",
+			strings.Join(mobilesim.Experiments(), " "))
 		os.Exit(2)
 	}
-	opt := experiments.Options{
-		Scale:           experiments.ScaleKind(*scale),
+	opt := mobilesim.ExperimentOptions{
+		Scale:           mobilesim.ExperimentScale(*scale),
 		HostThreads:     *threads,
 		CompilerVersion: *compiler,
-	}
-	w := os.Stdout
-
-	run := func(name string) error {
-		switch name {
-		case "fig1":
-			_, err := experiments.Fig1(w)
-			return err
-		case "fig6":
-			_, err := experiments.Fig6(w, opt)
-			return err
-		case "fig7":
-			_, err := experiments.Fig7(w, opt)
-			return err
-		case "fig8":
-			_, err := experiments.Fig8(w, opt)
-			return err
-		case "fig9":
-			_, err := experiments.Fig9(w, opt)
-			return err
-		case "fig10":
-			_, err := experiments.Fig10(w, opt)
-			return err
-		case "fig11":
-			_, err := experiments.Fig11(w, opt)
-			return err
-		case "fig12":
-			_, err := experiments.Fig12(w, opt)
-			return err
-		case "fig13":
-			_, err := experiments.Fig13(w, opt)
-			return err
-		case "fig14":
-			_, err := experiments.Fig14(w, opt)
-			return err
-		case "fig15":
-			_, err := experiments.Fig15(w, opt)
-			return err
-		case "table2":
-			return experiments.Table2(w)
-		case "table3":
-			_, err := experiments.Table3(w, opt)
-			return err
-		case "table4":
-			return experiments.Table4(w)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
 	}
 
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"fig1", "fig6", "fig7", "fig8", "fig9", "fig10",
-			"fig11", "fig12", "fig13", "fig14", "fig15", "table2", "table3", "table4"}
+		names = mobilesim.Experiments()
 	}
 	for _, n := range names {
-		if err := run(n); err != nil {
+		if err := mobilesim.RunExperiment(os.Stdout, n, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", n, err)
 			os.Exit(1)
 		}

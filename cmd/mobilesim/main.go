@@ -1,89 +1,105 @@
-// Command mobilesim runs one benchmark on the full simulated CPU/GPU
-// platform and prints its execution and system statistics — the
+// Command mobilesim runs benchmarks on the full simulated CPU/GPU
+// platform and prints their execution and system statistics — the
 // simulator's day-to-day workload-characterisation workflow.
 //
 // Usage:
 //
-//	mobilesim [-scale N] [-threads N] [-cores N] [-compiler VER] [-cfg] [-list] <benchmark>
+//	mobilesim [-scale N] [-ram MiB] [-threads N] [-cores N] [-compiler VER] [-cfg] [-workers N] [-list] <benchmark>...
+//
+// With more than one benchmark (or -workers > 1) the runs execute as a
+// concurrent batch, one fresh session per benchmark, and an aggregate
+// summary is printed at the end.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 	"time"
 
-	"mobilesim/internal/cl"
-	"mobilesim/internal/gpu"
-	"mobilesim/internal/platform"
-	"mobilesim/internal/workloads"
+	"mobilesim"
 )
 
 func main() {
 	scale := flag.Int("scale", 0, "input scale (0 = benchmark default)")
+	ram := flag.Int("ram", 1024, "guest RAM in MiB")
 	threads := flag.Int("threads", 8, "GPU simulation host threads")
 	cores := flag.Int("cores", 8, "simulated shader cores")
 	compiler := flag.String("compiler", "", "JIT compiler version (5.6..6.2, default 6.1)")
 	cfg := flag.Bool("cfg", false, "collect and print the divergence CFG")
 	jit := flag.Bool("jit", false, "use closure-JIT shader execution")
+	workers := flag.Int("workers", 0, "concurrent sessions for multi-benchmark runs (0 = one per CPU)")
 	list := flag.Bool("list", false, "list available benchmarks")
 	flag.Parse()
 
 	if *list {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "name\tsuite\tpaper input")
-		for _, s := range workloads.All() {
-			fmt.Fprintf(tw, "%s\t%s\t%s\n", s.Name, s.Suite, s.PaperInput)
+		for _, b := range mobilesim.Benchmarks() {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", b.Name, b.Suite, b.PaperInput)
 		}
 		tw.Flush()
 		return
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mobilesim [flags] <benchmark>   (see -list)")
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mobilesim [flags] <benchmark>...   (see -list)")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *scale, *threads, *cores, *compiler, *cfg, *jit); err != nil {
+
+	conf := mobilesim.Config{
+		RAMSize:         uint64(*ram) << 20,
+		ShaderCores:     *cores,
+		HostThreads:     *threads,
+		CompilerVersion: *compiler,
+		CollectCFG:      *cfg,
+		JITClauses:      *jit,
+	}
+	var err error
+	if flag.NArg() == 1 && *workers <= 1 {
+		err = runOne(flag.Arg(0), *scale, conf)
+	} else {
+		err = runBatch(flag.Args(), *scale, *workers, conf)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mobilesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, scale, threads, cores int, compiler string, collectCFG, jit bool) error {
-	spec, err := workloads.ByName(name)
+// runOne runs a single benchmark and prints the full statistics table.
+func runOne(name string, scale int, conf mobilesim.Config) error {
+	sess, err := mobilesim.New(conf)
 	if err != nil {
 		return err
 	}
-	if scale == 0 {
-		scale = spec.DefaultScale
-	}
-	gcfg := gpu.Config{ShaderCores: cores, HostThreads: threads,
-		DecodeCache: true, CollectCFG: collectCFG, JITClauses: jit}
-	p, err := platform.New(platform.Config{RAMSize: 1 << 30, GPU: gcfg})
-	if err != nil {
-		return err
-	}
-	defer p.Close()
-	ctx, err := cl.NewContext(p, compiler)
-	if err != nil {
-		return err
-	}
+	defer sess.Close()
 
-	fmt.Printf("%s (%s, paper input: %s), scale %d, %d SCs on %d host threads\n",
-		spec.Name, spec.Suite, spec.PaperInput, scale, cores, threads)
-
-	inst := spec.Make(scale)
-	t0 := time.Now()
-	res, err := inst.Run(ctx, spec.Name)
+	res, err := sess.Run(name, scale)
 	if err != nil {
 		return err
 	}
-	wall := time.Since(t0)
 	if !res.Verified {
 		return fmt.Errorf("verification FAILED: %v", res.VerifyErr)
 	}
 
-	gs, sys := p.GPU.Stats()
+	fmt.Printf("%s, scale %d, %d SCs on %d host threads\n",
+		res.Benchmark, res.Scale, conf.ShaderCores, conf.HostThreads)
+	printStats(res)
+
+	if conf.CollectCFG {
+		fmt.Println("\ncontrol-flow graph (clause addresses, thread proportions):")
+		fmt.Print(sess.CFG())
+	}
+	return nil
+}
+
+// printStats renders one run's statistics table.
+func printStats(res *mobilesim.RunResult) {
+	gs, sys := res.Stats.GPU, res.Stats.System
 	a, ls, nop, cf := gs.MixFractions()
 	da := gs.DataAccessFractions()
 	min, q1, med, q3, max := gs.ClauseSizeQuartiles()
@@ -93,9 +109,9 @@ func run(name string, scale, threads, cores int, compiler string, collectCFG, ji
 	fmt.Fprintf(tw, "sim time\t%v (native %v, slowdown %.0fx)\n",
 		res.SimDuration.Round(time.Millisecond), res.NativeDuration,
 		float64(res.SimDuration)/float64(maxDur(res.NativeDuration, 1)))
-	fmt.Fprintf(tw, "wall time\t%v\n", wall.Round(time.Millisecond))
+	fmt.Fprintf(tw, "wall time\t%v\n", res.Wall.Round(time.Millisecond))
 	fmt.Fprintf(tw, "driver CPU time\t%v (%d guest instructions)\n",
-		ctx.Drv.CPUTime.Round(time.Millisecond), p.CPUs[0].Instret)
+		res.Stats.DriverCPUTime.Round(time.Millisecond), res.Stats.GuestInstructions)
 	fmt.Fprintf(tw, "compute jobs\t%d (kernel launches %d)\n", sys.ComputeJobs, sys.KernelLaunch)
 	fmt.Fprintf(tw, "threads / warps / workgroups\t%d / %d / %d\n", gs.Threads, gs.Warps, gs.Workgroups)
 	fmt.Fprintf(tw, "instructions\t%d (arith %.1f%%, LS %.1f%%, nop %.1f%%, CF %.1f%%)\n",
@@ -109,10 +125,54 @@ func run(name string, scale, threads, cores int, compiler string, collectCFG, ji
 	fmt.Fprintf(tw, "system\tpages %d, ctrl reads %d, ctrl writes %d, IRQs %d\n",
 		sys.PagesAccessed, sys.CtrlRegReads, sys.CtrlRegWrites, sys.IRQsAsserted)
 	tw.Flush()
+}
 
-	if collectCFG {
-		fmt.Println("\ncontrol-flow graph (clause addresses, thread proportions):")
-		fmt.Print(p.GPU.CFGGraph().Render())
+// runBatch runs several benchmarks concurrently through the Batch API and
+// prints one summary row per run plus the aggregate.
+func runBatch(names []string, scale, workers int, conf mobilesim.Config) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	jobs := make([]mobilesim.BatchJob, len(names))
+	for i, n := range names {
+		jobs[i] = mobilesim.BatchJob{Benchmark: n, Scale: scale}
+	}
+	batch := &mobilesim.Batch{Jobs: jobs, Workers: workers, Config: conf}
+	res, runErr := batch.Run(ctx)
+	if res == nil {
+		return runErr
+	}
+	// On cancellation, still report what completed before the interrupt.
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tstatus\tsim time\tGPU instr\tjobs\tIRQs")
+	for _, jr := range res.Jobs {
+		if jr.Result == nil && errors.Is(jr.Err, ctx.Err()) && ctx.Err() != nil {
+			fmt.Fprintf(tw, "%s\tskipped (%v)\t\t\t\t\n", jr.Job.Benchmark, jr.Err)
+			continue
+		}
+		if jr.Err != nil {
+			fmt.Fprintf(tw, "%s\tFAILED: %v\t\t\t\t\n", jr.Job.Benchmark, jr.Err)
+			continue
+		}
+		r := jr.Result
+		fmt.Fprintf(tw, "%s\tok\t%v\t%d\t%d\t%d\n", r.Benchmark,
+			r.SimDuration.Round(time.Millisecond), r.Stats.GPU.TotalInstr(),
+			r.Stats.System.ComputeJobs, r.Stats.System.IRQsAsserted)
+	}
+	tw.Flush()
+
+	agg := res.Aggregate
+	fmt.Printf("\nbatch: %d ok, %d failed, %d skipped in %v\n",
+		res.Completed, res.Failed, res.Skipped, res.Wall.Round(time.Millisecond))
+	fmt.Printf("aggregate: %d GPU instructions, %d compute jobs, %d guest instructions, driver CPU %v\n",
+		agg.GPU.TotalInstr(), agg.System.ComputeJobs, agg.GuestInstructions,
+		agg.DriverCPUTime.Round(time.Millisecond))
+	if runErr != nil {
+		return runErr
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d of %d benchmarks failed", res.Failed, len(res.Jobs))
 	}
 	return nil
 }

@@ -9,8 +9,35 @@
 // workloads run through the same hardware/software contract as on a
 // physical Mali-G71 device.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for the
-// paper-vs-measured results. The bench_test.go harness regenerates every
-// table and figure of the paper's evaluation; cmd/experiments prints them.
+// # Sessions
+//
+// A Session is one booted guest: platform, driver and OpenCL-like
+// context. Load kernels, create buffers and launch NDRanges through it:
+//
+//	sess, err := mobilesim.New(mobilesim.Config{})
+//	defer sess.Close()
+//	k, err := sess.LoadKernel(src, "axpb")
+//	err = k.SetArgs(bufX, bufY, float32(2), float32(1), n)
+//	err = k.Launch(mobilesim.Dim1(n), mobilesim.Dim1(64))
+//	st := sess.Stats()
+//
+// Session.Run executes a registered paper benchmark (see Benchmarks) and
+// verifies the simulated output against a host-native reference.
+//
+// # Batches
+//
+// A Batch runs N independent simulations across a bounded worker pool —
+// one fresh Session per job, nothing shared between jobs — and merges
+// their statistics:
+//
+//	batch := &mobilesim.Batch{Jobs: jobs, Workers: 4}
+//	res, err := batch.Run(ctx)
+//
+// # Documentation
+//
+// See README.md for the architecture overview and quickstart, DESIGN.md
+// for the system inventory and design-decision index, and EXPERIMENTS.md
+// for how each table and figure of the paper's evaluation is regenerated.
+// The bench_test.go harness regenerates every experiment as a testing.B
+// benchmark; cmd/experiments prints them.
 package mobilesim

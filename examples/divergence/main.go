@@ -9,31 +9,17 @@ import (
 	"fmt"
 	"log"
 
-	"mobilesim/internal/cl"
-	"mobilesim/internal/gpu"
-	"mobilesim/internal/platform"
-	"mobilesim/internal/workloads"
+	"mobilesim"
 )
 
 func main() {
-	cfg := gpu.DefaultConfig()
-	cfg.CollectCFG = true
-	p, err := platform.New(platform.Config{RAMSize: 512 << 20, GPU: cfg})
+	sess, err := mobilesim.New(mobilesim.Config{CollectCFG: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer p.Close()
-	ctx, err := cl.NewContext(p, "")
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer sess.Close()
 
-	spec, err := workloads.ByName("BFS")
-	if err != nil {
-		log.Fatal(err)
-	}
-	inst := spec.Make(2048)
-	res, err := inst.Run(ctx, "BFS")
+	res, err := sess.Run("BFS", 2048)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,12 +27,12 @@ func main() {
 		log.Fatal(res.VerifyErr)
 	}
 
-	gs, sys := p.GPU.Stats()
+	gs, sys := res.Stats.GPU, res.Stats.System
 	fmt.Printf("BFS: %d jobs, %d warp branches, %d divergent (%.1f%%)\n\n",
 		sys.ComputeJobs, gs.Branches, gs.DivergentBranches,
 		100*float64(gs.DivergentBranches)/float64(gs.Branches))
 	fmt.Println("control-flow graph (clause offsets within the shader binary;")
 	fmt.Println("edge percentages are the proportion of threads taking each path):")
 	fmt.Println()
-	fmt.Print(p.GPU.CFGGraph().Render())
+	fmt.Print(sess.CFG())
 }

@@ -1,6 +1,7 @@
 // Quickstart: boot the full simulated platform, JIT-compile an OpenCL
 // kernel through the vendor-style toolchain, run it on the simulated GPU
-// via the driver stack, and read the results and statistics back.
+// via the driver stack, and read the results and statistics back — all
+// through the public mobilesim facade.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,8 +10,7 @@ import (
 	"fmt"
 	"log"
 
-	"mobilesim/internal/cl"
-	"mobilesim/internal/platform"
+	"mobilesim"
 )
 
 const kernelSrc = `
@@ -23,80 +23,62 @@ kernel void axpb(global float* x, global float* y, float a, float b, int n) {
 `
 
 func main() {
-	// 1. Boot the platform: CPU cores, Bifrost-style GPU, devices, memory.
-	p, err := platform.New(platform.Config{})
+	// 1. Boot a session: CPU cores, Bifrost-style GPU, devices, memory,
+	//    kernel driver (GPU soft reset, address-space setup, IRQ
+	//    unmasking — all through guest code and memory-mapped registers)
+	//    and an OpenCL-like context on top.
+	sess, err := mobilesim.New(mobilesim.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer p.Close()
+	defer sess.Close()
 
-	// 2. Open an OpenCL-like context. This loads the kernel driver:
-	//    GPU soft reset, address-space setup, IRQ unmasking — all through
-	//    guest code and memory-mapped registers.
-	ctx, err := cl.NewContext(p, "" /* default JIT version 6.1 */)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 3. Create buffers and upload data (simulated-CPU memcpy).
+	// 2. Create buffers and upload data (simulated-CPU memcpy).
 	const n = 1024
 	xs := make([]float32, n)
 	for i := range xs {
 		xs[i] = float32(i)
 	}
-	bx, err := ctx.CreateBuffer(4 * n)
+	bx, err := sess.NewBuffer(4 * n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	by, err := ctx.CreateBuffer(4 * n)
+	by, err := sess.NewBuffer(4 * n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ctx.WriteF32(bx, xs); err != nil {
+	if err := bx.WriteF32(xs); err != nil {
 		log.Fatal(err)
 	}
 
-	// 4. Build the program (JIT at build time, like the vendor stack).
-	prog, err := ctx.BuildProgram(kernelSrc)
+	// 3. Build the program (JIT at load time, like the vendor stack) and
+	//    bind arguments in declaration order.
+	k, err := sess.LoadKernel(kernelSrc, "axpb")
 	if err != nil {
 		log.Fatal(err)
 	}
-	k, err := prog.CreateKernel("axpb")
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i, arg := range []any{bx, by} {
-		if err := k.SetArgBuffer(i, arg.(*cl.Buffer)); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := k.SetArgFloat(2, 2.0); err != nil {
-		log.Fatal(err)
-	}
-	if err := k.SetArgFloat(3, 1.0); err != nil {
-		log.Fatal(err)
-	}
-	if err := k.SetArgInt(4, n); err != nil {
+	if err := k.SetArgs(bx, by, float32(2.0), float32(1.0), n); err != nil {
 		log.Fatal(err)
 	}
 
-	// 5. Enqueue: descriptor written to shared memory, doorbell rung,
+	// 4. Launch: descriptor written to shared memory, doorbell rung,
 	//    Job Manager dispatches, completion IRQ handled by the guest ISR.
-	if err := ctx.EnqueueKernel(k, cl.G1(n), cl.G1(64)); err != nil {
+	if err := k.Launch(mobilesim.Dim1(n), mobilesim.Dim1(64)); err != nil {
 		log.Fatal(err)
 	}
 
-	// 6. Read back and inspect.
-	ys, err := ctx.ReadF32(by, n)
+	// 5. Read back and inspect.
+	ys, err := by.ReadF32(n)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("y[0]=%g y[1]=%g y[%d]=%g\n", ys[0], ys[1], n-1, ys[n-1])
 
-	gs, sys := p.GPU.Stats()
+	st := sess.Stats()
 	fmt.Printf("GPU executed %d instructions over %d threads in %d job(s)\n",
-		gs.TotalInstr(), gs.Threads, sys.ComputeJobs)
+		st.GPU.TotalInstr(), st.GPU.Threads, st.System.ComputeJobs)
 	fmt.Printf("system traffic: %d ctrl-reg writes, %d reads, %d IRQ(s), %d pages touched\n",
-		sys.CtrlRegWrites, sys.CtrlRegReads, sys.IRQsAsserted, sys.PagesAccessed)
-	fmt.Printf("driver ran %d guest instructions on the simulated CPU\n", p.CPUs[0].Instret)
+		st.System.CtrlRegWrites, st.System.CtrlRegReads, st.System.IRQsAsserted,
+		st.System.PagesAccessed)
+	fmt.Printf("driver ran %d guest instructions on the simulated CPU\n", st.GuestInstructions)
 }

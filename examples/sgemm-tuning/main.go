@@ -13,32 +13,25 @@ import (
 	"os"
 	"text/tabwriter"
 
-	"mobilesim/internal/cl"
-	"mobilesim/internal/costmodel"
-	"mobilesim/internal/platform"
-	"mobilesim/internal/workloads"
+	"mobilesim"
 )
 
 func main() {
 	const dim = 64
-	a, b := workloads.SgemmInputs(dim, dim, dim)
-	want := workloads.SgemmNative(a, b, dim, dim, dim)
+	a, b := mobilesim.SgemmInputs(dim, dim, dim)
+	want := mobilesim.SgemmNative(a, b, dim, dim, dim)
 
-	mali := costmodel.MaliG71()
-	desk := costmodel.K20m()
+	mali := mobilesim.MaliG71()
+	desk := mobilesim.K20m()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "variant\tinstr\tglobal LS\tlocal LS\tregs\tMali est.\tdesktop est.")
 
-	for _, v := range workloads.SgemmVariants() {
-		p, err := platform.New(platform.Config{RAMSize: 512 << 20})
+	for _, v := range mobilesim.SgemmVariants() {
+		sess, err := mobilesim.New(mobilesim.Config{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ctx, err := cl.NewContext(p, "")
-		if err != nil {
-			log.Fatal(err)
-		}
-		got, err := workloads.RunSgemmVariant(ctx, v, a, b, dim, dim, dim)
+		got, err := sess.RunSgemm(v, a, b, dim, dim, dim)
 		if err != nil {
 			log.Fatalf("%s: %v", v.Name, err)
 		}
@@ -48,11 +41,11 @@ func main() {
 				log.Fatalf("%s: wrong result at %d", v.Name, i)
 			}
 		}
-		gs, _ := p.GPU.Stats()
+		gs := sess.Stats().GPU
 		fmt.Fprintf(tw, "%d:%s\t%d\t%d\t%d\t%d\t%.2e\t%.2e\n",
 			v.ID, v.Name, gs.TotalInstr(), gs.GlobalLS, gs.LocalLS, gs.RegistersUsed,
 			mali.Estimate(&gs), desk.Estimate(&gs, v.Profile, 1))
-		p.Close()
+		sess.Close()
 	}
 	tw.Flush()
 	fmt.Println("\nLower is faster. Note the divergent rankings: the 2D register-")

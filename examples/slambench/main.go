@@ -12,32 +12,28 @@ import (
 	"os"
 	"text/tabwriter"
 
-	"mobilesim/internal/cl"
-	"mobilesim/internal/costmodel"
-	"mobilesim/internal/platform"
-	"mobilesim/internal/slam"
+	"mobilesim"
 )
 
 func main() {
-	mali := costmodel.MaliG71()
+	mali := mobilesim.MaliG71()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "config\tkernels\tinstr\tglobal LS\tlocal LS\tjobs\tIRQs\tresidual\test. FPS (rel)")
 
 	var baseCost float64
-	for _, cfg := range []slam.Config{slam.Standard(1), slam.Fast3(1), slam.Express(1)} {
-		p, err := platform.New(platform.Config{RAMSize: 512 << 20})
+	for _, cfg := range []mobilesim.SLAMConfig{
+		mobilesim.SLAMStandard(1), mobilesim.SLAMFast3(1), mobilesim.SLAMExpress(1),
+	} {
+		sess, err := mobilesim.New(mobilesim.Config{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ctx, err := cl.NewContext(p, "")
-		if err != nil {
-			log.Fatal(err)
-		}
-		m, err := slam.Run(ctx, cfg)
+		m, err := sess.RunSLAM(cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", cfg.Name, err)
 		}
-		gs, sys := p.GPU.Stats()
+		st := sess.Stats()
+		gs, sys := st.GPU, st.System
 		cost := mali.Estimate(&gs)
 		if baseCost == 0 {
 			baseCost = cost
@@ -45,7 +41,7 @@ func main() {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.2e\t%.2f\n",
 			cfg.Name, m.KernelsRun, gs.TotalInstr(), gs.GlobalLS, gs.LocalLS,
 			sys.ComputeJobs, sys.IRQsAsserted, m.FinalResidual, baseCost/cost)
-		p.Close()
+		sess.Close()
 	}
 	tw.Flush()
 	fmt.Println("\nThe simulated metrics rank the configurations exactly as the")

@@ -1,0 +1,87 @@
+package mobilesim
+
+import (
+	"fmt"
+	"io"
+
+	"mobilesim/internal/experiments"
+)
+
+// ExperimentScale selects workload input sizes for the experiment
+// harness.
+type ExperimentScale string
+
+const (
+	// ExperimentScaleSmall is seconds-fast, CI-sized.
+	ExperimentScaleSmall ExperimentScale = "small"
+	// ExperimentScaleDefault takes minutes, bench-sized.
+	ExperimentScaleDefault ExperimentScale = "default"
+	// ExperimentScalePaper approximates Table II sizes (can take hours).
+	ExperimentScalePaper ExperimentScale = "paper"
+)
+
+// ExperimentOptions configures a paper-experiment run.
+type ExperimentOptions struct {
+	// Scale selects input sizes (default ExperimentScaleDefault).
+	Scale ExperimentScale
+	// HostThreads overrides GPU simulation threads (0 = default).
+	HostThreads int
+	// CompilerVersion overrides the JIT version (empty = default).
+	CompilerVersion string
+}
+
+func (o ExperimentOptions) lower() experiments.Options {
+	scale := o.Scale
+	if scale == "" {
+		scale = ExperimentScaleDefault
+	}
+	return experiments.Options{
+		Scale:           experiments.ScaleKind(scale),
+		HostThreads:     o.HostThreads,
+		CompilerVersion: o.CompilerVersion,
+	}
+}
+
+// experimentRunners pairs each experiment name with its harness entry,
+// in paper order; Experiments and RunExperiment are both driven by this
+// single table.
+var experimentRunners = []struct {
+	name string
+	run  func(io.Writer, experiments.Options) error
+}{
+	{"fig1", func(w io.Writer, _ experiments.Options) error { _, err := experiments.Fig1(w); return err }},
+	{"fig6", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig6(w, o); return err }},
+	{"fig7", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig7(w, o); return err }},
+	{"fig8", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig8(w, o); return err }},
+	{"fig9", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig9(w, o); return err }},
+	{"fig10", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig10(w, o); return err }},
+	{"fig11", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig11(w, o); return err }},
+	{"fig12", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig12(w, o); return err }},
+	{"fig13", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig13(w, o); return err }},
+	{"fig14", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig14(w, o); return err }},
+	{"fig15", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig15(w, o); return err }},
+	{"table2", func(w io.Writer, _ experiments.Options) error { return experiments.Table2(w) }},
+	{"table3", func(w io.Writer, o experiments.Options) error { _, err := experiments.Table3(w, o); return err }},
+	{"table4", func(w io.Writer, _ experiments.Options) error { return experiments.Table4(w) }},
+}
+
+// Experiments lists the reproducible tables and figures of the paper's
+// evaluation, in paper order.
+func Experiments() []string {
+	out := make([]string, len(experimentRunners))
+	for i, e := range experimentRunners {
+		out[i] = e.name
+	}
+	return out
+}
+
+// RunExperiment regenerates one table or figure of the paper's evaluation
+// (see Experiments for names), writing the rendered rows/series to w.
+func RunExperiment(w io.Writer, name string, opt ExperimentOptions) error {
+	for _, e := range experimentRunners {
+		if e.name == name {
+			return e.run(w, opt.lower())
+		}
+	}
+	return fmt.Errorf("mobilesim: unknown experiment %q", name)
+}

@@ -1,0 +1,3 @@
+module mobilesim
+
+go 1.21

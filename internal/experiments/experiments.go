@@ -2,8 +2,9 @@
 // evaluation (§V). Each Fig*/Table* function runs the relevant workloads
 // on the simulator, prints the same rows/series the paper reports, and
 // returns the structured data so benchmarks and tests can assert shape
-// properties. The per-experiment index lives in DESIGN.md; measured-vs-
-// paper notes live in EXPERIMENTS.md.
+// properties. The per-experiment index and expected shape properties
+// live in EXPERIMENTS.md; the design-decision (ablation) index is
+// DESIGN.md §5. The public entry point is mobilesim.RunExperiment.
 package experiments
 
 import (

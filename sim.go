@@ -1,0 +1,477 @@
+package mobilesim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/clc"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/platform"
+	"mobilesim/internal/stats"
+	"mobilesim/internal/workloads"
+)
+
+// ErrClosed is returned by Session methods called after Close.
+var ErrClosed = errors.New("mobilesim: session is closed")
+
+// GPUStats is the per-program GPU statistics record (§IV of the paper):
+// instruction mixes, clause metrics, data-access breakdowns and divergence
+// counters. It aliases the internal data model so facade users get the
+// full method set (TotalInstr, MixFractions, ClauseSizeQuartiles, ...).
+type GPUStats = stats.GPUStats
+
+// SystemStats is the system-level statistics record: CPU↔GPU control
+// traffic, IRQs, jobs and page activity.
+type SystemStats = stats.SystemStats
+
+// Stats is one session's combined statistics snapshot. Counters are
+// cumulative over the session's lifetime.
+type Stats struct {
+	// GPU holds program-execution statistics from the simulated GPU.
+	GPU GPUStats
+	// System holds CPU↔GPU system-interaction statistics.
+	System SystemStats
+	// DriverCPUTime is host wall-clock spent executing driver guest code
+	// on the simulated CPU (the Fig 9 "driver runtime" metric).
+	DriverCPUTime time.Duration
+	// GuestInstructions counts instructions retired by the simulated CPU
+	// core that runs the driver's guest routines.
+	GuestInstructions uint64
+}
+
+// merge accumulates another snapshot (used by Batch aggregation).
+func (s *Stats) merge(o *Stats) {
+	s.GPU.Merge(&o.GPU)
+	s.System.Merge(&o.System)
+	s.DriverCPUTime += o.DriverCPUTime
+	s.GuestInstructions += o.GuestInstructions
+}
+
+// Config selects the shape of one simulated platform. The zero value is a
+// usable default: the paper's Mali-G71 MP8 setup with 512 MiB RAM, four
+// CPU cores and JIT compiler 6.1.
+type Config struct {
+	// RAMSize is guest physical memory in bytes (default 512 MiB,
+	// minimum 16 MiB).
+	RAMSize uint64
+	// CPUCores is the simulated CPU core count (default 4).
+	CPUCores int
+	// ShaderCores is the architectural GPU core count (default 8, the
+	// G71 MP8 of the paper).
+	ShaderCores int
+	// HostThreads is the number of host simulation threads driving the
+	// GPU model; it may exceed ShaderCores (default 8).
+	HostThreads int
+	// CompilerVersion selects the JIT compiler release (5.6 … 6.2);
+	// empty means the default (6.1).
+	CompilerVersion string
+	// CollectCFG records the clause-level control-flow graph with
+	// divergence annotations (Fig 6), at the cost of a map update per
+	// clause execution.
+	CollectCFG bool
+	// JITClauses enables closure-JIT shader execution (the paper's
+	// future-work mode).
+	JITClauses bool
+	// DisableDecodeCache turns off shader decode caching (§III-B3).
+	// Only useful for ablation studies.
+	DisableDecodeCache bool
+	// ConsoleOut receives simulated UART output (nil discards it). When
+	// one Config is shared across concurrent sessions — e.g. as a
+	// Batch's default — the writer is shared too and must be safe for
+	// concurrent use.
+	ConsoleOut io.Writer
+}
+
+const minRAM = 16 << 20
+
+// validate rejects configurations the platform cannot boot.
+func (c *Config) validate() error {
+	if c.RAMSize != 0 && c.RAMSize < minRAM {
+		return fmt.Errorf("mobilesim: RAMSize %d below minimum %d", c.RAMSize, uint64(minRAM))
+	}
+	if c.CPUCores < 0 {
+		return fmt.Errorf("mobilesim: negative CPUCores %d", c.CPUCores)
+	}
+	if c.ShaderCores < 0 {
+		return fmt.Errorf("mobilesim: negative ShaderCores %d", c.ShaderCores)
+	}
+	if c.HostThreads < 0 {
+		return fmt.Errorf("mobilesim: negative HostThreads %d", c.HostThreads)
+	}
+	if c.CompilerVersion != "" {
+		if _, ok := clc.Versions[c.CompilerVersion]; !ok {
+			return fmt.Errorf("mobilesim: unknown compiler version %q (have %s)",
+				c.CompilerVersion, strings.Join(clc.VersionNames(), ", "))
+		}
+	}
+	return nil
+}
+
+// platformConfig lowers the facade config onto the internal layers.
+func (c *Config) platformConfig() platform.Config {
+	gcfg := gpu.DefaultConfig()
+	if c.ShaderCores > 0 {
+		gcfg.ShaderCores = c.ShaderCores
+	}
+	if c.HostThreads > 0 {
+		gcfg.HostThreads = c.HostThreads
+	}
+	gcfg.DecodeCache = !c.DisableDecodeCache
+	gcfg.CollectCFG = c.CollectCFG
+	gcfg.JITClauses = c.JITClauses
+	return platform.Config{
+		RAMSize:    c.RAMSize,
+		Cores:      c.CPUCores,
+		GPU:        gcfg,
+		ConsoleOut: c.ConsoleOut,
+	}
+}
+
+// Session is one booted guest: a full simulated platform (CPU cores, GPU,
+// devices, memory) with the driver loaded and an OpenCL-like context open,
+// behaving like one application running on one device.
+//
+// A Session serialises its operations internally, so it is safe for
+// concurrent use — though calls block each other. For throughput, run
+// independent Sessions concurrently (see Batch): separate Sessions share
+// nothing and scale with host cores.
+type Session struct {
+	cfg Config
+
+	mu     sync.Mutex
+	closed bool
+	p      *platform.Platform
+	ctx    *cl.Context
+	// final is the statistics snapshot taken at Close, so Stats stays
+	// meaningful on a closed session.
+	final Stats
+}
+
+// New boots a platform from cfg and opens the device: GPU soft reset,
+// address-space setup and IRQ unmasking all run as guest code, exactly as
+// the kernel module's probe path would. Callers must Close the session.
+func New(cfg Config) (*Session, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p, err := platform.New(cfg.platformConfig())
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := cl.NewContext(p, cfg.CompilerVersion)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return &Session{cfg: cfg, p: p, ctx: ctx}, nil
+}
+
+// Close stops the platform's background machinery. Closing twice is a
+// no-op. Afterwards every operation that touches the device fails with
+// ErrClosed; Stats keeps returning the final snapshot taken at Close.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.final = s.statsLocked()
+	s.closed = true
+	s.p.Close()
+	return nil
+}
+
+// Config returns the configuration the session was created with.
+func (s *Session) Config() Config { return s.cfg }
+
+// locked runs f with the session lock held, failing fast once closed.
+func (s *Session) locked(f func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return f()
+}
+
+// Stats returns the session's cumulative statistics snapshot. After
+// Close it returns the final snapshot taken at close time.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.final
+	}
+	return s.statsLocked()
+}
+
+func (s *Session) statsLocked() Stats {
+	gs, sys := s.p.GPU.Stats()
+	return Stats{
+		GPU:               gs,
+		System:            sys,
+		DriverCPUTime:     s.ctx.Drv.CPUTime,
+		GuestInstructions: s.p.CPUs[0].Instret,
+	}
+}
+
+// ResetStats clears the accumulated statistics (between measurement
+// phases).
+func (s *Session) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.p.GPU.ResetStats()
+	}
+}
+
+// CFG renders the collected clause-level control-flow graph with
+// divergence annotations. It returns "" unless the session was created
+// with Config.CollectCFG, and "" after Close.
+func (s *Session) CFG() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || !s.cfg.CollectCFG {
+		return ""
+	}
+	return s.p.GPU.CFGGraph().Render()
+}
+
+// Buffer is a device memory allocation owned by one session.
+type Buffer struct {
+	s *Session
+	b *cl.Buffer
+}
+
+// Size returns the allocation size in bytes.
+func (b *Buffer) Size() int { return b.b.Size }
+
+// NewBuffer allocates size bytes of GPU-visible memory through the
+// driver's allocator and page tables.
+func (s *Session) NewBuffer(size int) (*Buffer, error) {
+	var buf *Buffer
+	err := s.locked(func() error {
+		b, err := s.ctx.CreateBuffer(size)
+		if err != nil {
+			return err
+		}
+		buf = &Buffer{s: s, b: b}
+		return nil
+	})
+	return buf, err
+}
+
+// Write copies host bytes into the buffer via the simulated-CPU memcpy
+// path (clEnqueueWriteBuffer).
+func (b *Buffer) Write(data []byte) error {
+	return b.s.locked(func() error { return b.s.ctx.WriteBuffer(b.b, data) })
+}
+
+// Read copies the first n bytes of the buffer back to the host.
+func (b *Buffer) Read(n int) ([]byte, error) {
+	var out []byte
+	err := b.s.locked(func() (err error) {
+		out, err = b.s.ctx.ReadBuffer(b.b, n)
+		return
+	})
+	return out, err
+}
+
+// WriteF32 marshals float32 values into the buffer.
+func (b *Buffer) WriteF32(vals []float32) error {
+	return b.s.locked(func() error { return b.s.ctx.WriteF32(b.b, vals) })
+}
+
+// ReadF32 reads n float32 values from the buffer.
+func (b *Buffer) ReadF32(n int) ([]float32, error) {
+	var out []float32
+	err := b.s.locked(func() (err error) {
+		out, err = b.s.ctx.ReadF32(b.b, n)
+		return
+	})
+	return out, err
+}
+
+// WriteI32 marshals int32 values into the buffer.
+func (b *Buffer) WriteI32(vals []int32) error {
+	return b.s.locked(func() error { return b.s.ctx.WriteI32(b.b, vals) })
+}
+
+// ReadI32 reads n int32 values from the buffer.
+func (b *Buffer) ReadI32(n int) ([]int32, error) {
+	var out []int32
+	err := b.s.locked(func() (err error) {
+		out, err = b.s.ctx.ReadI32(b.b, n)
+		return
+	})
+	return out, err
+}
+
+// Kernel is a JIT-compiled, device-loaded kernel with argument state,
+// owned by one session.
+type Kernel struct {
+	s *Session
+	k *cl.Kernel
+}
+
+// LoadKernel JIT-compiles src through the CLite toolchain (at the version
+// the session was configured with), loads the resulting Bifrost-style
+// binary into GPU memory through the driver, and returns the named kernel.
+func (s *Session) LoadKernel(src, name string) (*Kernel, error) {
+	var kern *Kernel
+	err := s.locked(func() error {
+		prog, err := s.ctx.BuildProgram(src)
+		if err != nil {
+			return err
+		}
+		k, err := prog.CreateKernel(name)
+		if err != nil {
+			return err
+		}
+		kern = &Kernel{s: s, k: k}
+		return nil
+	})
+	return kern, err
+}
+
+// SetArgs binds kernel arguments in declaration order. Accepted types:
+// *Buffer for global pointers, int/int32/uint32 for integer scalars,
+// float32/float64 for float scalars.
+func (k *Kernel) SetArgs(args ...any) error {
+	return k.s.locked(func() error {
+		for i, a := range args {
+			var err error
+			switch v := a.(type) {
+			case *Buffer:
+				if v.s != k.s {
+					return fmt.Errorf("mobilesim: argument %d: buffer belongs to a different session", i)
+				}
+				err = k.k.SetArgBuffer(i, v.b)
+			case int:
+				err = k.k.SetArgInt(i, int32(v))
+			case int32:
+				err = k.k.SetArgInt(i, v)
+			case uint32:
+				err = k.k.SetArgInt(i, int32(v))
+			case float32:
+				err = k.k.SetArgFloat(i, v)
+			case float64:
+				err = k.k.SetArgFloat(i, float32(v))
+			default:
+				err = fmt.Errorf("mobilesim: unsupported argument %d type %T", i, a)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Launch enqueues one NDRange run of the kernel and waits for the
+// completion interrupt: descriptor written to shared memory, doorbell
+// rung, Job Manager dispatch, guest ISR — the full hardware/software
+// contract.
+func (k *Kernel) Launch(global, local [3]uint32) error {
+	return k.s.locked(func() error { return k.s.ctx.EnqueueKernel(k.k, global, local) })
+}
+
+// Dim1 builds a 1-D NDRange dimension triple.
+func Dim1(n uint32) [3]uint32 { return [3]uint32{n, 1, 1} }
+
+// Dim2 builds a 2-D NDRange dimension triple.
+func Dim2(x, y uint32) [3]uint32 { return [3]uint32{x, y, 1} }
+
+// Dim3 builds a 3-D NDRange dimension triple.
+func Dim3(x, y, z uint32) [3]uint32 { return [3]uint32{x, y, z} }
+
+// RunResult is one completed benchmark run.
+type RunResult struct {
+	// Benchmark and Scale identify what ran.
+	Benchmark string
+	Scale     int
+	// SimDuration is time spent in full-stack simulation; NativeDuration
+	// is the host-native reference implementation's time (their ratio is
+	// the paper's Fig 7 slowdown); Wall is total elapsed time.
+	SimDuration    time.Duration
+	NativeDuration time.Duration
+	Wall           time.Duration
+	// Verified reports whether the simulated output matched the
+	// host-native reference; VerifyErr carries the first mismatch.
+	Verified  bool
+	VerifyErr error
+	// Stats is the session's statistics snapshot after the run.
+	Stats Stats
+}
+
+// Run executes one registered benchmark (see Benchmarks) at the given
+// scale on this session, verifying simulated output against the
+// host-native reference. Scale <= 0 selects the benchmark's default.
+func (s *Session) Run(benchmark string, scale int) (*RunResult, error) {
+	var out *RunResult
+	err := s.locked(func() error {
+		spec, err := workloads.ByName(benchmark)
+		if err != nil {
+			return err
+		}
+		if scale <= 0 {
+			scale = spec.DefaultScale
+		}
+		inst := spec.Make(scale)
+		t0 := time.Now()
+		res, err := inst.Run(s.ctx, spec.Name)
+		if err != nil {
+			return err
+		}
+		out = &RunResult{
+			Benchmark:      spec.Name,
+			Scale:          scale,
+			SimDuration:    res.SimDuration,
+			NativeDuration: res.NativeDuration,
+			Wall:           time.Since(t0),
+			Verified:       res.Verified,
+			VerifyErr:      res.VerifyErr,
+			Stats:          s.statsLocked(),
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Benchmark describes one registered workload from the paper's suite
+// (Table II).
+type Benchmark struct {
+	Name       string
+	Suite      string
+	PaperInput string
+	// SmallScale keeps tests fast, DefaultScale drives benchmarks,
+	// PaperScale approximates the paper's input sizes.
+	SmallScale   int
+	DefaultScale int
+	PaperScale   int
+}
+
+// Benchmarks lists the registered workloads sorted by name.
+func Benchmarks() []Benchmark {
+	specs := workloads.All()
+	out := make([]Benchmark, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, Benchmark{
+			Name:       s.Name,
+			Suite:      s.Suite,
+			PaperInput: s.PaperInput,
+			SmallScale: s.SmallScale, DefaultScale: s.DefaultScale, PaperScale: s.PaperScale,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CompilerVersions lists the available JIT compiler releases in order.
+func CompilerVersions() []string { return clc.VersionNames() }

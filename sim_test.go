@@ -1,0 +1,318 @@
+// Facade tests: single-session runs, the 8-way concurrent Batch, and the
+// failure paths (bad Config, JIT errors, use-after-Close, cancellation).
+package mobilesim_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"mobilesim"
+)
+
+const axpbSrc = `
+kernel void axpb(global float* x, global float* y, float a, float b, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + b;
+    }
+}
+`
+
+// smallScale looks up a benchmark's test-sized input scale.
+func smallScale(t *testing.T, name string) int {
+	t.Helper()
+	for _, b := range mobilesim.Benchmarks() {
+		if b.Name == name {
+			return b.SmallScale
+		}
+	}
+	t.Fatalf("benchmark %q not registered", name)
+	return 0
+}
+
+func TestSessionKernelRoundTrip(t *testing.T) {
+	sess, err := mobilesim.New(mobilesim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const n = 256
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i)
+	}
+	bx, err := sess.NewBuffer(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by, err := sess.NewBuffer(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bx.WriteF32(xs); err != nil {
+		t.Fatal(err)
+	}
+	k, err := sess.LoadKernel(axpbSrc, "axpb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgs(bx, by, float32(3.0), float32(1.0), n); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Launch(mobilesim.Dim1(n), mobilesim.Dim1(64)); err != nil {
+		t.Fatal(err)
+	}
+	ys, err := by.ReadF32(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ys {
+		want := 3.0*xs[i] + 1.0
+		if ys[i] != want {
+			t.Fatalf("y[%d] = %g, want %g", i, ys[i], want)
+		}
+	}
+
+	st := sess.Stats()
+	if st.GPU.TotalInstr() == 0 || st.GPU.Threads != n {
+		t.Errorf("GPU stats: instr %d, threads %d (want %d)", st.GPU.TotalInstr(), st.GPU.Threads, n)
+	}
+	if st.System.ComputeJobs != 1 || st.System.IRQsAsserted == 0 {
+		t.Errorf("system stats: jobs %d, IRQs %d", st.System.ComputeJobs, st.System.IRQsAsserted)
+	}
+	if st.GuestInstructions == 0 {
+		t.Error("driver executed no guest instructions")
+	}
+}
+
+func TestSessionRunBenchmark(t *testing.T) {
+	sess, err := mobilesim.New(mobilesim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	res, err := sess.Run("BinarySearch", smallScale(t, "BinarySearch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("verification failed: %v", res.VerifyErr)
+	}
+	if res.Stats.GPU.TotalInstr() == 0 || res.Stats.System.ComputeJobs == 0 {
+		t.Errorf("empty stats: instr %d, jobs %d",
+			res.Stats.GPU.TotalInstr(), res.Stats.System.ComputeJobs)
+	}
+}
+
+func TestSessionRunUnknownBenchmark(t *testing.T) {
+	sess, err := mobilesim.New(mobilesim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Run("NoSuchBenchmark", 0); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestSessionCFGCollection(t *testing.T) {
+	sess, err := mobilesim.New(mobilesim.Config{CollectCFG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Run("BFS", smallScale(t, "BFS")); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := sess.CFG(); !strings.Contains(cfg, "->") {
+		t.Errorf("CFG render missing edges:\n%s", cfg)
+	}
+}
+
+// TestBatch8Way is the acceptance scenario: eight independent sessions
+// across a bounded pool, with aggregated statistics.
+func TestBatch8Way(t *testing.T) {
+	names := []string{
+		"BinarySearch", "BitonicSort", "MatrixTranspose", "Reduction",
+		"DCT", "DwtHaar1D", "ScanLargeArrays", "SobelFilter",
+	}
+	batch := &mobilesim.Batch{Jobs: jobs8(t, names), Workers: 4}
+	res, err := batch.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(names) || res.Failed != 0 || res.Skipped != 0 {
+		for _, jr := range res.Jobs {
+			if jr.Err != nil {
+				t.Logf("job %d (%s): %v", jr.Index, jr.Job.Benchmark, jr.Err)
+			}
+		}
+		t.Fatalf("batch: %d completed, %d failed, %d skipped; want %d/0/0",
+			res.Completed, res.Failed, res.Skipped, len(names))
+	}
+
+	var wantInstr, wantJobs uint64
+	for _, jr := range res.Jobs {
+		if jr.Result == nil || !jr.Result.Verified {
+			t.Fatalf("job %d (%s) did not verify", jr.Index, jr.Job.Benchmark)
+		}
+		wantInstr += jr.Result.Stats.GPU.TotalInstr()
+		wantJobs += jr.Result.Stats.System.ComputeJobs
+	}
+	if got := res.Aggregate.GPU.TotalInstr(); got != wantInstr {
+		t.Errorf("aggregate GPU instructions %d, want %d", got, wantInstr)
+	}
+	if got := res.Aggregate.System.ComputeJobs; got != wantJobs {
+		t.Errorf("aggregate compute jobs %d, want %d", got, wantJobs)
+	}
+	if res.Aggregate.GuestInstructions == 0 {
+		t.Error("aggregate lost guest instruction counts")
+	}
+}
+
+// jobs8 builds one small-scale job per benchmark name.
+func jobs8(t *testing.T, names []string) []mobilesim.BatchJob {
+	t.Helper()
+	jobs := make([]mobilesim.BatchJob, len(names))
+	for i, n := range names {
+		jobs[i] = mobilesim.BatchJob{Benchmark: n, Scale: smallScale(t, n)}
+	}
+	return jobs
+}
+
+func TestBatchEmpty(t *testing.T) {
+	res, err := (&mobilesim.Batch{}).Run(context.Background())
+	if err != nil || len(res.Jobs) != 0 {
+		t.Fatalf("empty batch: res %+v, err %v", res, err)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	cases := map[string]mobilesim.Config{
+		"tiny RAM":         {RAMSize: 1 << 20},
+		"negative CPUs":    {CPUCores: -1},
+		"negative shaders": {ShaderCores: -2},
+		"negative threads": {HostThreads: -8},
+		"bad compiler":     {CompilerVersion: "9.9"},
+	}
+	for name, cfg := range cases {
+		if _, err := mobilesim.New(cfg); err == nil {
+			t.Errorf("%s: New accepted bad config %+v", name, cfg)
+		}
+	}
+
+	// A bad per-job config must fail the whole batch up front, before
+	// any session boots.
+	bad := mobilesim.Config{CompilerVersion: "9.9"}
+	batch := &mobilesim.Batch{Jobs: []mobilesim.BatchJob{
+		{Benchmark: "BinarySearch", Scale: 1, Config: &bad},
+	}}
+	if _, err := batch.Run(context.Background()); err == nil {
+		t.Error("batch accepted job with bad config")
+	}
+}
+
+func TestLoadKernelJITError(t *testing.T) {
+	sess, err := mobilesim.New(mobilesim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	if _, err := sess.LoadKernel("kernel void broken(global float* x) {", "broken"); err == nil {
+		t.Error("expected JIT error for unterminated kernel")
+	}
+	if _, err := sess.LoadKernel(axpbSrc, "nonexistent"); err == nil {
+		t.Error("expected error for missing kernel name")
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	sess, err := mobilesim.New(mobilesim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := sess.NewBuffer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := sess.LoadKernel(axpbSrc, "axpb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Stats()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if after := sess.Stats(); after != before {
+		t.Errorf("Stats after Close = %+v, want final snapshot %+v", after, before)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	if _, err := sess.Run("BinarySearch", 1); !errors.Is(err, mobilesim.ErrClosed) {
+		t.Errorf("Run after Close: %v, want ErrClosed", err)
+	}
+	if _, err := sess.LoadKernel(axpbSrc, "axpb"); !errors.Is(err, mobilesim.ErrClosed) {
+		t.Errorf("LoadKernel after Close: %v, want ErrClosed", err)
+	}
+	if _, err := sess.NewBuffer(64); !errors.Is(err, mobilesim.ErrClosed) {
+		t.Errorf("NewBuffer after Close: %v, want ErrClosed", err)
+	}
+	if err := buf.WriteF32([]float32{1}); !errors.Is(err, mobilesim.ErrClosed) {
+		t.Errorf("Buffer.WriteF32 after Close: %v, want ErrClosed", err)
+	}
+	if err := k.Launch(mobilesim.Dim1(1), mobilesim.Dim1(1)); !errors.Is(err, mobilesim.ErrClosed) {
+		t.Errorf("Kernel.Launch after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestCrossSessionBufferRejected(t *testing.T) {
+	a, err := mobilesim.New(mobilesim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := mobilesim.New(mobilesim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	foreign, err := a.NewBuffer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := b.LoadKernel(axpbSrc, "axpb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgs(foreign); err == nil ||
+		!strings.Contains(err.Error(), "different session") {
+		t.Errorf("SetArgs accepted a foreign buffer (err = %v)", err)
+	}
+}
+
+func TestBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before the batch starts: every job must be skipped
+
+	batch := &mobilesim.Batch{Jobs: jobs8(t, []string{"BinarySearch", "Reduction", "DwtHaar1D"})}
+	res, err := batch.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if res.Skipped != 3 || res.Completed != 0 {
+		t.Fatalf("batch: %d skipped, %d completed; want 3 skipped", res.Skipped, res.Completed)
+	}
+	for _, jr := range res.Jobs {
+		if !errors.Is(jr.Err, context.Canceled) {
+			t.Errorf("job %d err %v, want context.Canceled", jr.Index, jr.Err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package mobilesim
+
+import (
+	"mobilesim/internal/costmodel"
+	"mobilesim/internal/slam"
+	"mobilesim/internal/workloads"
+)
+
+// This file re-exports the application-study toolkits — the SLAMBench
+// pipeline (Fig 14), the six-step SGEMM tuning ladder (Fig 15) and the
+// analytical cost models (§V-C) — so studies run entirely through the
+// facade.
+
+// SLAMConfig is one SLAMBench pipeline preset (resolution, pyramid
+// levels, ICP iterations, TSDF volume, frame count).
+type SLAMConfig = slam.Config
+
+// SLAMMetrics summarises one SLAM pipeline run.
+type SLAMMetrics = slam.Metrics
+
+// SLAMStandard returns the baseline KFusion configuration at the given
+// resolution scale (1 = 64×64 input).
+func SLAMStandard(scale int) SLAMConfig { return slam.Standard(scale) }
+
+// SLAMFast3 returns the reduced-accuracy preset.
+func SLAMFast3(scale int) SLAMConfig { return slam.Fast3(scale) }
+
+// SLAMExpress returns the fastest, least accurate preset.
+func SLAMExpress(scale int) SLAMConfig { return slam.Express(scale) }
+
+// RunSLAM executes the dense-SLAM pipeline on this session for
+// cfg.Frames synthetic frames (the Fig 14 workflow).
+func (s *Session) RunSLAM(cfg SLAMConfig) (*SLAMMetrics, error) {
+	var m *SLAMMetrics
+	err := s.locked(func() (err error) {
+		m, err = slam.Run(s.ctx, cfg)
+		return
+	})
+	return m, err
+}
+
+// SgemmVariant is one step of the desktop-GPU SGEMM optimisation ladder
+// (naive, coalesced, tiled, …) evaluated in Fig 15.
+type SgemmVariant = workloads.SgemmVariant
+
+// SgemmVariants returns the six tuning-ladder variants in order.
+func SgemmVariants() []SgemmVariant { return workloads.SgemmVariants() }
+
+// SgemmInputs builds deterministic m×k and k×n input matrices.
+func SgemmInputs(m, n, k int) (a, b []float32) { return workloads.SgemmInputs(m, n, k) }
+
+// SgemmNative computes the host-native reference product.
+func SgemmNative(a, b []float32, m, n, k int) []float32 {
+	return workloads.SgemmNative(a, b, m, n, k)
+}
+
+// RunSgemm executes one SGEMM variant on this session and returns the
+// m×n result matrix.
+func (s *Session) RunSgemm(v SgemmVariant, a, b []float32, m, n, k int) ([]float32, error) {
+	var out []float32
+	err := s.locked(func() (err error) {
+		out, err = workloads.RunSgemmVariant(s.ctx, v, a, b, m, n, k)
+		return
+	})
+	return out, err
+}
+
+// MobileCostModel is the analytical Mali-style cost model: main-memory
+// traffic dominates, local memory is backed by the same L2.
+type MobileCostModel = costmodel.MobileModel
+
+// DesktopCostModel is the analytical discrete-GPU cost model: dedicated
+// high-bandwidth memory, coalescing and occupancy effects.
+type DesktopCostModel = costmodel.Model
+
+// KernelProfile carries the per-kernel knobs the desktop model needs.
+type KernelProfile = costmodel.KernelProfile
+
+// MaliG71 returns the mobile cost model parameterised for the paper's
+// Mali-G71.
+func MaliG71() MobileCostModel { return costmodel.MaliG71() }
+
+// K20m returns the desktop cost model parameterised for a Tesla K20m.
+func K20m() DesktopCostModel { return costmodel.K20m() }
