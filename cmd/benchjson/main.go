@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repository's bench-trajectory JSON format on stdout:
+//
+//	{
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...",
+//	  "benchmarks": {
+//	    "Fig12DataAccess": {"ns_per_op": 123, "allocs_per_op": 4, "bytes_per_op": 5}
+//	  }
+//	}
+//
+// Benchmark names are stripped of the "Benchmark" prefix and the -N
+// GOMAXPROCS suffix. Sub-benchmarks keep their slash-separated path. Used
+// by scripts/bench.sh to snapshot BENCH_<pr>.json files so each PR's perf
+// numbers are comparable with its predecessors (see EXPERIMENTS.md).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line's parsed measurements.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+type report struct {
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks map[string]*result `json:"benchmarks"`
+}
+
+func main() {
+	rep := report{Benchmarks: map[string]*result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		rep.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	// json.Marshal sorts map keys, so snapshots diff cleanly between PRs.
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkFig15SGEMM/Naive-8   3   9841694 ns/op   868197 B/op   741 allocs/op
+func parseBenchLine(line string) (string, *result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix (digits only).
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", nil, false
+	}
+	res := &result{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				res.NsPerOp = v
+				seen = true
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.AllocsPerOp = v
+			}
+		}
+	}
+	return name, res, seen
+}

@@ -165,14 +165,11 @@ func (c *Core) irqEnabled() bool { return c.sys[SysIE]&1 != 0 }
 // --- Memory access -------------------------------------------------------
 
 // load performs a data load; on fault it takes the exception and reports
-// ok=false so the executor abandons the instruction.
+// ok=false so the executor abandons the instruction. It goes through the
+// walker's combined translate-and-access fast path (TLB-cached host page
+// views), falling back to the full translate + bus route on miss or MMIO.
 func (c *Core) load(va uint64, size int) (uint64, bool) {
-	pa, fault := c.walker.Translate(va, mem.Read)
-	if fault != nil {
-		c.raiseSync(ExcAbortRead, va, c.PC)
-		return 0, false
-	}
-	v, err := c.bus.Read(pa, size)
+	v, err := c.walker.Load(va, size, mem.Read)
 	if err != nil {
 		c.raiseSync(ExcAbortRead, va, c.PC)
 		return 0, false
@@ -181,12 +178,7 @@ func (c *Core) load(va uint64, size int) (uint64, bool) {
 }
 
 func (c *Core) store(va uint64, size int, val uint64) bool {
-	pa, fault := c.walker.Translate(va, mem.Write)
-	if fault != nil {
-		c.raiseSync(ExcAbortWrit, va, c.PC)
-		return false
-	}
-	if err := c.bus.Write(pa, size, val); err != nil {
+	if err := c.walker.Store(va, size, val); err != nil {
 		c.raiseSync(ExcAbortWrit, va, c.PC)
 		return false
 	}
@@ -200,12 +192,7 @@ func (c *Core) fetch(va uint64) (uint32, bool) {
 		c.raiseSync(ExcAbortExec, va, va)
 		return 0, false
 	}
-	pa, fault := c.walker.Translate(va, mem.Execute)
-	if fault != nil {
-		c.raiseSync(ExcAbortExec, va, va)
-		return 0, false
-	}
-	w, err := c.bus.Read(pa, 4)
+	w, err := c.walker.Load(va, 4, mem.Execute)
 	if err != nil {
 		c.raiseSync(ExcAbortExec, va, va)
 		return 0, false

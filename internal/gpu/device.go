@@ -324,9 +324,9 @@ func (d *Device) runChain(head uint64) error {
 	walker.ResetTouched()
 	defer func() {
 		d.statsMu.Lock()
-		for p := range walker.Touched {
+		walker.ForEachTouched(func(p uint64) {
 			d.touchedPages[p] = struct{}{}
-		}
+		})
 		d.statsMu.Unlock()
 	}()
 
@@ -358,7 +358,7 @@ func (d *Device) runChain(head uint64) error {
 }
 
 func (d *Device) readDescriptor(walker *mmu.Walker, va uint64) (*JobDescriptor, error) {
-	raw, err := readGuest(walker, d.bus, va, JobDescSize)
+	raw, err := readGuest(walker, va, JobDescSize)
 	if err != nil {
 		return nil, err
 	}
@@ -401,7 +401,7 @@ func EncodeDescriptor(desc *JobDescriptor) []byte {
 // consulting the content-keyed decode cache so each program is decoded
 // exactly once.
 func (d *Device) decodeShader(walker *mmu.Walker, desc *JobDescriptor) (*Program, error) {
-	raw, err := readGuest(walker, d.bus, desc.ShaderVA, int(desc.ShaderSize))
+	raw, err := readGuest(walker, desc.ShaderVA, int(desc.ShaderSize))
 	if err != nil {
 		return nil, err
 	}
@@ -443,7 +443,7 @@ func (d *Device) readUniforms(walker *mmu.Walker, desc *JobDescriptor, prog *Pro
 	if prog.Uniforms == 0 {
 		return nil, nil
 	}
-	raw, err := readGuest(walker, d.bus, desc.ArgsVA, 8*prog.Uniforms)
+	raw, err := readGuest(walker, desc.ArgsVA, 8*prog.Uniforms)
 	if err != nil {
 		return nil, err
 	}

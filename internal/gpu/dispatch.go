@@ -5,7 +5,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"mobilesim/internal/mem"
 	"mobilesim/internal/mmu"
 	"mobilesim/internal/stats"
 )
@@ -60,10 +59,10 @@ func (d *JobDescriptor) Workgroups() (uint64, error) {
 
 // workerResult carries one virtual core's shard of statistics.
 type workerResult struct {
-	gs      stats.GPUStats
-	cfg     *stats.CFG
-	touched map[uint64]struct{}
-	err     error
+	gs     stats.GPUStats
+	cfg    *stats.CFG
+	walker *mmu.Walker // read after wg.Wait for its touched-page bitmap
+	err    error
 }
 
 // execJob dispatches a decoded job across the configured host threads.
@@ -102,6 +101,7 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 			walker := mmu.NewWalker(d.bus)
 			walker.SetRoot(root)
 			walker.ResetTouched()
+			res.walker = walker
 
 			local := d.localMemFor(wi, desc, walker)
 
@@ -137,7 +137,6 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 					return
 				}
 			}
-			res.touched = walker.Touched
 		}(wi)
 	}
 	wg.Wait()
@@ -152,8 +151,10 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 		if r.cfg != nil {
 			d.cfgGraph.Merge(r.cfg)
 		}
-		for p := range r.touched {
-			d.touchedPages[p] = struct{}{}
+		if r.walker != nil {
+			r.walker.ForEachTouched(func(p uint64) {
+				d.touchedPages[p] = struct{}{}
+			})
 		}
 	}
 	for i := range results {
@@ -177,7 +178,6 @@ func (d *Device) localMemFor(worker int, desc *JobDescriptor, walker *mmu.Walker
 			base:   desc.LocalMemVA + uint64(worker)*uint64(desc.LocalMemBytes),
 			size:   uint64(desc.LocalMemBytes),
 			walker: walker,
-			bus:    d.bus,
 		}
 	}
 	return &shadowLocal{buf: make([]byte, desc.LocalMemBytes)}
@@ -277,22 +277,10 @@ func (unusableLocal) store(uint64, uint32) error {
 
 // readGuest copies n bytes from the GPU address space, page by page (the
 // underlying physical pages need not be contiguous).
-func readGuest(walker *mmu.Walker, bus *mem.Bus, va uint64, n int) ([]byte, error) {
+func readGuest(walker *mmu.Walker, va uint64, n int) ([]byte, error) {
 	out := make([]byte, n)
-	off := 0
-	for off < n {
-		chunk := int(mem.PageSize - (va+uint64(off))&mem.PageMask)
-		if chunk > n-off {
-			chunk = n - off
-		}
-		pa, fault := walker.Translate(va+uint64(off), mem.Read)
-		if fault != nil {
-			return nil, fault
-		}
-		if err := bus.ReadBytes(pa, out[off:off+chunk]); err != nil {
-			return nil, err
-		}
-		off += chunk
+	if err := walker.ReadBytes(va, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -21,23 +21,19 @@ type localMemory interface {
 	store(off uint64, v uint32) error
 }
 
-// guestLocal is local memory backed by a guest allocation.
+// guestLocal is local memory backed by a guest allocation. Accesses go
+// through the walker's TLB-cached fast path, same as global memory.
 type guestLocal struct {
 	base   uint64 // guest VA of the slot
 	size   uint64
 	walker *mmu.Walker
-	bus    *mem.Bus
 }
 
 func (g *guestLocal) load(off uint64) (uint32, error) {
 	if off+4 > g.size {
 		return 0, fmt.Errorf("gpu: local load at %#x beyond %#x", off, g.size)
 	}
-	pa, fault := g.walker.Translate(g.base+off, mem.Read)
-	if fault != nil {
-		return 0, fault
-	}
-	v, err := g.bus.Read(pa, 4)
+	v, err := g.walker.Load(g.base+off, 4, mem.Read)
 	return uint32(v), err
 }
 
@@ -45,11 +41,7 @@ func (g *guestLocal) store(off uint64, v uint32) error {
 	if off+4 > g.size {
 		return fmt.Errorf("gpu: local store at %#x beyond %#x", off, g.size)
 	}
-	pa, fault := g.walker.Translate(g.base+off, mem.Write)
-	if fault != nil {
-		return fault
-	}
-	return g.bus.Write(pa, 4, uint64(v))
+	return g.walker.Store(g.base+off, 4, uint64(v))
 }
 
 // shadowLocal is host-side local memory for over-committed virtual cores.
@@ -440,11 +432,7 @@ func (e *execContext) execLane(w *warp, lane int, in *Instr) error {
 		}
 		e.gs.GlobalLS++
 		e.gs.MainMemAcc++
-		pa, fault := e.walker.Translate(addr, mem.Read)
-		if fault != nil {
-			return fault
-		}
-		v, err := e.bus.Read(pa, size)
+		v, err := e.walker.Load(addr, size, mem.Read)
 		if err != nil {
 			return err
 		}
@@ -466,14 +454,17 @@ func (e *execContext) execLane(w *warp, lane int, in *Instr) error {
 		}
 		e.gs.GlobalLS++
 		e.gs.MainMemAcc++
-		pa, fault := e.walker.Translate(addr, mem.Write)
-		if fault != nil {
-			return fault
-		}
 		if e.trace != nil {
+			// Preserve the traced-mode ordering exactly: a translation
+			// fault is never traced, a store that reaches the bus is.
+			pa, fault := e.walker.Translate(addr, mem.Write)
+			if fault != nil {
+				return fault
+			}
 			e.trace.inst(lane, w.gid[lane], in, v, true)
+			return e.bus.Write(pa, size, v)
 		}
-		return e.bus.Write(pa, size, v)
+		return e.walker.Store(addr, size, v)
 
 	case OpLDL:
 		off := e.read(w, lane, in.A, in) + uint64(int64(int32(in.Imm)))

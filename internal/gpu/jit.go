@@ -1,15 +1,22 @@
 package gpu
 
-import "math"
+import (
+	"math"
+
+	"mobilesim/internal/mem"
+)
 
 // JIT-compiled shader execution — the paper's stated future work
 // ("JIT-compiled execution of GPU code", §VII-A), in the spirit of the
 // authors' partial-evaluation work on DBT simulators [20]: at decode time
 // each ALU instruction is specialised into a closure with its operand
 // accessors pre-resolved, so the hot execution loop pays neither the
-// opcode switch nor the operand-kind decoding. Memory, control-flow and
-// special-cased instructions fall back to the interpreter path (they are
-// dominated by translation and bus work anyway).
+// opcode switch nor the operand-kind decoding. Load/store instructions
+// compile to closures that capture the walker's combined
+// translate-and-access fast path (TLB-cached host page views), so the
+// memory-bound hot loop skips both the interpreter switch and the
+// general translate + bus machinery. Control-flow and special-cased
+// instructions (FMA/SEL accumulator forms) fall back to the interpreter.
 //
 // Enabled per device with Config.JITClauses; validated by the same
 // differential suites as the interpreter.
@@ -189,9 +196,82 @@ var unFns = map[Opcode]func(a uint64) uint64{
 	OpFFLOOR: func(a uint64) uint64 { return fbits(float32(math.Floor(float64(f32(a))))) },
 }
 
+// compileMem specialises a load/store instruction into a closure over the
+// walker fast path, or returns nil for non-memory opcodes. The closures
+// bump the same Fig 12 counters as the interpreter path in exec.go.
+func compileMem(in *Instr, p *Program) jitOp {
+	imm := uint64(int64(int32(in.Imm)))
+	switch in.Op {
+	case OpLDG, OpLDG64, OpLDGB:
+		size := 4
+		switch in.Op {
+		case OpLDG64:
+			size = 8
+		case OpLDGB:
+			size = 1
+		}
+		ra := compileReader(in.A, in.Imm, p)
+		wr := compileWriter(in.Dst)
+		return func(e *execContext, w *warp, lane int) error {
+			e.gs.GlobalLS++
+			e.gs.MainMemAcc++
+			v, err := e.walker.Load(ra(e, w, lane)+imm, size, mem.Read)
+			if err != nil {
+				return err
+			}
+			wr(e, w, lane, v)
+			return nil
+		}
+
+	case OpSTG, OpSTG64, OpSTGB:
+		size := 4
+		switch in.Op {
+		case OpSTG64:
+			size = 8
+		case OpSTGB:
+			size = 1
+		}
+		ra := compileReader(in.A, in.Imm, p)
+		rb := compileReader(in.B, in.Imm, p)
+		return func(e *execContext, w *warp, lane int) error {
+			addr := ra(e, w, lane) + imm
+			v := rb(e, w, lane)
+			e.gs.GlobalLS++
+			e.gs.MainMemAcc++
+			return e.walker.Store(addr, size, v)
+		}
+
+	case OpLDL:
+		ra := compileReader(in.A, in.Imm, p)
+		wr := compileWriter(in.Dst)
+		return func(e *execContext, w *warp, lane int) error {
+			e.gs.LocalLS++
+			e.gs.LocalAcc++
+			v, err := e.local.load(ra(e, w, lane) + imm)
+			if err != nil {
+				return err
+			}
+			wr(e, w, lane, uint64(v))
+			return nil
+		}
+
+	case OpSTL:
+		ra := compileReader(in.A, in.Imm, p)
+		rb := compileReader(in.B, in.Imm, p)
+		return func(e *execContext, w *warp, lane int) error {
+			off := ra(e, w, lane) + imm
+			v := rb(e, w, lane)
+			e.gs.LocalLS++
+			e.gs.LocalAcc++
+			return e.local.store(off, uint32(v))
+		}
+	}
+	return nil
+}
+
 // jitCompile specialises all JIT-able instructions of a program. Slots
-// holding memory, control-flow, FMA/SEL (accumulator forms) or NOPs stay
-// nil and take the interpreter path.
+// holding control-flow, FMA/SEL (accumulator forms) or NOPs stay nil and
+// take the interpreter path.
 func jitCompile(p *Program) *jitProgram {
 	jp := &jitProgram{clauses: make([][]jitOp, len(p.Clauses))}
 	for ci := range p.Clauses {
@@ -199,6 +279,10 @@ func jitCompile(p *Program) *jitProgram {
 		ops := make([]jitOp, len(c.Instrs))
 		for ii := range c.Instrs {
 			in := &c.Instrs[ii]
+			if op := compileMem(in, p); op != nil {
+				ops[ii] = op
+				continue
+			}
 			if bf, ok := binFns[in.Op]; ok {
 				ra := compileReader(in.A, in.Imm, p)
 				rb := compileReader(in.B, in.Imm, p)

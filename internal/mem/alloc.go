@@ -75,6 +75,15 @@ func (a *PageAllocator) InUse() int {
 	return int((a.next-a.base)/PageSize) - len(a.free)
 }
 
+// HighWater returns one past the highest physical address ever handed out
+// (the bump pointer). Everything the allocator has ever given a caller lies
+// in [base, HighWater()); RAM recycling scrubs exactly that range.
+func (a *PageAllocator) HighWater() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
 // ZeroPage clears one page frame in the given RAM.
 func ZeroPage(ram *RAM, addr uint64) {
 	b := ram.Bytes(addr, PageSize)

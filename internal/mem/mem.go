@@ -7,7 +7,9 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the physical and virtual page size used throughout the
@@ -70,6 +72,27 @@ type Device interface {
 type RAM struct {
 	base uint64
 	data []byte
+
+	// dirty is one past the highest offset that may hold a nonzero byte,
+	// rounded up to a page. Every write path records here — Write,
+	// WriteBytes, and (at walk time, page-granular) the MMU's cached
+	// writable page views — so Recycle knows exactly how much to scrub
+	// before the backing store is reused. Atomic: GPU workers write
+	// concurrently.
+	dirty atomic.Uint64
+}
+
+// markDirty raises the dirty watermark to cover [addr, addr+size). The
+// bound is page-rounded so ascending writes inside an already-dirty page
+// skip the CAS after the first.
+func (r *RAM) markDirty(addr uint64, size int) {
+	end := (addr + uint64(size) - r.base + PageMask) &^ uint64(PageMask)
+	for {
+		cur := r.dirty.Load()
+		if end <= cur || r.dirty.CompareAndSwap(cur, end) {
+			return
+		}
+	}
 }
 
 // NewRAM allocates a RAM region of the given size at the given physical base.
@@ -96,6 +119,18 @@ func (r *RAM) Bytes(addr uint64, size int) []byte {
 	return r.data[off : off+uint64(size)]
 }
 
+// Slice is the checked variant of Bytes: it returns a host view of
+// [addr, addr+size) when the range lies entirely inside the region, and
+// (nil, false) otherwise. The MMU uses it to cache per-page views in TLB
+// entries; mutating the returned slice mutates simulated memory.
+func (r *RAM) Slice(addr uint64, size int) ([]byte, bool) {
+	if !r.Contains(addr, size) {
+		return nil, false
+	}
+	off := addr - r.base
+	return r.data[off : off+uint64(size)], true
+}
+
 // Read loads size bytes little-endian.
 func (r *RAM) Read(addr uint64, size int) (uint64, error) {
 	if !r.Contains(addr, size) {
@@ -110,8 +145,17 @@ func (r *RAM) Write(addr uint64, size int, val uint64) error {
 		return &BusError{Addr: addr, Size: size, Kind: Write, Why: "outside RAM"}
 	}
 	storeLE(r.Bytes(addr, size), size, val)
+	r.markDirty(addr, size)
 	return nil
 }
+
+// LoadLE loads len(b) bytes little-endian from a host view previously
+// obtained through Slice/Bytes. len(b) must be 1, 2, 4 or 8.
+func LoadLE(b []byte) uint64 { return loadLE(b) }
+
+// StoreLE stores size bytes of val little-endian into a host view
+// previously obtained through Slice/Bytes.
+func StoreLE(b []byte, size int, val uint64) { storeLE(b, size, val) }
 
 func loadLE(b []byte) uint64 {
 	switch len(b) {
@@ -150,13 +194,14 @@ type mmioRange struct {
 }
 
 // Bus routes physical accesses to RAM or memory-mapped devices. RAM accesses
-// take a lock-free fast path; device ranges are scanned (platforms have a
-// handful of devices, so linear scan is fine and keeps registration simple).
+// take a lock-free fast path; device lookups read an immutable sorted table
+// through an atomic pointer (copy-on-write on MapDevice), so no access path
+// ever takes a lock — registration is rare, lookups are not.
 type Bus struct {
 	ram *RAM
 
-	mu    sync.RWMutex
-	mmios []mmioRange
+	mapMu sync.Mutex                  // serialises MapDevice (writers only)
+	mmios atomic.Pointer[[]mmioRange] // sorted by base; never mutated in place
 }
 
 // NewBus creates a bus fronting the given RAM region.
@@ -167,30 +212,69 @@ func NewBus(ram *RAM) *Bus {
 // RAM returns the bus's RAM region (for fast-path access after translation).
 func (b *Bus) RAM() *RAM { return b.ram }
 
+// Slice returns a host view of a physical range when it is RAM-backed, and
+// (nil, false) for device or unmapped ranges. Device registers must never be
+// served from cached byte views: every MMIO access has side effects the
+// device model must observe.
+func (b *Bus) Slice(addr uint64, size int) ([]byte, bool) {
+	return b.ram.Slice(addr, size)
+}
+
+// MarkDirty records that the caller may write [addr, addr+size) through a
+// previously obtained host view, keeping the RAM recycling watermark
+// honest. The MMU calls it once per walk when caching a writable page.
+func (b *Bus) MarkDirty(addr uint64, size int) {
+	if b.ram.Contains(addr, size) {
+		b.ram.markDirty(addr, size)
+	}
+}
+
 // MapDevice registers a device at [base, base+size). Overlapping RAM or an
 // existing device range is a programming error and returns an error.
 func (b *Bus) MapDevice(name string, base, size uint64, dev Device) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mapMu.Lock()
+	defer b.mapMu.Unlock()
 	if b.ram.Contains(base, 1) || b.ram.Contains(base+size-1, 1) {
 		return fmt.Errorf("mem: device %s at %#x overlaps RAM", name, base)
 	}
-	for _, m := range b.mmios {
+	var old []mmioRange
+	if p := b.mmios.Load(); p != nil {
+		old = *p
+	}
+	for _, m := range old {
 		if base < m.base+m.size && m.base < base+size {
 			return fmt.Errorf("mem: device %s at %#x overlaps device %s", name, base, m.name)
 		}
 	}
-	b.mmios = append(b.mmios, mmioRange{base: base, size: size, dev: dev, name: name})
+	next := make([]mmioRange, 0, len(old)+1)
+	next = append(next, old...)
+	next = append(next, mmioRange{base: base, size: size, dev: dev, name: name})
+	sort.Slice(next, func(i, j int) bool { return next[i].base < next[j].base })
+	b.mmios.Store(&next)
 	return nil
 }
 
 func (b *Bus) findDevice(addr uint64) (mmioRange, bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	for _, m := range b.mmios {
-		if addr >= m.base && addr < m.base+m.size {
-			return m, true
+	p := b.mmios.Load()
+	if p == nil {
+		return mmioRange{}, false
+	}
+	mmios := *p
+	// Binary search for the last range with base <= addr.
+	lo, hi := 0, len(mmios)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mmios[mid].base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo == 0 {
+		return mmioRange{}, false
+	}
+	if m := mmios[lo-1]; addr < m.base+m.size {
+		return m, true
 	}
 	return mmioRange{}, false
 }
@@ -210,6 +294,7 @@ func (b *Bus) Read(addr uint64, size int) (uint64, error) {
 func (b *Bus) Write(addr uint64, size int, val uint64) error {
 	if b.ram.Contains(addr, size) {
 		storeLE(b.ram.Bytes(addr, size), size, val)
+		b.ram.markDirty(addr, size)
 		return nil
 	}
 	if m, ok := b.findDevice(addr); ok {
@@ -234,5 +319,6 @@ func (b *Bus) WriteBytes(addr uint64, src []byte) error {
 		return &BusError{Addr: addr, Size: len(src), Kind: Write, Why: "bulk access outside RAM"}
 	}
 	copy(b.ram.Bytes(addr, len(src)), src)
+	b.ram.markDirty(addr, len(src))
 	return nil
 }

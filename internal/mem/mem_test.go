@@ -218,3 +218,155 @@ func TestPageAllocatorContiguous(t *testing.T) {
 		t.Error("oversized contiguous alloc should fail")
 	}
 }
+
+func TestRAMSlice(t *testing.T) {
+	r := NewRAM(0x8000_0000, 1<<16)
+	s, ok := r.Slice(0x8000_0100, PageSize)
+	if !ok || len(s) != PageSize {
+		t.Fatalf("Slice = len %d, ok %v", len(s), ok)
+	}
+	// The view aliases simulated memory in both directions.
+	s[0] = 0x5A
+	if v, err := r.Read(0x8000_0100, 1); err != nil || v != 0x5A {
+		t.Errorf("write through slice invisible: %#x, %v", v, err)
+	}
+	if err := r.Write(0x8000_0101, 1, 0xC3); err != nil {
+		t.Fatal(err)
+	}
+	if s[1] != 0xC3 {
+		t.Errorf("RAM write invisible through slice: %#x", s[1])
+	}
+	// Out-of-range requests are refused, including partial overlaps.
+	if _, ok := r.Slice(0x7FFF_FFF0, 32); ok {
+		t.Error("slice below base accepted")
+	}
+	if _, ok := r.Slice(0x8000_0000+1<<16-8, 16); ok {
+		t.Error("slice crossing end accepted")
+	}
+}
+
+func TestBusSliceRejectsMMIO(t *testing.T) {
+	bus := NewBus(NewRAM(0x8000_0000, 1<<16))
+	if err := bus.MapDevice("probe", 0x1000_0000, 0x1000, &probeDevice{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bus.Slice(0x1000_0000, 16); ok {
+		t.Error("Slice must not expose device ranges as bytes")
+	}
+	if _, ok := bus.Slice(0x2000_0000, 16); ok {
+		t.Error("Slice must not expose unmapped ranges")
+	}
+	if s, ok := bus.Slice(0x8000_0000, 64); !ok || len(s) != 64 {
+		t.Errorf("RAM slice refused: len %d ok %v", len(s), ok)
+	}
+}
+
+// TestBusMMIOTableSorted registers devices out of order and checks the
+// binary-searched dispatch finds each one, including boundary addresses.
+func TestBusMMIOTableSorted(t *testing.T) {
+	bus := NewBus(NewRAM(0x8000_0000, 1<<16))
+	devs := make([]*probeDevice, 5)
+	bases := []uint64{0x5000_0000, 0x1000_0000, 0x3000_0000, 0x2000_0000, 0x4000_0000}
+	for i, base := range bases {
+		devs[i] = &probeDevice{readVal: uint64(i + 1)}
+		if err := bus.MapDevice("dev", base, 0x1000, devs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, base := range bases {
+		for _, off := range []uint64{0, 8, 0xFF8} {
+			v, err := bus.Read(base+off, 4)
+			if err != nil {
+				t.Fatalf("dev %d off %#x: %v", i, off, err)
+			}
+			if v != uint64(i+1) {
+				t.Errorf("dev %d off %#x routed to %d", i, off, v)
+			}
+		}
+		// One past the end must not hit this device.
+		if _, err := bus.Read(base+0x1000, 4); err == nil {
+			t.Errorf("dev %d: end-of-range address wrongly mapped", i)
+		}
+	}
+	// Below the lowest base.
+	if _, err := bus.Read(0x0F00_0000, 4); err == nil {
+		t.Error("address below all devices wrongly mapped")
+	}
+}
+
+// TestBusConcurrentLookupDuringMap exercises the copy-on-write table:
+// lookups proceed lock-free while a writer registers devices. Run with
+// -race to validate the publication safety.
+func TestBusConcurrentLookupDuringMap(t *testing.T) {
+	bus := NewBus(NewRAM(0x8000_0000, 1<<16))
+	if err := bus.MapDevice("first", 0x1000_0000, 0x1000, &probeDevice{readVal: 7}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 64; i++ {
+			base := 0x2000_0000 + uint64(i)*0x1_0000
+			if err := bus.MapDevice("more", base, 0x1000, &probeDevice{}); err != nil {
+				t.Errorf("map %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		v, err := bus.Read(0x1000_0000, 4)
+		if err != nil || v != 7 {
+			t.Fatalf("lookup during map: %#x, %v", v, err)
+		}
+	}
+	<-done
+}
+
+func TestLoadStoreLE(t *testing.T) {
+	b := make([]byte, 8)
+	StoreLE(b, 8, 0x0102_0304_0506_0708)
+	if got := LoadLE(b); got != 0x0102_0304_0506_0708 {
+		t.Errorf("LoadLE = %#x", got)
+	}
+	if b[0] != 0x08 {
+		t.Errorf("not little-endian: b[0]=%#x", b[0])
+	}
+	StoreLE(b[:2], 2, 0xFFFF)
+	if got := LoadLE(b[:2]); got != 0xFFFF {
+		t.Errorf("2-byte LoadLE = %#x", got)
+	}
+}
+
+// TestRecycleScrubsAllWritePaths pins the pool-reuse contract: a recycled
+// backing store must come back all-zero no matter which path dirtied it —
+// Bus.Write, Bus.WriteBytes, or a cached page view handed out for the MMU
+// fast path — even when the caller's own dirtyTop bound misses the write.
+func TestRecycleScrubsAllWritePaths(t *testing.T) {
+	const base, size = 0x8000_0000, uint64(1 << 21)
+	// Loop so at least some iterations after the first actually reuse a
+	// pooled buffer (sync.Pool may or may not return one).
+	for i := 0; i < 8; i++ {
+		ram := AcquireRAM(base, size)
+		bus := NewBus(ram)
+		for off := uint64(0); off < size; off += PageSize {
+			if got, err := bus.Read(base+off, 8); err != nil || got != 0 {
+				t.Fatalf("iter %d: recycled RAM dirty at +%#x: %#x (err %v)", i, off, got, err)
+			}
+		}
+		// Dirty through all three paths, well above any allocator bound.
+		if err := bus.Write(base+size-PageSize, 8, ^uint64(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := bus.WriteBytes(base+size/2, []byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		view, ok := bus.Slice(base+size/4, PageSize)
+		if !ok {
+			t.Fatal("slice refused")
+		}
+		bus.MarkDirty(base+size/4, PageSize)
+		view[10] = 0xEE
+		// Recycle with a deliberately useless caller bound.
+		ram.Recycle(0)
+	}
+}

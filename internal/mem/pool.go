@@ -1,0 +1,57 @@
+package mem
+
+import "sync"
+
+// RAM recycling. Allocating a platform's main memory costs a host
+// make([]byte, 256–512 MiB) — and once the Go allocator starts reusing
+// spans, a full memclr of that size on every platform construction. For
+// short simulations (benchmark iterations, Batch sessions) the clear
+// dominates wall-clock, drowning out the simulation being measured.
+//
+// The pool recycles backing stores across platform lifetimes instead:
+// Recycle scrubs only the prefix the simulation could have dirtied (fixed
+// firmware region plus the page allocator's high watermark — every
+// RAM-backed byte a correct guest can reach) and parks the buffer for the
+// next AcquireRAM of the same size. sync.Pool semantics apply: buffers are
+// dropped under GC pressure, so idle pools do not pin memory forever.
+
+var ramPools sync.Map // size (uint64) -> *sync.Pool of []byte
+
+// AcquireRAM returns a RAM region like NewRAM, preferring a recycled
+// backing store of the same size. Recycled stores are zero up to the
+// dirty watermark their previous owner declared to Recycle, so callers
+// observe the same all-zero initial contents as a fresh allocation.
+func AcquireRAM(base, size uint64) *RAM {
+	if p, ok := ramPools.Load(size); ok {
+		if buf, _ := p.(*sync.Pool).Get().([]byte); buf != nil {
+			return &RAM{base: base, data: buf}
+		}
+	}
+	return NewRAM(base, size)
+}
+
+// Recycle scrubs everything the simulation may have written and returns
+// the backing store to the pool for reuse by a future AcquireRAM of the
+// same size. The scrub bound is the larger of the RAM's own dirty
+// watermark — maintained by Write/WriteBytes and the MMU's walk-time
+// marking of cached writable pages — and dirtyTop, an optional physical
+// address bound the caller derives independently (the platform passes its
+// page allocator's high watermark as belt-and-braces). The RAM must not
+// be used after Recycle; outstanding Bytes/Slice views go stale.
+func (r *RAM) Recycle(dirtyTop uint64) {
+	if r.data == nil {
+		return
+	}
+	scrub := r.dirty.Load()
+	if dirtyTop > r.base && dirtyTop-r.base > scrub {
+		scrub = dirtyTop - r.base
+	}
+	if scrub > uint64(len(r.data)) {
+		scrub = uint64(len(r.data))
+	}
+	clear(r.data[:scrub])
+	size := uint64(len(r.data))
+	p, _ := ramPools.LoadOrStore(size, &sync.Pool{})
+	p.(*sync.Pool).Put(r.data)
+	r.data = nil
+}

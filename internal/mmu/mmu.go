@@ -18,6 +18,7 @@ package mmu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mobilesim/internal/mem"
 )
@@ -94,6 +95,10 @@ type tlbEntry struct {
 	vpn   uint64 // virtual page number + 1 (0 = invalid)
 	pfn   uint64 // physical page base
 	perms uint64
+	// page is the host view of the 4 KiB physical page, cached at walk
+	// time when the frame is RAM-backed; nil for MMIO frames, which must
+	// always go through the bus (device reads have side effects).
+	page []byte
 }
 
 // Walker translates virtual addresses through page tables rooted at a
@@ -105,10 +110,12 @@ type Walker struct {
 	root uint64 // physical base of top-level table; 0 = translation off
 	tlb  [tlbSize]tlbEntry
 
-	// Touched tracks distinct virtual page numbers translated since the
-	// last ResetTouched. The GPU uses it for the "pages accessed" system
-	// statistic (Table III); nil disables tracking.
-	Touched map[uint64]struct{}
+	// touched is a page bitmap of distinct virtual page numbers walked
+	// since the last ResetTouched: key = vpn>>6, bit = vpn&63. It is
+	// updated only on table walks (the first access to a page always
+	// misses the TLB), keeping the hot TLB-hit path free of map work.
+	// nil disables tracking.
+	touched map[uint64]uint64
 
 	// Walks counts full table walks (TLB misses).
 	Walks uint64
@@ -141,7 +148,29 @@ func (w *Walker) FlushTLB() {
 
 // ResetTouched clears and enables touched-page tracking.
 func (w *Walker) ResetTouched() {
-	w.Touched = make(map[uint64]struct{})
+	w.touched = make(map[uint64]uint64)
+}
+
+// TouchedCount returns the number of distinct virtual pages walked since
+// the last ResetTouched (the Table III "pages accessed" statistic).
+func (w *Walker) TouchedCount() int {
+	n := 0
+	for _, word := range w.touched {
+		n += bits.OnesCount64(word)
+	}
+	return n
+}
+
+// ForEachTouched calls fn for every distinct virtual page number recorded
+// since the last ResetTouched, in no particular order.
+func (w *Walker) ForEachTouched(fn func(vpn uint64)) {
+	for key, word := range w.touched {
+		for word != 0 {
+			bit := uint64(bits.TrailingZeros64(word))
+			fn(key<<6 | bit)
+			word &= word - 1
+		}
+	}
 }
 
 // Translate maps a virtual address to a physical address, checking
@@ -152,9 +181,6 @@ func (w *Walker) Translate(va uint64, kind mem.AccessKind) (uint64, *Fault) {
 		return va, nil
 	}
 	vpn := va >> 12
-	if w.Touched != nil {
-		w.Touched[vpn] = struct{}{}
-	}
 	e := &w.tlb[vpn&(tlbSize-1)]
 	if e.vpn == vpn+1 {
 		w.Hits++
@@ -168,11 +194,127 @@ func (w *Walker) Translate(va uint64, kind mem.AccessKind) (uint64, *Fault) {
 	if fault != nil {
 		return 0, fault
 	}
-	*e = tlbEntry{vpn: vpn + 1, pfn: pfn, perms: perms}
+	if w.touched != nil {
+		w.touched[vpn>>6] |= 1 << (vpn & 63)
+	}
+	page, _ := w.bus.Slice(pfn, mem.PageSize)
+	if page != nil && perms&PermW != 0 {
+		// Stores through the cached view bypass the bus, so account the
+		// whole page to the RAM recycling watermark up front.
+		w.bus.MarkDirty(pfn, mem.PageSize)
+	}
+	*e = tlbEntry{vpn: vpn + 1, pfn: pfn, perms: perms, page: page}
 	if !permOK(perms, kind) {
 		return 0, &Fault{Type: FaultPermission, VA: va, Kind: kind}
 	}
 	return pfn | (va & mem.PageMask), nil
+}
+
+// hitPage returns the cached host page for va when the access can be
+// served entirely from the TLB: translation on, valid entry, permitted
+// kind, RAM-backed frame. It returns nil in every other case without
+// touching any counter; the caller then falls back to Translate, which
+// accounts the access (one Hit or one Walk) exactly as before.
+func (w *Walker) hitPage(va uint64, kind mem.AccessKind) []byte {
+	if w.root == 0 {
+		return nil
+	}
+	vpn := va >> 12
+	e := &w.tlb[vpn&(tlbSize-1)]
+	if e.vpn != vpn+1 || e.page == nil || !permOK(e.perms, kind) {
+		return nil
+	}
+	w.Hits++
+	return e.page
+}
+
+// Load translates va and loads size little-endian bytes in one step. On a
+// TLB hit to a RAM-backed page it reads the cached host view directly,
+// touching neither the bus nor any lock and allocating nothing; otherwise
+// it falls back to Translate + Bus.Read (TLB miss, MMIO frame, permission
+// fault, page-crossing access, or translation off). The returned error is
+// a *Fault for translation failures or the bus error for physical ones.
+func (w *Walker) Load(va uint64, size int, kind mem.AccessKind) (uint64, error) {
+	off := va & mem.PageMask
+	if off+uint64(size) <= mem.PageSize {
+		if page := w.hitPage(va, kind); page != nil {
+			return mem.LoadLE(page[off : off+uint64(size)]), nil
+		}
+	}
+	pa, fault := w.Translate(va, kind)
+	if fault != nil {
+		return 0, fault
+	}
+	return w.bus.Read(pa, size)
+}
+
+// Store translates va and stores size little-endian bytes in one step,
+// with the same fast/slow split as Load. Stores always check PermW.
+func (w *Walker) Store(va uint64, size int, val uint64) error {
+	off := va & mem.PageMask
+	if off+uint64(size) <= mem.PageSize {
+		if page := w.hitPage(va, mem.Write); page != nil {
+			mem.StoreLE(page[off:off+uint64(size)], size, val)
+			return nil
+		}
+	}
+	pa, fault := w.Translate(va, mem.Write)
+	if fault != nil {
+		return fault
+	}
+	return w.bus.Write(pa, size, val)
+}
+
+// ReadBytes copies len(dst) bytes out of the virtual address space,
+// page by page (the underlying frames need not be contiguous). Pages
+// cached in the TLB are copied straight from their host views.
+func (w *Walker) ReadBytes(va uint64, dst []byte) error {
+	for off := 0; off < len(dst); {
+		cva := va + uint64(off)
+		chunk := int(mem.PageSize - cva&mem.PageMask)
+		if chunk > len(dst)-off {
+			chunk = len(dst) - off
+		}
+		if page := w.hitPage(cva, mem.Read); page != nil {
+			po := cva & mem.PageMask
+			copy(dst[off:off+chunk], page[po:po+uint64(chunk)])
+		} else {
+			pa, fault := w.Translate(cva, mem.Read)
+			if fault != nil {
+				return fault
+			}
+			if err := w.bus.ReadBytes(pa, dst[off:off+chunk]); err != nil {
+				return err
+			}
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// WriteBytes copies src into the virtual address space, page by page.
+func (w *Walker) WriteBytes(va uint64, src []byte) error {
+	for off := 0; off < len(src); {
+		cva := va + uint64(off)
+		chunk := int(mem.PageSize - cva&mem.PageMask)
+		if chunk > len(src)-off {
+			chunk = len(src) - off
+		}
+		if page := w.hitPage(cva, mem.Write); page != nil {
+			po := cva & mem.PageMask
+			copy(page[po:po+uint64(chunk)], src[off:off+chunk])
+		} else {
+			pa, fault := w.Translate(cva, mem.Write)
+			if fault != nil {
+				return fault
+			}
+			if err := w.bus.WriteBytes(pa, src[off:off+chunk]); err != nil {
+				return err
+			}
+		}
+		off += chunk
+	}
+	return nil
 }
 
 func permOK(perms uint64, kind mem.AccessKind) bool {

@@ -188,8 +188,47 @@ func TestTouchedPages(t *testing.T) {
 			}
 		}
 	}
-	if len(w.Touched) != 5 {
-		t.Errorf("touched pages = %d, want 5 (distinct)", len(w.Touched))
+	if w.TouchedCount() != 5 {
+		t.Errorf("touched pages = %d, want 5 (distinct)", w.TouchedCount())
+	}
+	seen := map[uint64]bool{}
+	w.ForEachTouched(func(vpn uint64) { seen[vpn] = true })
+	for p := uint64(0); p < 5; p++ {
+		if !seen[p] {
+			t.Errorf("vpn %d missing from ForEachTouched", p)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("ForEachTouched visited %d pages, want 5", len(seen))
+	}
+}
+
+// TestTouchedRecordedOnWalkOnly pins the tentpole invariant: the distinct-
+// page count is identical whether accesses go through Translate or the
+// Load/Store fast path, because the first access to any page always walks.
+func TestTouchedRecordedOnWalkOnly(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	if err := as.MapRange(0, 0x0030_0000, 8*mem.PageSize, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+	w.ResetTouched()
+	for i := 0; i < 100; i++ {
+		for p := uint64(0); p < 6; p++ {
+			if _, err := w.Load(p*mem.PageSize+8, 4, mem.Read); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if w.TouchedCount() != 6 {
+		t.Errorf("touched pages = %d, want 6", w.TouchedCount())
+	}
+	if w.Walks != 6 {
+		t.Errorf("walks = %d, want 6 (one per page)", w.Walks)
+	}
+	if w.Hits != 594 {
+		t.Errorf("hits = %d, want 594", w.Hits)
 	}
 }
 
@@ -228,5 +267,335 @@ func TestTranslateOffsetsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- Host-slice fast path (Load/Store/ReadBytes/WriteBytes) ----------------
+
+// fastEnv maps a few RAM pages plus one page pointing at an MMIO frame and
+// returns the bus, address space and a primed walker.
+const testDevBase = 0x4000_0000 // outside the 16 MiB test RAM
+
+// recordingDev counts register accesses so tests can prove MMIO is never
+// served from cached byte views.
+type recordingDev struct {
+	reads, writes int
+	last          uint64
+}
+
+func (d *recordingDev) ReadReg(off uint64, size int) (uint64, error) {
+	d.reads++
+	return 0x5150 + off, nil
+}
+
+func (d *recordingDev) WriteReg(off uint64, size int, val uint64) error {
+	d.writes++
+	d.last = val
+	return nil
+}
+
+func TestLoadStoreFastPath(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va, pa = 0x4000_0000, 0x0020_0000
+	if err := as.MapRange(va, pa, 2*mem.PageSize, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+
+	cases := []struct {
+		off  uint64
+		size int
+		val  uint64
+	}{
+		{0, 1, 0xAB},
+		{2, 2, 0xBEEF},
+		{4, 4, 0xDEADBEEF},
+		{8, 8, 0x0123_4567_89AB_CDEF},
+		{mem.PageSize + 16, 4, 0x42},
+	}
+	for _, c := range cases {
+		if err := w.Store(va+c.off, c.size, c.val); err != nil {
+			t.Fatalf("store %d@%#x: %v", c.size, c.off, err)
+		}
+		got, err := w.Load(va+c.off, c.size, mem.Read)
+		if err != nil {
+			t.Fatalf("load %d@%#x: %v", c.size, c.off, err)
+		}
+		if got != c.val {
+			t.Errorf("round trip %d@%#x = %#x, want %#x", c.size, c.off, got, c.val)
+		}
+		// The fast path must mutate the same physical bytes the bus sees.
+		busVal, berr := bus.Read(pa+c.off, c.size)
+		if berr != nil || busVal != c.val {
+			t.Errorf("bus sees %#x (err %v), want %#x", busVal, berr, c.val)
+		}
+	}
+	// Every access above was 1 hit or 1 walk, never both.
+	total := w.Hits + w.Walks
+	if total != uint64(2*len(cases)) {
+		t.Errorf("hits+walks = %d, want %d", total, 2*len(cases))
+	}
+}
+
+func TestLoadIdentityWhenDisabled(t *testing.T) {
+	bus := mem.NewBus(mem.NewRAM(0, 1<<20))
+	w := NewWalker(bus)
+	if err := w.Store(0x1234, 4, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.Load(0x1234, 4, mem.Read)
+	if err != nil || v != 0xCAFE {
+		t.Fatalf("identity load = %#x, %v", v, err)
+	}
+	if w.Hits != 0 || w.Walks != 0 {
+		t.Errorf("disabled walker counted hits=%d walks=%d", w.Hits, w.Walks)
+	}
+}
+
+// TestFastPathPermissionFaults verifies the fast path raises the same
+// permission faults as Translate, including after the TLB is primed by an
+// allowed access kind.
+func TestFastPathPermissionFaults(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va = 0x5000
+	if err := as.Map(va, 0x0020_0000, PermR); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+
+	// Prime the TLB (and its cached slice) with an allowed read.
+	if _, err := w.Load(va, 4, mem.Read); err != nil {
+		t.Fatal(err)
+	}
+	// A store through the now-hot entry must still fault.
+	err := w.Store(va, 4, 1)
+	f, ok := err.(*Fault)
+	if !ok || f.Type != FaultPermission || f.Kind != mem.Write {
+		t.Fatalf("store on read-only page: %v, want permission fault", err)
+	}
+	// Execute is also forbidden.
+	_, err = w.Load(va, 4, mem.Execute)
+	if f, ok := err.(*Fault); !ok || f.Type != FaultPermission {
+		t.Fatalf("exec on read-only page: %v, want permission fault", err)
+	}
+	// Unmapped VA faults with translation.
+	_, err = w.Load(0xdead_0000, 4, mem.Read)
+	if f, ok := err.(*Fault); !ok || f.Type != FaultTranslation {
+		t.Fatalf("unmapped load: %v, want translation fault", err)
+	}
+}
+
+// TestFastPathPageCross verifies page-crossing accesses match the
+// Translate+Bus semantics exactly (translate the first byte's page, access
+// physically contiguous bytes from there).
+func TestFastPathPageCross(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va, pa = 0x10000, 0x0020_0000
+	// Two virtual pages mapped to two physically contiguous frames.
+	if err := as.MapRange(va, pa, 2*mem.PageSize, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+
+	cross := uint64(va + mem.PageSize - 4) // 8-byte access spanning pages
+	const want = 0x1122_3344_5566_7788
+	if err := w.Store(cross, 8, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Load(cross, 8, mem.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("page-crossing load = %#x, want %#x", got, want)
+	}
+	// Reference semantics: same bytes as Translate + bus access.
+	paRef, fault := w.Translate(cross, mem.Read)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	ref, err := bus.Read(paRef, 8)
+	if err != nil || ref != want {
+		t.Errorf("reference read = %#x (err %v), want %#x", ref, err, want)
+	}
+}
+
+// TestMMIONeverCached maps a virtual page onto a device frame and checks
+// every access reaches the device model (no cached-slice shortcuts).
+func TestMMIONeverCached(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	dev := &recordingDev{}
+	if err := bus.MapDevice("probe", testDevBase, mem.PageSize, dev); err != nil {
+		t.Fatal(err)
+	}
+	const va = 0x9000
+	if err := as.Map(va, testDevBase, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+
+	for i := 0; i < 3; i++ {
+		v, err := w.Load(va+8, 4, mem.Read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0x5150+8 {
+			t.Errorf("device read = %#x", v)
+		}
+	}
+	if dev.reads != 3 {
+		t.Errorf("device saw %d reads, want 3 (MMIO must never be cached)", dev.reads)
+	}
+	if err := w.Store(va+16, 4, 77); err != nil {
+		t.Fatal(err)
+	}
+	if dev.writes != 1 || dev.last != 77 {
+		t.Errorf("device saw %d writes (last %#x), want 1 write of 77", dev.writes, dev.last)
+	}
+	// TLB entry exists (hits counted) but with no cached page.
+	if w.Hits == 0 {
+		t.Error("MMIO accesses should still hit the TLB after the first walk")
+	}
+}
+
+// TestSliceInvalidation verifies SetRoot and FlushTLB drop cached page
+// views: remapping a VA to a different frame must be visible immediately
+// after the flush that hardware requires.
+func TestSliceInvalidation(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va, paA, paB = 0x7000, 0x0020_0000, 0x0030_0000
+	if err := as.Map(va, paA, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+
+	if err := w.Store(va, 4, 0xAAAA); err != nil {
+		t.Fatal(err)
+	}
+	// Remap the page to frame B behind the TLB's back, then flush.
+	if err := as.Unmap(va); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(va, paB, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Write(paB, 4, 0xBBBB); err != nil {
+		t.Fatal(err)
+	}
+	w.FlushTLB()
+	v, err := w.Load(va, 4, mem.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xBBBB {
+		t.Errorf("after FlushTLB load = %#x, want 0xBBBB (stale slice served)", v)
+	}
+
+	// SetRoot must flush too: dropping to identity mode reads physical
+	// addresses directly, with no stale per-page views in the way.
+	w.SetRoot(0)
+	if v, err := w.Load(paB, 4, mem.Read); err != nil || v != 0xBBBB {
+		t.Errorf("identity after SetRoot(0): %#x, %v", v, err)
+	}
+}
+
+// TestBulkReadWriteBytes round-trips a buffer spanning several pages whose
+// frames are deliberately non-contiguous.
+func TestBulkReadWriteBytes(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va = 0x2_0000
+	frames := []uint64{0x0050_0000, 0x0030_0000, 0x0070_0000}
+	for i, pa := range frames {
+		if err := as.Map(va+uint64(i)*mem.PageSize, pa, PermR|PermW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+
+	src := make([]byte, 2*mem.PageSize+512)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	if err := w.WriteBytes(va+100, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := w.ReadBytes(va+100, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if src[i] != dst[i] {
+			t.Fatalf("byte %d: got %#x want %#x", i, dst[i], src[i])
+		}
+	}
+	// Fault propagation: writing past the mapped range.
+	if err := w.WriteBytes(va+3*mem.PageSize-4, make([]byte, 64)); err == nil {
+		t.Error("bulk write past mapping should fault")
+	}
+}
+
+// TestLoadHitPathZeroAllocs pins the acceptance criterion: a TLB-hit
+// load/store allocates nothing.
+func TestLoadHitPathZeroAllocs(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va = 0x8000
+	if err := as.Map(va, 0x0020_0000, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+	w.ResetTouched()
+	if _, err := w.Load(va, 4, mem.Read); err != nil { // prime
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := w.Load(va+8, 4, mem.Read); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Store(va+16, 4, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("TLB-hit load/store allocates %v/op, want 0", allocs)
+	}
+}
+
+// BenchmarkWalkerLoadHit measures the raw fast-path latency (ns/op and
+// allocs/op on the TLB-hit access path).
+func BenchmarkWalkerLoadHit(b *testing.B) {
+	bus := mem.NewBus(mem.NewRAM(0, 16<<20))
+	alloc, err := mem.NewPageAllocator(1<<20, 8<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	as, err := NewAddressSpace(bus, alloc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const va = 0x8000
+	if err := as.Map(va, 0x0020_0000, PermR|PermW); err != nil {
+		b.Fatal(err)
+	}
+	w := NewWalker(bus)
+	w.SetRoot(as.Root())
+	w.ResetTouched()
+	if _, err := w.Load(va, 4, mem.Read); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := w.Load(va+uint64(i)%1024, 4, mem.Read)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = v
 	}
 }

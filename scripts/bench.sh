@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench.sh — run the paper-figure and ablation benchmarks and snapshot the
+# results as BENCH_<pr>.json (the bench-trajectory format documented in
+# EXPERIMENTS.md). Usage:
+#
+#   scripts/bench.sh <pr-number> [bench-regex]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 3x; use e.g. 2s for
+#              lower-variance snapshots)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pr="${1:?usage: scripts/bench.sh <pr-number> [bench-regex]}"
+regex="${2:-^(BenchmarkFig|BenchmarkAblation|BenchmarkTable)}"
+benchtime="${BENCHTIME:-3x}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$regex" -benchmem -benchtime "$benchtime" \
+    -timeout 60m . | tee "$tmp"
+go run ./cmd/benchjson < "$tmp" > "BENCH_${pr}.json"
+echo "wrote BENCH_${pr}.json"
