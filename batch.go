@@ -2,18 +2,20 @@ package mobilesim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 )
 
-// BatchJob is one independent simulation in a Batch: a benchmark name, an
+// BatchJob is one independent simulation in a Batch: a workload name, an
 // input scale, and optionally a per-job platform configuration.
 type BatchJob struct {
-	// Benchmark names a registered workload (see Benchmarks).
+	// Benchmark names a registered workload (see Workloads) — any kind,
+	// not just Table II benchmarks.
 	Benchmark string
-	// Scale is the input scale; <= 0 selects the benchmark's default.
+	// Scale is the input scale; <= 0 selects the workload's default.
 	Scale int
 	// Config overrides the batch-wide session configuration for this job
 	// when non-nil.
@@ -28,8 +30,13 @@ type JobResult struct {
 	// Result is the completed run; nil when Err is set.
 	Result *RunResult
 	// Err is the failure: a session/run error, a verification failure,
-	// or the context error for jobs cancelled before they started.
+	// or the context error for jobs cancelled before they started or
+	// interrupted mid-run.
 	Err error
+	// Interrupted marks a job whose run had started when the batch
+	// context was cancelled: its kernel was soft-stopped mid-run, unlike
+	// Skipped jobs that never started.
+	Interrupted bool
 }
 
 // BatchResult summarises a Batch run.
@@ -38,8 +45,9 @@ type BatchResult struct {
 	Jobs []JobResult
 	// Completed counts jobs that ran and verified; Failed counts jobs
 	// that errored or failed verification; Skipped counts jobs cancelled
-	// before starting.
-	Completed, Failed, Skipped int
+	// before starting; Interrupted counts jobs soft-stopped mid-run by
+	// batch cancellation.
+	Completed, Failed, Skipped, Interrupted int
 	// Aggregate merges the statistics of every job that produced a
 	// result — the many-guests-one-host view of the whole batch.
 	Aggregate Stats
@@ -62,10 +70,11 @@ type Batch struct {
 }
 
 // Run executes the batch, blocking until every job has finished or the
-// context is cancelled. Cancellation is honoured between jobs: running
-// simulations complete, queued jobs are marked Skipped with ctx.Err().
-// The error is ctx.Err() after cancellation and nil otherwise; per-job
-// failures are reported in the result, not as an error.
+// context is cancelled. Cancellation takes effect mid-run: an executing
+// simulation is soft-stopped at a kernel clause boundary and marked
+// Interrupted; queued jobs are marked Skipped with ctx.Err(). The error
+// is ctx.Err() after cancellation and nil otherwise; per-job failures are
+// reported in the result, not as an error.
 func (b *Batch) Run(ctx context.Context) (*BatchResult, error) {
 	if len(b.Jobs) == 0 {
 		return &BatchResult{}, nil
@@ -116,7 +125,9 @@ func (b *Batch) Run(ctx context.Context) (*BatchResult, error) {
 			} else {
 				res.Completed++
 			}
-		case ctx.Err() != nil && jr.Err == ctx.Err():
+		case jr.Interrupted:
+			res.Interrupted++
+		case ctx.Err() != nil && errors.Is(jr.Err, ctx.Err()):
 			res.Skipped++
 		default:
 			res.Failed++
@@ -134,7 +145,10 @@ func (b *Batch) jobConfig(i int) Config {
 	return b.Config
 }
 
-// runJob boots a fresh session, runs one benchmark and tears down.
+// runJob boots a fresh session, submits one workload run through the
+// session's command queue and tears down. Riding the queue means batch
+// cancellation reaches into a running job: the kernel is soft-stopped at
+// a clause boundary instead of running to completion.
 func (b *Batch) runJob(ctx context.Context, i int) JobResult {
 	job := b.Jobs[i]
 	jr := JobResult{Index: i, Job: job}
@@ -148,13 +162,21 @@ func (b *Batch) runJob(ctx context.Context, i int) JobResult {
 		return jr
 	}
 	defer sess.Close()
-	run, err := sess.Run(job.Benchmark, job.Scale)
+	pending, err := sess.Submit(ctx, job.Benchmark, WithScale(job.Scale))
 	if err != nil {
 		jr.Err = err
 		return jr
 	}
+	run, err := pending.Wait()
+	if err != nil {
+		jr.Err = err
+		// Interrupted only when the run had actually begun: a job whose
+		// cancellation landed before Execute started is Skipped.
+		jr.Interrupted = pending.Started() && ctx.Err() != nil && errors.Is(err, ctx.Err())
+		return jr
+	}
 	jr.Result = run
-	if !run.Verified {
+	if run.VerifyErr != nil {
 		jr.Err = fmt.Errorf("%s: verification failed: %w", job.Benchmark, run.VerifyErr)
 	}
 	return jr

@@ -8,6 +8,7 @@
 package mobilesim_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -21,6 +22,8 @@ import (
 	"mobilesim/internal/slam"
 	"mobilesim/internal/workloads"
 )
+
+var bg = context.Background()
 
 var smallOpt = experiments.Options{Scale: experiments.ScaleSmall}
 
@@ -39,12 +42,12 @@ func runSpec(b *testing.B, name string, mutate func(*platform.Platform)) {
 	if mutate != nil {
 		mutate(p)
 	}
-	ctx, err := cl.NewContext(p, "")
+	c, err := cl.NewContext(p, "")
 	if err != nil {
 		b.Fatal(err)
 	}
 	inst := spec.Make(spec.SmallScale)
-	res, err := inst.Run(ctx, name)
+	res, err := inst.Run(bg, c, name, true)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -114,12 +117,12 @@ func BenchmarkFig10ThreadScaling(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				ctx, err := cl.NewContext(p, "")
+				c, err := cl.NewContext(p, "")
 				if err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
-				if _, err := spec.Make(128).Run(ctx, "SobelFilter"); err != nil {
+				if _, err := spec.Make(128).Run(bg, c, "SobelFilter", true); err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
@@ -155,12 +158,12 @@ func BenchmarkFig14SLAMBench(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		ctx, err := cl.NewContext(p, "")
+		c, err := cl.NewContext(p, "")
 		if err != nil {
 			p.Close()
 			b.Fatal(err)
 		}
-		if _, err := slam.Run(ctx, cfg); err != nil {
+		if _, err := slam.Run(bg, c, cfg); err != nil {
 			p.Close()
 			b.Fatal(err)
 		}
@@ -179,12 +182,12 @@ func BenchmarkFig15SGEMM(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				ctx, err := cl.NewContext(p, "")
+				c, err := cl.NewContext(p, "")
 				if err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
-				if _, err := workloads.RunSgemmVariant(ctx, v, a, bb, dim, dim, dim); err != nil {
+				if _, err := workloads.RunSgemmVariant(bg, c, v, a, bb, dim, dim, dim); err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
@@ -214,11 +217,11 @@ func BenchmarkAblationDBT(b *testing.B) {
 			}
 			defer p.Close()
 			p.CPUs[0].SetEngine(engine)
-			ctx, err := cl.NewContext(p, "")
+			c, err := cl.NewContext(p, "")
 			if err != nil {
 				b.Fatal(err)
 			}
-			buf, err := ctx.CreateBuffer(1 << 20)
+			buf, err := c.CreateBuffer(1 << 20)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -226,7 +229,7 @@ func BenchmarkAblationDBT(b *testing.B) {
 			b.SetBytes(1 << 20)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := ctx.WriteBuffer(buf, data); err != nil {
+				if err := c.WriteBuffer(bg, buf, data); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -251,12 +254,12 @@ func BenchmarkAblationDecodeCache(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				ctx, err := cl.NewContext(p, "")
+				c, err := cl.NewContext(p, "")
 				if err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
-				if _, err := spec.Make(1024).Run(ctx, "BitonicSort"); err != nil {
+				if _, err := spec.Make(1024).Run(bg, c, "BitonicSort", true); err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
@@ -279,12 +282,12 @@ func BenchmarkAblationVirtualCores(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				ctx, err := cl.NewContext(p, "")
+				c, err := cl.NewContext(p, "")
 				if err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
-				if _, err := spec.Make(192).Run(ctx, "SobelFilter"); err != nil {
+				if _, err := spec.Make(192).Run(bg, c, "SobelFilter", true); err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
@@ -306,12 +309,12 @@ func BenchmarkAblationClauses(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				ctx, err := cl.NewContext(p, ver)
+				c, err := cl.NewContext(p, ver)
 				if err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
-				if _, err := spec.Make(spec.SmallScale).Run(ctx, "DCT"); err != nil {
+				if _, err := spec.Make(spec.SmallScale).Run(bg, c, "DCT", true); err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
@@ -339,12 +342,12 @@ func BenchmarkAblationInstrumentation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				ctx, err := cl.NewContext(p, "")
+				c, err := cl.NewContext(p, "")
 				if err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
-				if _, err := spec.Make(spec.SmallScale).Run(ctx, "BFS"); err != nil {
+				if _, err := spec.Make(spec.SmallScale).Run(bg, c, "BFS", true); err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
@@ -372,12 +375,12 @@ func BenchmarkAblationGPUJIT(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				ctx, err := cl.NewContext(p, "")
+				c, err := cl.NewContext(p, "")
 				if err != nil {
 					p.Close()
 					b.Fatal(err)
 				}
-				if _, err := spec.Make(12).Run(ctx, "Cutcp"); err != nil {
+				if _, err := spec.Make(12).Run(bg, c, "Cutcp", true); err != nil {
 					p.Close()
 					b.Fatal(err)
 				}

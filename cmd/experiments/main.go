@@ -1,4 +1,7 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures through
+// the unified Workload API: each experiment is a registered workload run
+// on one session, whose configuration (host threads, compiler version)
+// parameterises the harness. Ctrl-C cancels mid-experiment.
 //
 // Usage:
 //
@@ -9,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"mobilesim"
@@ -28,18 +33,29 @@ func main() {
 			strings.Join(mobilesim.Experiments(), " "))
 		os.Exit(2)
 	}
-	opt := mobilesim.ExperimentOptions{
-		Scale:           mobilesim.ExperimentScale(*scale),
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sess, err := mobilesim.New(mobilesim.Config{
 		HostThreads:     *threads,
 		CompilerVersion: *compiler,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
+	defer sess.Close()
 
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = mobilesim.Experiments()
 	}
 	for _, n := range names {
-		if err := mobilesim.RunExperiment(os.Stdout, n, opt); err != nil {
+		_, err := sess.Run(ctx, n,
+			mobilesim.WithOutput(os.Stdout),
+			mobilesim.WithExperimentScale(mobilesim.ExperimentScale(*scale)))
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", n, err)
 			os.Exit(1)
 		}

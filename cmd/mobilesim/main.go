@@ -1,14 +1,20 @@
-// Command mobilesim runs benchmarks on the full simulated CPU/GPU
+// Command mobilesim runs workloads on the full simulated CPU/GPU
 // platform and prints their execution and system statistics — the
 // simulator's day-to-day workload-characterisation workflow.
 //
 // Usage:
 //
-//	mobilesim [-scale N] [-ram MiB] [-threads N] [-cores N] [-compiler VER] [-cfg] [-workers N] [-list] <benchmark>...
+//	mobilesim [-scale N] [-ram MiB] [-threads N] [-cores N] [-compiler VER] [-cfg] [-timeout D] [-workers N] [-list] <workload>...
 //
-// With more than one benchmark (or -workers > 1) the runs execute as a
-// concurrent batch, one fresh session per benchmark, and an aggregate
-// summary is printed at the end.
+// A workload is any registered name (see -list): a Table II benchmark, a
+// SLAMBench preset (slam/standard), a SGEMM ladder rung (sgemm6/naive)
+// or a paper experiment (fig7). With more than one workload (or
+// -workers > 1) the runs execute as a concurrent batch, one fresh
+// session per workload, and an aggregate summary is printed at the end.
+//
+// Ctrl-C — or an elapsed -timeout — cancels mid-run: the executing
+// kernel is soft-stopped at a clause boundary and interrupted jobs are
+// reported as such.
 package main
 
 import (
@@ -25,29 +31,38 @@ import (
 )
 
 func main() {
-	scale := flag.Int("scale", 0, "input scale (0 = benchmark default)")
+	scale := flag.Int("scale", 0, "input scale (0 = workload default)")
 	ram := flag.Int("ram", 1024, "guest RAM in MiB")
 	threads := flag.Int("threads", 8, "GPU simulation host threads")
 	cores := flag.Int("cores", 8, "simulated shader cores")
 	compiler := flag.String("compiler", "", "JIT compiler version (5.6..6.2, default 6.1)")
 	cfg := flag.Bool("cfg", false, "collect and print the divergence CFG")
 	jit := flag.Bool("jit", false, "use closure-JIT shader execution")
-	workers := flag.Int("workers", 0, "concurrent sessions for multi-benchmark runs (0 = one per CPU)")
-	list := flag.Bool("list", false, "list available benchmarks")
+	workers := flag.Int("workers", 0, "concurrent sessions for multi-workload runs (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none); running kernels are interrupted at a clause boundary")
+	list := flag.Bool("list", false, "list registered workloads")
 	flag.Parse()
 
 	if *list {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "name\tsuite\tpaper input")
-		for _, b := range mobilesim.Benchmarks() {
-			fmt.Fprintf(tw, "%s\t%s\t%s\n", b.Name, b.Suite, b.PaperInput)
+		fmt.Fprintln(tw, "name\tkind\tsuite\tdescription")
+		for _, w := range mobilesim.Workloads() {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", w.Name, w.Kind, w.Suite, w.Description)
 		}
 		tw.Flush()
 		return
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mobilesim [flags] <benchmark>...   (see -list)")
+		fmt.Fprintln(os.Stderr, "usage: mobilesim [flags] <workload>...   (see -list)")
 		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	conf := mobilesim.Config{
@@ -60,9 +75,9 @@ func main() {
 	}
 	var err error
 	if flag.NArg() == 1 && *workers <= 1 {
-		err = runOne(flag.Arg(0), *scale, conf)
+		err = runOne(ctx, flag.Arg(0), *scale, conf)
 	} else {
-		err = runBatch(flag.Args(), *scale, *workers, conf)
+		err = runBatch(ctx, flag.Args(), *scale, *workers, conf)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mobilesim:", err)
@@ -70,24 +85,25 @@ func main() {
 	}
 }
 
-// runOne runs a single benchmark and prints the full statistics table.
-func runOne(name string, scale int, conf mobilesim.Config) error {
+// runOne runs a single workload and prints the full statistics table.
+func runOne(ctx context.Context, name string, scale int, conf mobilesim.Config) error {
 	sess, err := mobilesim.New(conf)
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
 
-	res, err := sess.Run(name, scale)
+	res, err := sess.Run(ctx, name,
+		mobilesim.WithScale(scale), mobilesim.WithOutput(os.Stdout))
 	if err != nil {
 		return err
 	}
-	if !res.Verified {
+	if res.VerifyErr != nil {
 		return fmt.Errorf("verification FAILED: %v", res.VerifyErr)
 	}
 
-	fmt.Printf("%s, scale %d, %d SCs on %d host threads\n",
-		res.Benchmark, res.Scale, conf.ShaderCores, conf.HostThreads)
+	fmt.Printf("%s (%s), scale %d, %d SCs on %d host threads\n",
+		res.Workload, res.Kind, res.Scale, conf.ShaderCores, conf.HostThreads)
 	printStats(res)
 
 	if conf.CollectCFG {
@@ -97,7 +113,7 @@ func runOne(name string, scale int, conf mobilesim.Config) error {
 	return nil
 }
 
-// printStats renders one run's statistics table.
+// printStats renders one run's statistics table (per-run deltas).
 func printStats(res *mobilesim.RunResult) {
 	gs, sys := res.Stats.GPU, res.Stats.System
 	a, ls, nop, cf := gs.MixFractions()
@@ -105,7 +121,9 @@ func printStats(res *mobilesim.RunResult) {
 	min, q1, med, q3, max := gs.ClauseSizeQuartiles()
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "verified\tyes (vs host-native reference)\n")
+	if res.Verified {
+		fmt.Fprintf(tw, "verified\tyes (vs host-native reference)\n")
+	}
 	fmt.Fprintf(tw, "sim time\t%v (native %v, slowdown %.0fx)\n",
 		res.SimDuration.Round(time.Millisecond), res.NativeDuration,
 		float64(res.SimDuration)/float64(maxDur(res.NativeDuration, 1)))
@@ -127,12 +145,9 @@ func printStats(res *mobilesim.RunResult) {
 	tw.Flush()
 }
 
-// runBatch runs several benchmarks concurrently through the Batch API and
+// runBatch runs several workloads concurrently through the Batch API and
 // prints one summary row per run plus the aggregate.
-func runBatch(names []string, scale, workers int, conf mobilesim.Config) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
+func runBatch(ctx context.Context, names []string, scale, workers int, conf mobilesim.Config) error {
 	jobs := make([]mobilesim.BatchJob, len(names))
 	for i, n := range names {
 		jobs[i] = mobilesim.BatchJob{Benchmark: n, Scale: scale}
@@ -145,26 +160,27 @@ func runBatch(names []string, scale, workers int, conf mobilesim.Config) error {
 	// On cancellation, still report what completed before the interrupt.
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\tstatus\tsim time\tGPU instr\tjobs\tIRQs")
+	fmt.Fprintln(tw, "workload\tstatus\tsim time\tGPU instr\tjobs\tIRQs")
 	for _, jr := range res.Jobs {
-		if jr.Result == nil && errors.Is(jr.Err, ctx.Err()) && ctx.Err() != nil {
+		switch {
+		case jr.Interrupted:
+			fmt.Fprintf(tw, "%s\tinterrupted mid-run (%v)\t\t\t\t\n", jr.Job.Benchmark, jr.Err)
+		case jr.Result == nil && ctx.Err() != nil && errors.Is(jr.Err, ctx.Err()):
 			fmt.Fprintf(tw, "%s\tskipped (%v)\t\t\t\t\n", jr.Job.Benchmark, jr.Err)
-			continue
-		}
-		if jr.Err != nil {
+		case jr.Err != nil:
 			fmt.Fprintf(tw, "%s\tFAILED: %v\t\t\t\t\n", jr.Job.Benchmark, jr.Err)
-			continue
+		default:
+			r := jr.Result
+			fmt.Fprintf(tw, "%s\tok\t%v\t%d\t%d\t%d\n", r.Workload,
+				r.SimDuration.Round(time.Millisecond), r.Stats.GPU.TotalInstr(),
+				r.Stats.System.ComputeJobs, r.Stats.System.IRQsAsserted)
 		}
-		r := jr.Result
-		fmt.Fprintf(tw, "%s\tok\t%v\t%d\t%d\t%d\n", r.Benchmark,
-			r.SimDuration.Round(time.Millisecond), r.Stats.GPU.TotalInstr(),
-			r.Stats.System.ComputeJobs, r.Stats.System.IRQsAsserted)
 	}
 	tw.Flush()
 
 	agg := res.Aggregate
-	fmt.Printf("\nbatch: %d ok, %d failed, %d skipped in %v\n",
-		res.Completed, res.Failed, res.Skipped, res.Wall.Round(time.Millisecond))
+	fmt.Printf("\nbatch: %d ok, %d failed, %d interrupted, %d skipped in %v\n",
+		res.Completed, res.Failed, res.Interrupted, res.Skipped, res.Wall.Round(time.Millisecond))
 	fmt.Printf("aggregate: %d GPU instructions, %d compute jobs, %d guest instructions, driver CPU %v\n",
 		agg.GPU.TotalInstr(), agg.System.ComputeJobs, agg.GuestInstructions,
 		agg.DriverCPUTime.Round(time.Millisecond))
@@ -172,7 +188,7 @@ func runBatch(names []string, scale, workers int, conf mobilesim.Config) error {
 		return runErr
 	}
 	if res.Failed > 0 {
-		return fmt.Errorf("%d of %d benchmarks failed", res.Failed, len(res.Jobs))
+		return fmt.Errorf("%d of %d workloads failed", res.Failed, len(res.Jobs))
 	}
 	return nil
 }

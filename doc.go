@@ -18,26 +18,66 @@
 //	defer sess.Close()
 //	k, err := sess.LoadKernel(src, "axpb")
 //	err = k.SetArgs(bufX, bufY, float32(2), float32(1), n)
-//	err = k.Launch(mobilesim.Dim1(n), mobilesim.Dim1(64))
+//	err = k.Launch(ctx, mobilesim.Dim1(n), mobilesim.Dim1(64))
 //	st := sess.Stats()
 //
-// Session.Run executes a registered paper benchmark (see Benchmarks) and
-// verifies the simulated output against a host-native reference.
+// # Workloads
+//
+// Everything the simulator can run — the Table II benchmark suite, the
+// SLAMBench pipeline presets, the SGEMM tuning ladder and the paper's
+// evaluation experiments — lives in one Workload registry (Register,
+// Lookup, Workloads) and executes through one entry point:
+//
+//	res, err := sess.Run(ctx, "BFS", mobilesim.WithScale(2048))
+//	res, err := sess.Run(ctx, "slam/standard")
+//	res, err := sess.Run(ctx, "fig7", mobilesim.WithOutput(os.Stdout))
+//
+// Functional options select scale, per-run CFG collection, verification
+// and statistics scope. RunResult.Stats is the per-run delta (the
+// session snapshot diffed around the run); Session.Stats stays
+// cumulative. Custom Workload implementations run through the same path
+// via RunWorkload / SubmitWorkload.
+//
+// # Cancellation
+//
+// Run and Submit honour context cancellation mid-kernel: the driver
+// soft-stops the GPU through the job-slot command register and the
+// shader cores quiesce at the next clause boundary — the same
+// granularity the hardware schedules at — so Run returns ctx.Err()
+// promptly and the Session remains usable for subsequent runs.
+//
+// # The command queue
+//
+// Submit enqueues a run without waiting, the clEnqueueNDRangeKernel
+// model: submissions execute strictly in order, each returning a Pending
+// future with Wait and a selectable Done channel:
+//
+//	p1, _ := sess.Submit(ctx, "BinarySearch")
+//	p2, _ := sess.Submit(ctx, "DCT")
+//	res1, err := p1.Wait()
+//	res2, err := p2.Wait()
+//
+// Cancelling a submission's context skips it while queued and
+// soft-stops it mid-run; Close drains the queue, failing queued entries
+// with ErrClosed.
 //
 // # Batches
 //
 // A Batch runs N independent simulations across a bounded worker pool —
 // one fresh Session per job, nothing shared between jobs — and merges
-// their statistics:
+// their statistics. Batch jobs ride the session command queue, so batch
+// cancellation interrupts the executing job mid-run (reported as
+// Interrupted) rather than waiting for it to finish:
 //
 //	batch := &mobilesim.Batch{Jobs: jobs, Workers: 4}
 //	res, err := batch.Run(ctx)
 //
 // # Documentation
 //
-// See README.md for the architecture overview and quickstart, DESIGN.md
-// for the system inventory and design-decision index, and EXPERIMENTS.md
-// for how each table and figure of the paper's evaluation is regenerated.
-// The bench_test.go harness regenerates every experiment as a testing.B
-// benchmark; cmd/experiments prints them.
+// See README.md for the architecture overview, quickstart and the
+// legacy-API migration table, DESIGN.md for the system inventory and
+// design-decision index, and EXPERIMENTS.md for how each table and
+// figure of the paper's evaluation is regenerated. The bench_test.go
+// harness regenerates every experiment as a testing.B benchmark;
+// cmd/experiments prints them.
 package mobilesim

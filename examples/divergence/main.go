@@ -1,11 +1,14 @@
-// Divergence analysis: run the BFS benchmark with control-flow-graph
-// collection and print the clause-level CFG with divergence annotations —
-// the Fig 6 workflow for pinpointing where warps split.
+// Divergence analysis: run the BFS benchmark with per-run control-flow-
+// graph collection and print the clause-level CFG with divergence
+// annotations — the Fig 6 workflow for pinpointing where warps split.
+// CFG collection is requested per run (WithCFG), so the session itself
+// carries no instrumentation overhead for other runs.
 //
 //	go run ./examples/divergence
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,13 +16,14 @@ import (
 )
 
 func main() {
-	sess, err := mobilesim.New(mobilesim.Config{CollectCFG: true})
+	sess, err := mobilesim.New(mobilesim.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer sess.Close()
 
-	res, err := sess.Run("BFS", 2048)
+	res, err := sess.Run(context.Background(), "BFS",
+		mobilesim.WithScale(2048), mobilesim.WithCFG())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,5 +38,5 @@ func main() {
 	fmt.Println("control-flow graph (clause offsets within the shader binary;")
 	fmt.Println("edge percentages are the proportion of threads taking each path):")
 	fmt.Println()
-	fmt.Print(sess.CFG())
+	fmt.Print(res.CFG)
 }

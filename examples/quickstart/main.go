@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := bx.WriteF32(xs); err != nil {
+	if err := bx.WriteF32(nil, xs); err != nil {
 		log.Fatal(err)
 	}
 
@@ -63,12 +64,14 @@ func main() {
 
 	// 4. Launch: descriptor written to shared memory, doorbell rung,
 	//    Job Manager dispatches, completion IRQ handled by the guest ISR.
-	if err := k.Launch(mobilesim.Dim1(n), mobilesim.Dim1(64)); err != nil {
+	//    The context can cancel the launch mid-kernel: the GPU soft-stops
+	//    at a clause boundary and the session stays usable.
+	if err := k.Launch(context.Background(), mobilesim.Dim1(n), mobilesim.Dim1(64)); err != nil {
 		log.Fatal(err)
 	}
 
 	// 5. Read back and inspect.
-	ys, err := by.ReadF32(n)
+	ys, err := by.ReadF32(nil, n)
 	if err != nil {
 		log.Fatal(err)
 	}

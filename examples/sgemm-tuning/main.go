@@ -1,25 +1,25 @@
-// SGEMM tuning study: run the six-step desktop-GPU optimisation ladder on
-// the simulated mobile GPU, print the per-variant statistics, and show how
-// the analytical Mali and desktop models rank them differently — the
-// Fig 15 workflow demonstrating that desktop optimisations trigger mobile
-// bottlenecks.
+// SGEMM tuning study: run the six-step desktop-GPU optimisation ladder
+// through the unified Workload API on the simulated mobile GPU, print the
+// per-variant statistics, and show how the analytical Mali and desktop
+// models rank them differently — the Fig 15 workflow demonstrating that
+// desktop optimisations trigger mobile bottlenecks.
 //
 //	go run ./examples/sgemm-tuning
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"mobilesim"
 )
 
 func main() {
-	const dim = 64
-	a, b := mobilesim.SgemmInputs(dim, dim, dim)
-	want := mobilesim.SgemmNative(a, b, dim, dim, dim)
+	const scale = 4 // 64x64x64 matrices (dim = 16*scale)
 
 	mali := mobilesim.MaliG71()
 	desk := mobilesim.K20m()
@@ -31,17 +31,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		got, err := sess.RunSgemm(v, a, b, dim, dim, dim)
+		res, err := sess.Run(context.Background(),
+			"sgemm6/"+strings.ToLower(v.Name), mobilesim.WithScale(scale))
 		if err != nil {
 			log.Fatalf("%s: %v", v.Name, err)
 		}
-		for i := range got {
-			d := got[i] - want[i]
-			if d > 1e-2 || d < -1e-2 {
-				log.Fatalf("%s: wrong result at %d", v.Name, i)
-			}
+		if !res.Verified {
+			log.Fatalf("%s: %v", v.Name, res.VerifyErr)
 		}
-		gs := sess.Stats().GPU
+		gs := res.Stats.GPU
 		fmt.Fprintf(tw, "%d:%s\t%d\t%d\t%d\t%d\t%.2e\t%.2e\n",
 			v.ID, v.Name, gs.TotalInstr(), gs.GlobalLS, gs.LocalLS, gs.RegistersUsed,
 			mali.Estimate(&gs), desk.Estimate(&gs, v.Profile, 1))

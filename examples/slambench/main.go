@@ -1,12 +1,13 @@
 // SLAMBench: run the KFusion-style dense-SLAM pipeline in its three
-// configurations on the full simulated stack, and show how the simulated
-// metrics predict the configuration ranking — the Fig 14 workflow for
-// optimising an application without hardware.
+// configurations through the unified Workload API, and show how the
+// simulated metrics predict the configuration ranking — the Fig 14
+// workflow for optimising an application without hardware.
 //
 //	go run ./examples/slambench
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,25 +22,23 @@ func main() {
 	fmt.Fprintln(tw, "config\tkernels\tinstr\tglobal LS\tlocal LS\tjobs\tIRQs\tresidual\test. FPS (rel)")
 
 	var baseCost float64
-	for _, cfg := range []mobilesim.SLAMConfig{
-		mobilesim.SLAMStandard(1), mobilesim.SLAMFast3(1), mobilesim.SLAMExpress(1),
-	} {
+	for _, name := range []string{"slam/standard", "slam/fast3", "slam/express"} {
 		sess, err := mobilesim.New(mobilesim.Config{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := sess.RunSLAM(cfg)
+		res, err := sess.Run(context.Background(), name)
 		if err != nil {
-			log.Fatalf("%s: %v", cfg.Name, err)
+			log.Fatalf("%s: %v", name, err)
 		}
-		st := sess.Stats()
-		gs, sys := st.GPU, st.System
+		gs, sys := res.Stats.GPU, res.Stats.System
+		m := res.SLAM
 		cost := mali.Estimate(&gs)
 		if baseCost == 0 {
 			baseCost = cost
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.2e\t%.2f\n",
-			cfg.Name, m.KernelsRun, gs.TotalInstr(), gs.GlobalLS, gs.LocalLS,
+			res.Workload, m.KernelsRun, gs.TotalInstr(), gs.GlobalLS, gs.LocalLS,
 			sys.ComputeJobs, sys.IRQsAsserted, m.FinalResidual, baseCost/cost)
 		sess.Close()
 	}

@@ -1,8 +1,11 @@
 package mobilesim
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
+	"time"
 
 	"mobilesim/internal/experiments"
 )
@@ -20,7 +23,8 @@ const (
 	ExperimentScalePaper ExperimentScale = "paper"
 )
 
-// ExperimentOptions configures a paper-experiment run.
+// ExperimentOptions configures a paper-experiment run through the legacy
+// RunExperiment entry point.
 type ExperimentOptions struct {
 	// Scale selects input sizes (default ExperimentScaleDefault).
 	Scale ExperimentScale
@@ -30,7 +34,7 @@ type ExperimentOptions struct {
 	CompilerVersion string
 }
 
-func (o ExperimentOptions) lower() experiments.Options {
+func (o ExperimentOptions) lower(ctx context.Context) experiments.Options {
 	scale := o.Scale
 	if scale == "" {
 		scale = ExperimentScaleDefault
@@ -39,30 +43,81 @@ func (o ExperimentOptions) lower() experiments.Options {
 		Scale:           experiments.ScaleKind(scale),
 		HostThreads:     o.HostThreads,
 		CompilerVersion: o.CompilerVersion,
+		Ctx:             ctx,
 	}
 }
 
 // experimentRunners pairs each experiment name with its harness entry,
-// in paper order; Experiments and RunExperiment are both driven by this
-// single table.
+// in paper order; the registry entries, Experiments and RunExperiment are
+// all driven by this single table.
 var experimentRunners = []struct {
 	name string
+	desc string
 	run  func(io.Writer, experiments.Options) error
 }{
-	{"fig1", func(w io.Writer, _ experiments.Options) error { _, err := experiments.Fig1(w); return err }},
-	{"fig6", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig6(w, o); return err }},
-	{"fig7", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig7(w, o); return err }},
-	{"fig8", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig8(w, o); return err }},
-	{"fig9", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig9(w, o); return err }},
-	{"fig10", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig10(w, o); return err }},
-	{"fig11", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig11(w, o); return err }},
-	{"fig12", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig12(w, o); return err }},
-	{"fig13", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig13(w, o); return err }},
-	{"fig14", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig14(w, o); return err }},
-	{"fig15", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig15(w, o); return err }},
-	{"table2", func(w io.Writer, _ experiments.Options) error { return experiments.Table2(w) }},
-	{"table3", func(w io.Writer, o experiments.Options) error { _, err := experiments.Table3(w, o); return err }},
-	{"table4", func(w io.Writer, _ experiments.Options) error { return experiments.Table4(w) }},
+	{"fig1", "compiler-version instruction counts", func(w io.Writer, _ experiments.Options) error { _, err := experiments.Fig1(w); return err }},
+	{"fig6", "BFS divergence CFG", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig6(w, o); return err }},
+	{"fig7", "full-stack slowdown vs native", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig7(w, o); return err }},
+	{"fig8", "host-thread scaling", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig8(w, o); return err }},
+	{"fig9", "driver runtime vs input size", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig9(w, o); return err }},
+	{"fig10", "simulation-rate comparison", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig10(w, o); return err }},
+	{"fig11", "instruction mixes", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig11(w, o); return err }},
+	{"fig12", "data-access breakdowns", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig12(w, o); return err }},
+	{"fig13", "clause-size distributions", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig13(w, o); return err }},
+	{"fig14", "SLAMBench configuration study", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig14(w, o); return err }},
+	{"fig15", "SGEMM tuning-ladder study", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig15(w, o); return err }},
+	{"table2", "benchmark suite inventory", func(w io.Writer, _ experiments.Options) error { return experiments.Table2(w) }},
+	{"table3", "system-interaction statistics", func(w io.Writer, o experiments.Options) error { _, err := experiments.Table3(w, o); return err }},
+	{"table4", "simulator feature comparison", func(w io.Writer, _ experiments.Options) error { return experiments.Table4(w) }},
+}
+
+func init() {
+	for _, e := range experimentRunners {
+		mustRegister(experimentWorkload{name: e.name, desc: e.desc, run: e.run})
+	}
+}
+
+// experimentWorkload adapts one paper table/figure to the Workload
+// contract. Experiments boot their own dedicated platforms; the session
+// contributes its configuration (host threads, compiler version) and the
+// command-queue slot, and its own device stays idle.
+type experimentWorkload struct {
+	name string
+	desc string
+	run  func(io.Writer, experiments.Options) error
+}
+
+func (e experimentWorkload) Info() WorkloadInfo {
+	return WorkloadInfo{
+		Name: e.name, Kind: KindExperiment, Suite: "paper",
+		Description: e.desc,
+	}
+}
+
+func (e experimentWorkload) Execute(ctx context.Context, s *Session, opt *RunOptions) (*RunResult, error) {
+	eopt := experiments.Options{
+		Scale:           experiments.ScaleKind(opt.ExperimentScale),
+		HostThreads:     s.Config().HostThreads,
+		CompilerVersion: s.Config().CompilerVersion,
+		Ctx:             ctx,
+	}
+	w := opt.Output
+	var captured strings.Builder
+	if w == nil {
+		w = &captured
+	}
+	t0 := time.Now()
+	if err := e.run(w, eopt); err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Workload: e.name, Benchmark: e.name, Kind: KindExperiment,
+		SimDuration: time.Since(t0),
+		// Experiments verify every workload they run internally and fail
+		// otherwise, so reaching here means verified.
+		Verified: true,
+		Output:   captured.String(),
+	}, nil
 }
 
 // Experiments lists the reproducible tables and figures of the paper's
@@ -77,11 +132,15 @@ func Experiments() []string {
 
 // RunExperiment regenerates one table or figure of the paper's evaluation
 // (see Experiments for names), writing the rendered rows/series to w.
+//
+// Deprecated: use Session.Run(ctx, name, WithOutput(w),
+// WithExperimentScale(...)) — experiments are registered workloads.
 func RunExperiment(w io.Writer, name string, opt ExperimentOptions) error {
 	for _, e := range experimentRunners {
 		if e.name == name {
-			return e.run(w, opt.lower())
+			return e.run(w, opt.lower(context.Background()))
 		}
 	}
-	return fmt.Errorf("mobilesim: unknown experiment %q", name)
+	return fmt.Errorf("mobilesim: unknown experiment %q (have %s)",
+		name, strings.Join(Experiments(), ", "))
 }

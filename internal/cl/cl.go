@@ -7,6 +7,7 @@
 package cl
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -52,33 +53,33 @@ func (c *Context) CreateBuffer(size int) (*Buffer, error) {
 }
 
 // WriteBuffer copies host bytes into a buffer (clEnqueueWriteBuffer).
-func (c *Context) WriteBuffer(b *Buffer, data []byte) error {
+func (c *Context) WriteBuffer(ctx context.Context, b *Buffer, data []byte) error {
 	if len(data) > b.Size {
 		return fmt.Errorf("cl: write of %d bytes into %d-byte buffer", len(data), b.Size)
 	}
-	return c.Drv.CopyToDevice(b.VA, data)
+	return c.Drv.CopyToDevice(ctx, b.VA, data)
 }
 
 // ReadBuffer copies a buffer back to the host (clEnqueueReadBuffer).
-func (c *Context) ReadBuffer(b *Buffer, n int) ([]byte, error) {
+func (c *Context) ReadBuffer(ctx context.Context, b *Buffer, n int) ([]byte, error) {
 	if n > b.Size {
 		n = b.Size
 	}
-	return c.Drv.CopyFromDevice(b.VA, n)
+	return c.Drv.CopyFromDevice(ctx, b.VA, n)
 }
 
 // WriteF32 marshals float32 data into a buffer.
-func (c *Context) WriteF32(b *Buffer, vals []float32) error {
+func (c *Context) WriteF32(ctx context.Context, b *Buffer, vals []float32) error {
 	buf := make([]byte, 4*len(vals))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
 	}
-	return c.WriteBuffer(b, buf)
+	return c.WriteBuffer(ctx, b, buf)
 }
 
 // ReadF32 reads n float32 values from a buffer.
-func (c *Context) ReadF32(b *Buffer, n int) ([]float32, error) {
-	raw, err := c.ReadBuffer(b, 4*n)
+func (c *Context) ReadF32(ctx context.Context, b *Buffer, n int) ([]float32, error) {
+	raw, err := c.ReadBuffer(ctx, b, 4*n)
 	if err != nil {
 		return nil, err
 	}
@@ -90,17 +91,17 @@ func (c *Context) ReadF32(b *Buffer, n int) ([]float32, error) {
 }
 
 // WriteI32 marshals int32 data into a buffer.
-func (c *Context) WriteI32(b *Buffer, vals []int32) error {
+func (c *Context) WriteI32(ctx context.Context, b *Buffer, vals []int32) error {
 	buf := make([]byte, 4*len(vals))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
 	}
-	return c.WriteBuffer(b, buf)
+	return c.WriteBuffer(ctx, b, buf)
 }
 
 // ReadI32 reads n int32 values from a buffer.
-func (c *Context) ReadI32(b *Buffer, n int) ([]int32, error) {
-	raw, err := c.ReadBuffer(b, 4*n)
+func (c *Context) ReadI32(ctx context.Context, b *Buffer, n int) ([]int32, error) {
+	raw, err := c.ReadBuffer(ctx, b, 4*n)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +127,7 @@ type loadedKernel struct {
 
 // BuildProgram JIT-compiles source and loads the binaries into GPU-visible
 // memory through the driver, as clBuildProgram does.
-func (c *Context) BuildProgram(src string) (*Program, error) {
+func (c *Context) BuildProgram(ctx context.Context, src string) (*Program, error) {
 	compiled, err := clc.CompileAll(src, clc.Options{Version: c.Version})
 	if err != nil {
 		return nil, err
@@ -137,7 +138,7 @@ func (c *Context) BuildProgram(src string) (*Program, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := c.Drv.CopyToDevice(binVA, ck.Binary); err != nil {
+		if err := c.Drv.CopyToDevice(ctx, binVA, ck.Binary); err != nil {
 			return nil, err
 		}
 		descVA, err := c.Drv.AllocGPU(gpu.JobDescSize)
@@ -220,15 +221,17 @@ type Launch struct {
 	Local  [3]uint32
 }
 
-// EnqueueKernel runs one kernel synchronously (enqueue + finish).
-func (c *Context) EnqueueKernel(k *Kernel, global, local [3]uint32) error {
-	return c.EnqueueBatch([]Launch{{Kernel: k, Global: global, Local: local}})
+// EnqueueKernel runs one kernel synchronously (enqueue + finish). A
+// cancelled ctx soft-stops the running kernel at a clause boundary and
+// returns ctx.Err(); the context and device stay usable.
+func (c *Context) EnqueueKernel(ctx context.Context, k *Kernel, global, local [3]uint32) error {
+	return c.EnqueueBatch(ctx, []Launch{{Kernel: k, Global: global, Local: local}})
 }
 
 // EnqueueBatch submits a chain of kernel jobs in one doorbell, the job-
 // chain facility the hardware Job Manager provides. Argument tables and
 // descriptors are written through the guest-code driver path.
-func (c *Context) EnqueueBatch(launches []Launch) error {
+func (c *Context) EnqueueBatch(ctx context.Context, launches []Launch) error {
 	if len(launches) == 0 {
 		return nil
 	}
@@ -261,7 +264,7 @@ func (c *Context) EnqueueBatch(launches []Launch) error {
 			binary.LittleEndian.PutUint64(argBuf[8*i:], a)
 		}
 		if len(argBuf) > 0 {
-			if err := c.Drv.CopyToDevice(k.lk.argsVA, argBuf); err != nil {
+			if err := c.Drv.CopyToDevice(ctx, k.lk.argsVA, argBuf); err != nil {
 				return err
 			}
 		}
@@ -280,12 +283,12 @@ func (c *Context) EnqueueBatch(launches []Launch) error {
 		if li+1 < len(launches) {
 			desc.NextJobVA = launches[li+1].Kernel.lk.descVA
 		}
-		if err := c.Drv.WriteDescriptor(k.lk.descVA, desc); err != nil {
+		if err := c.Drv.WriteDescriptor(ctx, k.lk.descVA, desc); err != nil {
 			return err
 		}
 		c.P.GPU.NoteKernelLaunch()
 	}
-	return c.Drv.SubmitAndWait(launches[0].Kernel.lk.descVA)
+	return c.Drv.SubmitAndWait(ctx, launches[0].Kernel.lk.descVA)
 }
 
 // ensureLocal sizes the driver-allocated local-memory slots for the

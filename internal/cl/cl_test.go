@@ -1,6 +1,7 @@
 package cl_test
 
 import (
+	"context"
 	"testing"
 
 	"mobilesim/internal/cl"
@@ -8,6 +9,8 @@ import (
 	"mobilesim/internal/gpu"
 	"mobilesim/internal/platform"
 )
+
+var bg = context.Background()
 
 // newStack boots a platform and opens a CL context on it — the full-system
 // path: runtime -> driver (guest code) -> MMIO -> Job Manager -> shader
@@ -19,11 +22,11 @@ func newStack(t *testing.T) (*platform.Platform, *cl.Context) {
 		t.Fatal(err)
 	}
 	t.Cleanup(p.Close)
-	ctx, err := cl.NewContext(p, "")
+	c, err := cl.NewContext(p, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return p, ctx
+	return p, c
 }
 
 const saxpySrc = `
@@ -36,7 +39,7 @@ kernel void saxpy(global float* x, global float* y, float a, int n) {
 `
 
 func TestFullStackSaxpy(t *testing.T) {
-	p, ctx := newStack(t)
+	p, c := newStack(t)
 	const n = 4096
 
 	xs := make([]float32, n)
@@ -45,22 +48,22 @@ func TestFullStackSaxpy(t *testing.T) {
 		xs[i] = float32(i)
 		ys[i] = float32(3 * i)
 	}
-	bx, err := ctx.CreateBuffer(4 * n)
+	bx, err := c.CreateBuffer(4 * n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	by, err := ctx.CreateBuffer(4 * n)
+	by, err := c.CreateBuffer(4 * n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ctx.WriteF32(bx, xs); err != nil {
+	if err := c.WriteF32(bg, bx, xs); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctx.WriteF32(by, ys); err != nil {
+	if err := c.WriteF32(bg, by, ys); err != nil {
 		t.Fatal(err)
 	}
 
-	prog, err := ctx.BuildProgram(saxpySrc)
+	prog, err := c.BuildProgram(bg, saxpySrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +83,11 @@ func TestFullStackSaxpy(t *testing.T) {
 	if err := k.SetArgInt(3, n); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctx.EnqueueKernel(k, cl.G1(n), cl.G1(64)); err != nil {
+	if err := c.EnqueueKernel(bg, k, cl.G1(n), cl.G1(64)); err != nil {
 		t.Fatal(err)
 	}
 
-	got, err := ctx.ReadF32(by, n)
+	got, err := c.ReadF32(bg, by, n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +130,11 @@ func TestJITCompilerVersionSelectable(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer p.Close()
-			ctx, err := cl.NewContext(p, ver)
+			c, err := cl.NewContext(p, ver)
 			if err != nil {
 				t.Fatal(err)
 			}
-			prog, err := ctx.BuildProgram(saxpySrc)
+			prog, err := c.BuildProgram(bg, saxpySrc)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -147,8 +150,8 @@ func TestJITCompilerVersionSelectable(t *testing.T) {
 }
 
 func TestUnsetArgumentRejected(t *testing.T) {
-	_, ctx := newStack(t)
-	prog, err := ctx.BuildProgram(saxpySrc)
+	_, c := newStack(t)
+	prog, err := c.BuildProgram(bg, saxpySrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,14 +159,14 @@ func TestUnsetArgumentRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ctx.EnqueueKernel(k, cl.G1(16), cl.G1(16)); err == nil {
+	if err := c.EnqueueKernel(bg, k, cl.G1(16), cl.G1(16)); err == nil {
 		t.Error("enqueue with unset arguments should fail")
 	}
 }
 
 func TestArgTypeChecking(t *testing.T) {
-	_, ctx := newStack(t)
-	prog, err := ctx.BuildProgram(saxpySrc)
+	_, c := newStack(t)
+	prog, err := c.BuildProgram(bg, saxpySrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +186,7 @@ func TestArgTypeChecking(t *testing.T) {
 }
 
 func TestJobChainBatch(t *testing.T) {
-	_, ctx := newStack(t)
+	_, c := newStack(t)
 	src := `
 kernel void addc(global int* a, int c, int n) {
     int i = get_global_id(0);
@@ -195,11 +198,11 @@ kernel void dbl(global int* a, int n) {
 }
 `
 	const n = 256
-	prog, err := ctx.BuildProgram(src)
+	prog, err := c.BuildProgram(bg, src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf, err := ctx.CreateBuffer(4 * n)
+	buf, err := c.CreateBuffer(4 * n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +210,7 @@ kernel void dbl(global int* a, int n) {
 	for i := range vals {
 		vals[i] = int32(i)
 	}
-	if err := ctx.WriteI32(buf, vals); err != nil {
+	if err := c.WriteI32(bg, buf, vals); err != nil {
 		t.Fatal(err)
 	}
 	k1, _ := prog.CreateKernel("addc")
@@ -223,13 +226,13 @@ kernel void dbl(global int* a, int n) {
 	_ = k2.SetArgInt(1, n)
 
 	// One doorbell, two chained jobs: (a+10)*2.
-	if err := ctx.EnqueueBatch([]cl.Launch{
+	if err := c.EnqueueBatch(bg, []cl.Launch{
 		{Kernel: k1, Global: cl.G1(n), Local: cl.G1(32)},
 		{Kernel: k2, Global: cl.G1(n), Local: cl.G1(32)},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ctx.ReadI32(buf, n)
+	got, err := c.ReadI32(bg, buf, n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +245,7 @@ kernel void dbl(global int* a, int n) {
 }
 
 func TestLocalMemoryThroughFullStack(t *testing.T) {
-	_, ctx := newStack(t)
+	_, c := newStack(t)
 	src := `
 kernel void wgsum(global int* in, global int* out) {
     local int tile[64];
@@ -259,26 +262,26 @@ kernel void wgsum(global int* in, global int* out) {
 }
 `
 	const n, wg = 512, 64
-	prog, err := ctx.BuildProgram(src)
+	prog, err := c.BuildProgram(bg, src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	in, _ := ctx.CreateBuffer(4 * n)
-	out, _ := ctx.CreateBuffer(4 * (n / wg))
+	in, _ := c.CreateBuffer(4 * n)
+	out, _ := c.CreateBuffer(4 * (n / wg))
 	vals := make([]int32, n)
 	for i := range vals {
 		vals[i] = int32(i % 100)
 	}
-	if err := ctx.WriteI32(in, vals); err != nil {
+	if err := c.WriteI32(bg, in, vals); err != nil {
 		t.Fatal(err)
 	}
 	k, _ := prog.CreateKernel("wgsum")
 	_ = k.SetArgBuffer(0, in)
 	_ = k.SetArgBuffer(1, out)
-	if err := ctx.EnqueueKernel(k, cl.G1(n), cl.G1(wg)); err != nil {
+	if err := c.EnqueueKernel(bg, k, cl.G1(n), cl.G1(wg)); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ctx.ReadI32(out, n/wg)
+	got, err := c.ReadI32(bg, out, n/wg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,8 +297,8 @@ kernel void wgsum(global int* in, global int* out) {
 }
 
 func TestFaultSurfacesAsError(t *testing.T) {
-	_, ctx := newStack(t)
-	prog, err := ctx.BuildProgram(saxpySrc)
+	_, c := newStack(t)
+	prog, err := c.BuildProgram(bg, saxpySrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +308,7 @@ func TestFaultSurfacesAsError(t *testing.T) {
 	_ = k.SetArgBuffer(1, &cl.Buffer{VA: 0xdead8000, Size: 1024})
 	_ = k.SetArgFloat(2, 1)
 	_ = k.SetArgInt(3, 16)
-	if err := ctx.EnqueueKernel(k, cl.G1(16), cl.G1(16)); err == nil {
+	if err := c.EnqueueKernel(bg, k, cl.G1(16), cl.G1(16)); err == nil {
 		t.Error("kernel on unmapped buffers should report a fault")
 	}
 }
@@ -321,15 +324,15 @@ func TestDriverScalesWithInputOnInterpVsDBT(t *testing.T) {
 		}
 		defer p.Close()
 		p.CPUs[0].SetEngine(engine)
-		ctx, err := cl.NewContext(p, "")
+		c, err := cl.NewContext(p, "")
 		if err != nil {
 			t.Fatal(err)
 		}
-		buf, err := ctx.CreateBuffer(1 << 20)
+		buf, err := c.CreateBuffer(1 << 20)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ctx.WriteBuffer(buf, make([]byte, 1<<20)); err != nil {
+		if err := c.WriteBuffer(bg, buf, make([]byte, 1<<20)); err != nil {
 			t.Fatal(err)
 		}
 		return p.CPUs[0].Instret

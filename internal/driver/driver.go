@@ -9,6 +9,8 @@
 package driver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -19,6 +21,11 @@ import (
 	"mobilesim/internal/mmu"
 	"mobilesim/internal/platform"
 )
+
+// ErrStopped is returned by SubmitAndWait when the chain ended on a
+// soft-stop that was not requested through the context (another goroutine
+// wrote JS0_COMMAND). Context-driven stops surface as ctx.Err() instead.
+var ErrStopped = errors.New("driver: job chain soft-stopped")
 
 // stagingSize is the bounce-buffer size for host<->guest copies.
 const stagingSize = 4 << 20
@@ -102,9 +109,13 @@ func (d *Driver) AllocGPU(size int) (uint64, error) {
 // CopyToDevice writes data into GPU-visible memory. The application-side
 // bytes are staged (the app already produced them), then the runtime's
 // guest memcpy moves them into the buffer on the simulated CPU — the cost
-// that dominates driver runtime for large inputs (Fig 9).
-func (d *Driver) CopyToDevice(va uint64, data []byte) error {
+// that dominates driver runtime for large inputs (Fig 9). Cancellation is
+// honoured between staging chunks (4 MiB granularity).
+func (d *Driver) CopyToDevice(ctx context.Context, va uint64, data []byte) error {
 	for off := 0; off < len(data); off += stagingSize {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n := len(data) - off
 		if n > stagingSize {
 			n = stagingSize
@@ -121,9 +132,12 @@ func (d *Driver) CopyToDevice(va uint64, data []byte) error {
 
 // CopyFromDevice reads n bytes back from GPU-visible memory through the
 // same guest-code path.
-func (d *Driver) CopyFromDevice(va uint64, n int) ([]byte, error) {
+func (d *Driver) CopyFromDevice(ctx context.Context, va uint64, n int) ([]byte, error) {
 	out := make([]byte, n)
 	for off := 0; off < n; off += stagingSize {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := n - off
 		if c > stagingSize {
 			c = stagingSize
@@ -153,10 +167,26 @@ func (d *Driver) Submit(head uint64) error {
 	return nil
 }
 
+// SoftStop asks the Job Manager to stop the active chain at the next
+// clause boundary (JS0_COMMAND = soft-stop), through the same guest-code
+// path every other register write takes. The GPU acknowledges with a
+// stopped interrupt; callers must keep waiting for it.
+func (d *Driver) SoftStop() error {
+	_, err := d.call("gpu_softstop", platform.GPUBase)
+	return err
+}
+
 // WaitJob blocks until the GPU raises an interrupt, runs the guest ISR to
 // read and acknowledge it, and returns the rawstat. A fault rawstat is
 // returned, not an error; hardware-interface errors are.
-func (d *Driver) WaitJob() (uint32, error) {
+//
+// When ctx is cancelled mid-wait the driver soft-stops the chain and then
+// keeps waiting for the GPU's acknowledgement — the hardware owns shared
+// state (job slot, address space, stats shards) and must quiesce before
+// the slot is reusable, so cancellation is prompt but never abandons a
+// running chain.
+func (d *Driver) WaitJob(ctx context.Context) (uint32, error) {
+	cancel := ctx.Done()
 	for {
 		raw, err := d.call("gpu_isr", platform.GPUBase)
 		if err != nil {
@@ -167,23 +197,40 @@ func (d *Driver) WaitJob() (uint32, error) {
 			d.P.Intc.Claim()
 			return uint32(raw), nil
 		}
-		<-d.P.Intc.WaitChan()
+		select {
+		case <-d.P.Intc.WaitChan():
+		case <-cancel:
+			if err := d.SoftStop(); err != nil {
+				return 0, err
+			}
+			cancel = nil // stop once; wait for the acknowledgement IRQ
+		}
 	}
 }
 
 // SubmitAndWait is the common synchronous path: returns an error when the
-// chain faulted.
-func (d *Driver) SubmitAndWait(head uint64) error {
+// chain faulted, and the context error when ctx cancelled the run (the
+// kernel is interrupted at a clause boundary via soft-stop).
+func (d *Driver) SubmitAndWait(ctx context.Context, head uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := d.Submit(head); err != nil {
 		return err
 	}
-	raw, err := d.WaitJob()
+	raw, err := d.WaitJob(ctx)
 	if err != nil {
 		return err
 	}
 	if raw&(gpu.IRQJobFault|gpu.IRQMMUFault) != 0 {
 		fa, _ := d.P.GPU.ReadReg(gpu.RegAS0FaultAddr, 8)
 		return fmt.Errorf("driver: GPU fault (rawstat=%#x, fault addr=%#x)", raw, fa)
+	}
+	if raw&gpu.IRQJobStopped != 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return ErrStopped
 	}
 	if raw&gpu.IRQJobDone == 0 {
 		return fmt.Errorf("driver: unexpected rawstat %#x", raw)
@@ -193,6 +240,6 @@ func (d *Driver) SubmitAndWait(head uint64) error {
 
 // WriteDescriptor copies an encoded job descriptor into GPU memory through
 // the guest path.
-func (d *Driver) WriteDescriptor(va uint64, desc *gpu.JobDescriptor) error {
-	return d.CopyToDevice(va, gpu.EncodeDescriptor(desc))
+func (d *Driver) WriteDescriptor(ctx context.Context, va uint64, desc *gpu.JobDescriptor) error {
+	return d.CopyToDevice(ctx, va, gpu.EncodeDescriptor(desc))
 }

@@ -2,12 +2,15 @@ package driver_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"mobilesim/internal/driver"
 	"mobilesim/internal/gpu"
 	"mobilesim/internal/platform"
 )
+
+var bg = context.Background()
 
 func open(t *testing.T) (*platform.Platform, *driver.Driver) {
 	t.Helper()
@@ -49,10 +52,10 @@ func TestAllocAndCopyRoundTrip(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i * 7)
 	}
-	if err := d.CopyToDevice(va, data); err != nil {
+	if err := d.CopyToDevice(bg, va, data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.CopyFromDevice(va, len(data))
+	got, err := d.CopyFromDevice(bg, va, len(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +69,7 @@ func TestAllocAndCopyRoundTrip(t *testing.T) {
 	if err := d.ZeroDevice(va, 64); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = d.CopyFromDevice(va, 64)
+	got, _ = d.CopyFromDevice(bg, va, 64)
 	for i, b := range got {
 		if b != 0 {
 			t.Fatalf("byte %d not zeroed", i)
@@ -87,7 +90,7 @@ func TestBadAllocRejected(t *testing.T) {
 func TestSubmitAndWaitFaultPath(t *testing.T) {
 	_, d := open(t)
 	// Submitting a descriptor at an unmapped address must fault cleanly.
-	if err := d.SubmitAndWait(0xdead_0000); err == nil {
+	if err := d.SubmitAndWait(bg, 0xdead_0000); err == nil {
 		t.Error("unmapped job chain should fault")
 	}
 	// The device recovers: a valid (empty) chain head of 0 is a no-op...
@@ -103,14 +106,14 @@ func TestSubmitAndWaitFaultPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.CopyToDevice(va, bin); err != nil {
+	if err := d.CopyToDevice(bg, va, bin); err != nil {
 		t.Fatal(err)
 	}
 	descVA, err := d.AllocGPU(gpu.JobDescSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.WriteDescriptor(descVA, &gpu.JobDescriptor{
+	if err := d.WriteDescriptor(bg, descVA, &gpu.JobDescriptor{
 		JobType:    gpu.JobTypeCompute,
 		GlobalSize: [3]uint32{16, 1, 1},
 		LocalSize:  [3]uint32{16, 1, 1},
@@ -119,7 +122,7 @@ func TestSubmitAndWaitFaultPath(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.SubmitAndWait(descVA); err != nil {
+	if err := d.SubmitAndWait(bg, descVA); err != nil {
 		t.Fatalf("minimal job failed: %v", err)
 	}
 	if d.JobsSubmitted != 2 || d.IRQsHandled != 2 {

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -37,6 +38,17 @@ type Options struct {
 	HostThreads int
 	// CompilerVersion overrides the JIT version (empty = default).
 	CompilerVersion string
+	// Ctx cancels the experiment: between workload runs immediately, and
+	// inside a run at kernel clause-boundary granularity. Nil means
+	// context.Background().
+	Ctx context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) scaleOf(s *workloads.Spec) int {
@@ -77,14 +89,14 @@ func runOne(spec *workloads.Spec, opt Options, mutate func(*platform.Platform)) 
 	if mutate != nil {
 		mutate(p)
 	}
-	ctx, err := cl.NewContext(p, opt.CompilerVersion)
+	c, err := cl.NewContext(p, opt.CompilerVersion)
 	if err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
 	inst := spec.Make(opt.scaleOf(spec))
 	setup := time.Since(t0)
-	res, err := inst.Run(ctx, spec.Name)
+	res, err := inst.Run(opt.ctx(), c, spec.Name, true)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +104,7 @@ func runOne(spec *workloads.Spec, opt Options, mutate func(*platform.Platform)) 
 		return nil, fmt.Errorf("%s failed verification: %w", spec.Name, res.VerifyErr)
 	}
 	gs, sys := p.GPU.Stats()
-	return &runOutcome{res: res, gs: gs, sys: sys, cpuTime: ctx.Drv.CPUTime, setup: setup}, nil
+	return &runOutcome{res: res, gs: gs, sys: sys, cpuTime: c.Drv.CPUTime, setup: setup}, nil
 }
 
 // table streams aligned columns.

@@ -155,11 +155,11 @@ func Fig14(w io.Writer, opt Options) ([]Fig14Row, error) {
 			return nil, err
 		}
 		defer p.Close()
-		ctx, err := cl.NewContext(p, opt.CompilerVersion)
+		c, err := cl.NewContext(p, opt.CompilerVersion)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := slam.Run(ctx, cfg); err != nil {
+		if _, err := slam.Run(opt.ctx(), c, cfg); err != nil {
 			return nil, err
 		}
 		gs, sys := p.GPU.Stats()
@@ -276,12 +276,12 @@ func Fig15(w io.Writer, opt Options) ([]Fig15Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ctx, err := cl.NewContext(p, opt.CompilerVersion)
+		c, err := cl.NewContext(p, opt.CompilerVersion)
 		if err != nil {
 			p.Close()
 			return nil, err
 		}
-		got, err := workloads.RunSgemmVariant(ctx, v, a, b, dim, dim, dim)
+		got, err := workloads.RunSgemmVariant(opt.ctx(), c, v, a, b, dim, dim, dim)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("variant %s: %w", v.Name, err)

@@ -104,12 +104,12 @@ func Fig6(w io.Writer, opt Options) (string, error) {
 		return "", err
 	}
 	defer p.Close()
-	ctx, err := cl.NewContext(p, opt.CompilerVersion)
+	c, err := cl.NewContext(p, opt.CompilerVersion)
 	if err != nil {
 		return "", err
 	}
 	inst := spec.Make(opt.scaleOf(spec))
-	res, err := inst.Run(ctx, spec.Name)
+	res, err := inst.Run(opt.ctx(), c, spec.Name, true)
 	if err != nil {
 		return "", err
 	}

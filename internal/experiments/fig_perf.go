@@ -143,17 +143,17 @@ func runOneCFG(spec *workloads.Spec, opt Options) (*runOutcome, error) {
 		return nil, err
 	}
 	defer p.Close()
-	ctx, err := cl.NewContext(p, opt.CompilerVersion)
+	c, err := cl.NewContext(p, opt.CompilerVersion)
 	if err != nil {
 		return nil, err
 	}
 	inst := spec.Make(opt.scaleOf(spec))
-	res, err := inst.Run(ctx, spec.Name)
+	res, err := inst.Run(opt.ctx(), c, spec.Name, true)
 	if err != nil {
 		return nil, err
 	}
 	gs, sys := p.GPU.Stats()
-	return &runOutcome{res: res, gs: gs, sys: sys, cpuTime: ctx.Drv.CPUTime}, nil
+	return &runOutcome{res: res, gs: gs, sys: sys, cpuTime: c.Drv.CPUTime}, nil
 }
 
 // Fig9Row is one input size of the driver-runtime scaling sweep.
@@ -201,15 +201,15 @@ func sobelDriverTime(dim int, opt Options) (time.Duration, error) {
 		return 0, err
 	}
 	defer p.Close()
-	ctx, err := cl.NewContext(p, opt.CompilerVersion)
+	c, err := cl.NewContext(p, opt.CompilerVersion)
 	if err != nil {
 		return 0, err
 	}
 	inst := workloads.MakeSobelInstance(dim)
-	if _, err := inst.Sim(ctx); err != nil {
+	if _, err := inst.Sim(opt.ctx(), c); err != nil {
 		return 0, err
 	}
-	return ctx.Drv.CPUTime, nil
+	return c.Drv.CPUTime, nil
 }
 
 // sobelM2STime runs SobelFilter through the intercepted-runtime baseline.

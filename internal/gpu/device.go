@@ -2,8 +2,10 @@ package gpu
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mobilesim/internal/irq"
 	"mobilesim/internal/mem"
@@ -42,9 +44,10 @@ const GPUIDValue = 0x6071_0008
 
 // IRQ rawstat bits.
 const (
-	IRQJobDone  = 1 << 0
-	IRQJobFault = 1 << 1
-	IRQMMUFault = 1 << 2
+	IRQJobDone    = 1 << 0
+	IRQJobFault   = 1 << 1
+	IRQMMUFault   = 1 << 2
+	IRQJobStopped = 1 << 3 // chain ended early on a soft-stop command
 )
 
 // Job slot status values.
@@ -53,7 +56,18 @@ const (
 	JSActive  = 1
 	JSDone    = 2
 	JSFaulted = 3
+	JSStopped = 4 // soft-stopped before the chain completed
 )
+
+// JS0_COMMAND values.
+const (
+	JSCmdStart    = 1
+	JSCmdSoftStop = 2
+)
+
+// ErrStopped is the internal marker for a soft-stopped chain; the Job
+// Manager converts it into JSStopped + IRQJobStopped rather than a fault.
+var ErrStopped = errors.New("gpu: job chain soft-stopped")
 
 // Config selects the simulated GPU's shape and instrumentation.
 type Config struct {
@@ -106,6 +120,15 @@ type Device struct {
 	done     chan struct{}
 	wg       sync.WaitGroup
 
+	// stopReq is the soft-stop latch (JS0_COMMAND = JSCmdSoftStop). The
+	// dispatch workers poll it at clause boundaries, so a runaway kernel
+	// is interrupted without waiting for the chain to drain.
+	stopReq atomic.Bool
+
+	// collectCFG mirrors cfg.CollectCFG but can be toggled between jobs
+	// (per-run CFG collection in the facade).
+	collectCFG atomic.Bool
+
 	decodeMu     sync.Mutex
 	decodeCache  map[uint64]*Program
 	DecodesTotal uint64 // decode invocations (ablation metric)
@@ -128,7 +151,7 @@ func NewDevice(cfg Config, bus *mem.Bus, intc *irq.Controller, line irq.Line) *D
 	if cfg.HostThreads <= 0 {
 		cfg.HostThreads = cfg.ShaderCores
 	}
-	return &Device{
+	d := &Device{
 		cfg:          cfg,
 		bus:          bus,
 		intc:         intc,
@@ -139,6 +162,22 @@ func NewDevice(cfg Config, bus *mem.Bus, intc *irq.Controller, line irq.Line) *D
 		cfgGraph:     stats.NewCFG(),
 		touchedPages: make(map[uint64]struct{}),
 	}
+	d.collectCFG.Store(cfg.CollectCFG)
+	return d
+}
+
+// SetCollectCFG toggles clause-level CFG collection for subsequent jobs.
+func (d *Device) SetCollectCFG(on bool) { d.collectCFG.Store(on) }
+
+// CollectingCFG reports whether CFG collection is currently enabled.
+func (d *Device) CollectingCFG() bool { return d.collectCFG.Load() }
+
+// ClearCFG drops the accumulated control-flow graph (between per-run CFG
+// collections) without touching the counters.
+func (d *Device) ClearCFG() {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	d.cfgGraph = stats.NewCFG()
 }
 
 // Config returns the device configuration.
@@ -220,14 +259,26 @@ func (d *Device) WriteReg(off uint64, size int, val uint64) error {
 		d.mu.Unlock()
 		return nil
 	case RegJS0Command:
-		if val == 1 {
+		switch val {
+		case JSCmdStart:
 			head := d.jsHead
 			d.jsStatus = JSActive
 			d.mu.Unlock()
+			// Clear the stop latch before the doorbell, not in the Job
+			// Manager: a soft-stop written any time after the start
+			// command must never be lost to a descheduled JM thread.
+			d.stopReq.Store(false)
 			select {
 			case d.doorbell <- head:
 			case <-d.done:
 			}
+			return nil
+		case JSCmdSoftStop:
+			// Latch the stop request; the dispatch workers observe it at
+			// the next clause boundary. A no-op when the slot is idle
+			// (the latch is cleared when the next chain starts).
+			d.mu.Unlock()
+			d.stopReq.Store(true)
 			return nil
 		}
 		d.mu.Unlock()
@@ -281,6 +332,13 @@ func (d *Device) jobManager() {
 			return
 		case head := <-d.doorbell:
 			if err := d.runChain(head); err != nil {
+				if errors.Is(err, ErrStopped) {
+					d.mu.Lock()
+					d.jsStatus = JSStopped
+					d.mu.Unlock()
+					d.raiseIRQ(IRQJobStopped)
+					continue
+				}
 				d.mu.Lock()
 				d.jsStatus = JSFaulted
 				d.mu.Unlock()
@@ -331,6 +389,9 @@ func (d *Device) runChain(head uint64) error {
 	}()
 
 	for va := head; va != 0; {
+		if d.stopReq.Load() {
+			return ErrStopped
+		}
 		desc, err := d.readDescriptor(walker, va)
 		if err != nil {
 			return err

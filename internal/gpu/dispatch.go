@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,7 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 		desc.GlobalSize[1] / desc.LocalSize[1],
 		desc.GlobalSize[2] / desc.LocalSize[2],
 	}
+	collectCFG := d.collectCFG.Load()
 
 	var next atomic.Uint64
 	results := make([]workerResult, nWorkers)
@@ -115,8 +117,9 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 				lsz:      desc.LocalSize,
 				gs:       &res.gs,
 				trace:    d.trace,
+				stop:     &d.stopReq,
 			}
-			if d.cfg.CollectCFG {
+			if collectCFG {
 				res.cfg = stats.NewCFG()
 				ec.cfg = res.cfg
 			}
@@ -126,6 +129,10 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 				i := next.Add(1) - 1
 				if i >= totalWG {
 					break
+				}
+				if d.stopReq.Load() {
+					res.err = ErrStopped
+					return
 				}
 				ec.wgid = [3]uint32{
 					uint32(i) % wgPerDim[0],
@@ -157,10 +164,20 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 			})
 		}
 	}
+	// A genuine fault wins over the soft-stop marker so diagnostics are
+	// not masked when a stop races a faulting workgroup.
+	var stopped bool
 	for i := range results {
-		if results[i].err != nil {
-			return results[i].err
+		switch err := results[i].err; {
+		case err == nil:
+		case errors.Is(err, ErrStopped):
+			stopped = true
+		default:
+			return err
 		}
+	}
+	if stopped {
+		return ErrStopped
 	}
 	return nil
 }

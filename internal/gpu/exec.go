@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"mobilesim/internal/mem"
 	"mobilesim/internal/mmu"
@@ -133,8 +134,9 @@ type execContext struct {
 	lsz  [3]uint32
 
 	gs    *stats.GPUStats
-	cfg   *stats.CFG // nil when CFG collection is off
-	trace *traceSink // nil when instruction tracing is off
+	cfg   *stats.CFG   // nil when CFG collection is off
+	trace *traceSink   // nil when instruction tracing is off
+	stop  *atomic.Bool // soft-stop latch, polled at clause boundaries
 }
 
 // clauseBudget caps clauses executed per warp per job as a runaway guard
@@ -142,10 +144,15 @@ type execContext struct {
 const clauseBudget = 1 << 24
 
 // runWarp executes the warp until it terminates or reaches a barrier.
+// A pending soft-stop is honoured between clauses — the cancellation
+// granularity of the whole stack: a stopped kernel never splits a clause.
 func (e *execContext) runWarp(w *warp) (warpStatus, error) {
 	for steps := 0; ; steps++ {
 		if steps > clauseBudget {
 			return warpDone, fmt.Errorf("gpu: clause budget exhausted (infinite loop in shader?)")
+		}
+		if e.stop != nil && e.stop.Load() {
+			return warpDone, ErrStopped
 		}
 
 		// Reconvergence: entering the rejoin clause of stacked frames.

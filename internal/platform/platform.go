@@ -242,8 +242,17 @@ gpu_init:
     strw  x2, [x0, #0x20]       // GPU_CMD: soft reset
     strx  x1, [x0, #0x200]      // AS0_TRANSTAB
     strw  x2, [x0, #0x208]      // AS0_COMMAND: apply
-    movz  x2, #7
-    strw  x2, [x0, #0xC]        // IRQ_MASK: done|fault|mmu
+    movz  x2, #15
+    strw  x2, [x0, #0xC]        // IRQ_MASK: done|fault|mmu|stopped
+    ret
+
+// gpu_softstop(x0=GPU reg base)
+// Requests a soft-stop of the active job chain (JS0_COMMAND = 2); the
+// GPU acknowledges with a stopped interrupt once the shader cores reach a
+// clause boundary.
+gpu_softstop:
+    movz  x1, #2
+    strw  x1, [x0, #0x108]      // JS0_COMMAND: soft-stop
     ret
 
 // gpu_status(x0=GPU reg base) -> x0 = JS0_STATUS

@@ -11,6 +11,7 @@
 package slam
 
 import (
+	"context"
 	"fmt"
 
 	"mobilesim/internal/cl"
@@ -258,11 +259,11 @@ type level struct {
 }
 
 // Run executes the pipeline for cfg.Frames synthetic frames.
-func Run(ctx *cl.Context, cfg Config) (*Metrics, error) {
+func Run(ctx context.Context, c *cl.Context, cfg Config) (*Metrics, error) {
 	if len(cfg.TrackIters) != cfg.Levels {
 		return nil, fmt.Errorf("slam: %d track iteration counts for %d levels", len(cfg.TrackIters), cfg.Levels)
 	}
-	prog, err := ctx.BuildProgram(kernelsSrc)
+	prog, err := c.BuildProgram(ctx, kernelsSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +290,7 @@ func Run(ctx *cl.Context, cfg Config) (*Metrics, error) {
 	w, h := cfg.Width, cfg.Height
 	n := w * h
 	newBuf := func(elems int) *cl.Buffer {
-		b, berr := ctx.CreateBuffer(4 * elems)
+		b, berr := c.CreateBuffer(4 * elems)
 		if berr != nil && err == nil {
 			err = berr
 		}
@@ -328,7 +329,7 @@ func Run(ctx *cl.Context, cfg Config) (*Metrics, error) {
 			return e
 		}
 		m.KernelsRun++
-		return ctx.EnqueueKernel(k, global, local)
+		return c.EnqueueKernel(ctx, k, global, local)
 	}
 	dims2 := func(w, h int) ([3]uint32, [3]uint32) {
 		return [3]uint32{uint32(roundUp(w, 8)), uint32(roundUp(h, 8)), 1}, [3]uint32{8, 8, 1}
@@ -338,8 +339,13 @@ func Run(ctx *cl.Context, cfg Config) (*Metrics, error) {
 	cx, cy := float32(w)/2, float32(h)/2
 
 	for frame := 0; frame < cfg.Frames; frame++ {
+		// Cancellation between frames is free; mid-frame it falls to the
+		// per-kernel clause-boundary soft-stop inside EnqueueKernel.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Camera input (the app writes the frame into the device buffer).
-		if err := ctx.WriteI32(rawDepth, syntheticDepth(w, h, frame)); err != nil {
+		if err := c.WriteI32(ctx, rawDepth, syntheticDepth(w, h, frame)); err != nil {
 			return nil, err
 		}
 
@@ -392,7 +398,7 @@ func Run(ctx *cl.Context, cfg Config) (*Metrics, error) {
 						residual, partial, ln); err != nil {
 						return nil, err
 					}
-					sums, rerr := ctx.ReadF32(partial, groups)
+					sums, rerr := c.ReadF32(ctx, partial, groups)
 					if rerr != nil {
 						return nil, rerr
 					}

@@ -1,6 +1,7 @@
 package slam_test
 
 import (
+	"context"
 	"testing"
 
 	"mobilesim/internal/cl"
@@ -10,6 +11,8 @@ import (
 	"mobilesim/internal/stats"
 )
 
+var bg = context.Background()
+
 func runConfig(t *testing.T, cfg slam.Config) (*slam.Metrics, stats.GPUStats, stats.SystemStats) {
 	t.Helper()
 	p, err := platform.New(platform.Config{RAMSize: 256 << 20})
@@ -17,11 +20,11 @@ func runConfig(t *testing.T, cfg slam.Config) (*slam.Metrics, stats.GPUStats, st
 		t.Fatal(err)
 	}
 	defer p.Close()
-	ctx, err := cl.NewContext(p, "")
+	c, err := cl.NewContext(p, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := slam.Run(ctx, cfg)
+	m, err := slam.Run(bg, c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

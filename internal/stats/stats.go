@@ -91,6 +91,37 @@ func (s *GPUStats) Merge(o *GPUStats) {
 	}
 }
 
+// Sub returns the counter-wise difference s - o, for per-run deltas
+// diffed around a run (o must be an earlier snapshot of the same
+// accumulator). RegistersUsed is a high-water mark, not a counter, so the
+// later snapshot's value is kept as-is.
+func (s *GPUStats) Sub(o *GPUStats) GPUStats {
+	d := *s
+	d.ArithInstr -= o.ArithInstr
+	d.LSInstr -= o.LSInstr
+	d.CFInstr -= o.CFInstr
+	d.NopInstr -= o.NopInstr
+	d.GlobalLS -= o.GlobalLS
+	d.LocalLS -= o.LocalLS
+	d.TempAcc -= o.TempAcc
+	d.GRFRead -= o.GRFRead
+	d.GRFWrite -= o.GRFWrite
+	d.ConstRead -= o.ConstRead
+	d.ROMRead -= o.ROMRead
+	d.MainMemAcc -= o.MainMemAcc
+	d.LocalAcc -= o.LocalAcc
+	d.ClausesExec -= o.ClausesExec
+	for i := range d.ClauseSizeHist {
+		d.ClauseSizeHist[i] -= o.ClauseSizeHist[i]
+	}
+	d.Threads -= o.Threads
+	d.Warps -= o.Warps
+	d.Workgroups -= o.Workgroups
+	d.Branches -= o.Branches
+	d.DivergentBranches -= o.DivergentBranches
+	return d
+}
+
 // TotalInstr is the total of all executed instruction slots.
 func (s *GPUStats) TotalInstr() uint64 {
 	return s.ArithInstr + s.LSInstr + s.CFInstr + s.NopInstr
@@ -190,6 +221,20 @@ func (s *SystemStats) Merge(o *SystemStats) {
 	s.IRQsAsserted += o.IRQsAsserted
 	s.ComputeJobs += o.ComputeJobs
 	s.KernelLaunch += o.KernelLaunch
+}
+
+// Sub returns the counter-wise difference s - o (see GPUStats.Sub).
+// PagesAccessed is the size of a grow-only set between resets, so the
+// difference counts pages first touched in the window.
+func (s *SystemStats) Sub(o *SystemStats) SystemStats {
+	return SystemStats{
+		PagesAccessed: s.PagesAccessed - o.PagesAccessed,
+		CtrlRegReads:  s.CtrlRegReads - o.CtrlRegReads,
+		CtrlRegWrites: s.CtrlRegWrites - o.CtrlRegWrites,
+		IRQsAsserted:  s.IRQsAsserted - o.IRQsAsserted,
+		ComputeJobs:   s.ComputeJobs - o.ComputeJobs,
+		KernelLaunch:  s.KernelLaunch - o.KernelLaunch,
+	}
 }
 
 // String renders a compact one-line summary for logs.

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"sort"
 
 	"mobilesim/internal/cl"
@@ -57,16 +58,16 @@ func makeBinarySearch(n int) *Instance {
 	}
 
 	return &Instance{
-		Sim: func(ctx *cl.Context) (any, error) {
-			bArr, err := newBufI32(ctx, arr)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			bArr, err := newBufI32(ctx, c, arr)
 			if err != nil {
 				return nil, err
 			}
-			bRes, err := ctx.CreateBuffer(8)
+			bRes, err := c.CreateBuffer(8)
 			if err != nil {
 				return nil, err
 			}
-			prog, err := ctx.BuildProgram(binarySearchSrc)
+			prog, err := c.BuildProgram(ctx, binarySearchSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -79,16 +80,16 @@ func makeBinarySearch(n int) *Instance {
 				lo, size := 0, n
 				for size > 1 {
 					seg := (size + segments - 1) / segments
-					if err := ctx.WriteI32(bRes, []int32{int32(lo), int32(lo + size - 1)}); err != nil {
+					if err := c.WriteI32(ctx, bRes, []int32{int32(lo), int32(lo + size - 1)}); err != nil {
 						return nil, err
 					}
 					if err := bindArgs(k, bArr, bRes, key, lo, seg, n); err != nil {
 						return nil, err
 					}
-					if err := ctx.EnqueueKernel(k, cl.G1(segments), cl.G1(64)); err != nil {
+					if err := c.EnqueueKernel(ctx, k, cl.G1(segments), cl.G1(64)); err != nil {
 						return nil, err
 					}
-					res, err := ctx.ReadI32(bRes, 2)
+					res, err := c.ReadI32(ctx, bRes, 2)
 					if err != nil {
 						return nil, err
 					}
@@ -150,12 +151,12 @@ func makeBitonicSort(n int) *Instance {
 	data := randI32s(r, n, 1<<30)
 
 	return &Instance{
-		Sim: func(ctx *cl.Context) (any, error) {
-			buf, err := newBufI32(ctx, data)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			buf, err := newBufI32(ctx, c, data)
 			if err != nil {
 				return nil, err
 			}
-			prog, err := ctx.BuildProgram(bitonicSrc)
+			prog, err := c.BuildProgram(ctx, bitonicSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -173,12 +174,12 @@ func makeBitonicSort(n int) *Instance {
 					if err := bindArgs(k, buf, stage, dist); err != nil {
 						return nil, err
 					}
-					if err := ctx.EnqueueKernel(k, cl.G1(uint32(half)), cl.G1(uint32(wg))); err != nil {
+					if err := c.EnqueueKernel(ctx, k, cl.G1(uint32(half)), cl.G1(uint32(wg))); err != nil {
 						return nil, err
 					}
 				}
 			}
-			return ctx.ReadI32(buf, n)
+			return c.ReadI32(ctx, buf, n)
 		},
 		Native: func() any {
 			out := append([]int32(nil), data...)
@@ -232,23 +233,23 @@ func makeTranspose(dim int) *Instance {
 	data := randF32s(r, w*h, -10, 10)
 
 	return &Instance{
-		Sim: func(ctx *cl.Context) (any, error) {
-			in, err := newBufF32(ctx, data)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			in, err := newBufF32(ctx, c, data)
 			if err != nil {
 				return nil, err
 			}
-			out, err := ctx.CreateBuffer(4 * w * h)
+			out, err := c.CreateBuffer(4 * w * h)
 			if err != nil {
 				return nil, err
 			}
-			k, err := kernel1(ctx, transposeSrc, "mtranspose", in, out, w, h)
+			k, err := kernel1(ctx, c, transposeSrc, "mtranspose", in, out, w, h)
 			if err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(k, cl.G2(uint32(w), uint32(h)), cl.G2(16, 16)); err != nil {
+			if err := c.EnqueueKernel(ctx, k, cl.G2(uint32(w), uint32(h)), cl.G2(16, 16)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadF32(out, w*h)
+			return c.ReadF32(ctx, out, w*h)
 		},
 		Native: func() any {
 			out := make([]float32, w*h)
@@ -307,12 +308,12 @@ func makeFloyd(n int) *Instance {
 	}
 
 	return &Instance{
-		Sim: func(ctx *cl.Context) (any, error) {
-			buf, err := newBufI32(ctx, d0)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			buf, err := newBufI32(ctx, c, d0)
 			if err != nil {
 				return nil, err
 			}
-			prog, err := ctx.BuildProgram(floydSrc)
+			prog, err := c.BuildProgram(ctx, floydSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -324,11 +325,11 @@ func makeFloyd(n int) *Instance {
 				if err := bindArgs(k, buf, n, piv); err != nil {
 					return nil, err
 				}
-				if err := ctx.EnqueueKernel(k, cl.G2(uint32(n), uint32(n)), cl.G2(16, 16)); err != nil {
+				if err := c.EnqueueKernel(ctx, k, cl.G2(uint32(n), uint32(n)), cl.G2(16, 16)); err != nil {
 					return nil, err
 				}
 			}
-			return ctx.ReadI32(buf, n*n)
+			return c.ReadI32(ctx, buf, n*n)
 		},
 		Native: func() any {
 			d := append([]int32(nil), d0...)

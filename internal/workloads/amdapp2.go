@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"math"
 
 	"mobilesim/internal/cl"
@@ -66,27 +67,27 @@ func makeDCT(dim int) *Instance {
 
 	return &Instance{
 		Tol: 2e-3,
-		Sim: func(ctx *cl.Context) (any, error) {
-			in, err := newBufF32(ctx, data)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			in, err := newBufF32(ctx, c, data)
 			if err != nil {
 				return nil, err
 			}
-			out, err := ctx.CreateBuffer(4 * w * h)
+			out, err := c.CreateBuffer(4 * w * h)
 			if err != nil {
 				return nil, err
 			}
-			cb, err := newBufF32(ctx, coef)
+			cb, err := newBufF32(ctx, c, coef)
 			if err != nil {
 				return nil, err
 			}
-			k, err := kernel1(ctx, dctSrc, "dct8", in, out, cb, w, h)
+			k, err := kernel1(ctx, c, dctSrc, "dct8", in, out, cb, w, h)
 			if err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(k, cl.G2(uint32(w), uint32(h)), cl.G2(8, 8)); err != nil {
+			if err := c.EnqueueKernel(ctx, k, cl.G2(uint32(w), uint32(h)), cl.G2(8, 8)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadF32(out, w*h)
+			return c.ReadF32(ctx, out, w*h)
 		},
 		Native: func() any {
 			out := make([]float32, w*h)
@@ -147,16 +148,16 @@ func makeHaar(n int) *Instance {
 
 	return &Instance{
 		Tol: 1e-3,
-		Sim: func(ctx *cl.Context) (any, error) {
-			a, err := newBufF32(ctx, signal)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			a, err := newBufF32(ctx, c, signal)
 			if err != nil {
 				return nil, err
 			}
-			b, err := ctx.CreateBuffer(4 * n)
+			b, err := c.CreateBuffer(4 * n)
 			if err != nil {
 				return nil, err
 			}
-			prog, err := ctx.BuildProgram(haarSrc)
+			prog, err := c.BuildProgram(ctx, haarSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -171,12 +172,12 @@ func makeHaar(n int) *Instance {
 				}
 				wg := uint32(64)
 				g := uint32(roundUp(n, 64))
-				if err := ctx.EnqueueKernel(k, cl.G1(g), cl.G1(wg)); err != nil {
+				if err := c.EnqueueKernel(ctx, k, cl.G1(g), cl.G1(wg)); err != nil {
 					return nil, err
 				}
 				src, dst = dst, src
 			}
-			return ctx.ReadF32(src, n)
+			return c.ReadF32(ctx, src, n)
 		},
 		Native: func() any {
 			cur := append([]float32(nil), signal...)
@@ -234,17 +235,17 @@ func makeReduction(n int) *Instance {
 	data := randI32s(r, n, 1000)
 
 	return &Instance{
-		Sim: func(ctx *cl.Context) (any, error) {
-			in, err := newBufI32(ctx, data)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			in, err := newBufI32(ctx, c, data)
 			if err != nil {
 				return nil, err
 			}
 			groups := (n + 255) / 256
-			out, err := ctx.CreateBuffer(4 * groups)
+			out, err := c.CreateBuffer(4 * groups)
 			if err != nil {
 				return nil, err
 			}
-			prog, err := ctx.BuildProgram(reductionSrc)
+			prog, err := c.BuildProgram(ctx, reductionSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -259,13 +260,13 @@ func makeReduction(n int) *Instance {
 				if err := bindArgs(k, cur, dst, curN); err != nil {
 					return nil, err
 				}
-				if err := ctx.EnqueueKernel(k, cl.G1(uint32(g*256)), cl.G1(256)); err != nil {
+				if err := c.EnqueueKernel(ctx, k, cl.G1(uint32(g*256)), cl.G1(256)); err != nil {
 					return nil, err
 				}
 				cur, dst = dst, cur
 				curN = g
 			}
-			return ctx.ReadI32(cur, 1)
+			return c.ReadI32(ctx, cur, 1)
 		},
 		Native: func() any {
 			var sum int32
@@ -331,8 +332,8 @@ func makeScan(n int) *Instance {
 	data := randI32s(r, n, 100)
 
 	return &Instance{
-		Sim: func(ctx *cl.Context) (any, error) {
-			prog, err := ctx.BuildProgram(scanSrc)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			prog, err := c.BuildProgram(ctx, scanSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -344,11 +345,11 @@ func makeScan(n int) *Instance {
 			if err != nil {
 				return nil, err
 			}
-			in, err := newBufI32(ctx, data)
+			in, err := newBufI32(ctx, c, data)
 			if err != nil {
 				return nil, err
 			}
-			out, err := ctx.CreateBuffer(4 * roundUp(n, 256))
+			out, err := c.CreateBuffer(4 * roundUp(n, 256))
 			if err != nil {
 				return nil, err
 			}
@@ -357,18 +358,18 @@ func makeScan(n int) *Instance {
 			var scan func(in, out *cl.Buffer, n int) error
 			scan = func(in, out *cl.Buffer, n int) error {
 				groups := (n + 255) / 256
-				sums, err := ctx.CreateBuffer(4 * roundUp(groups, 256))
+				sums, err := c.CreateBuffer(4 * roundUp(groups, 256))
 				if err != nil {
 					return err
 				}
 				if err := bindArgs(kScan, in, out, sums, n); err != nil {
 					return err
 				}
-				if err := ctx.EnqueueKernel(kScan, cl.G1(uint32(groups*256)), cl.G1(256)); err != nil {
+				if err := c.EnqueueKernel(ctx, kScan, cl.G1(uint32(groups*256)), cl.G1(256)); err != nil {
 					return err
 				}
 				if groups > 1 {
-					sumsScanned, err := ctx.CreateBuffer(4 * roundUp(groups, 256))
+					sumsScanned, err := c.CreateBuffer(4 * roundUp(groups, 256))
 					if err != nil {
 						return err
 					}
@@ -378,7 +379,7 @@ func makeScan(n int) *Instance {
 					if err := bindArgs(kAdd, out, sumsScanned, n); err != nil {
 						return err
 					}
-					if err := ctx.EnqueueKernel(kAdd, cl.G1(uint32(groups*256)), cl.G1(256)); err != nil {
+					if err := c.EnqueueKernel(ctx, kAdd, cl.G1(uint32(groups*256)), cl.G1(256)); err != nil {
 						return err
 					}
 				}
@@ -387,7 +388,7 @@ func makeScan(n int) *Instance {
 			if err := scan(in, out, n); err != nil {
 				return nil, err
 			}
-			return ctx.ReadI32(out, n)
+			return c.ReadI32(ctx, out, n)
 		},
 		Native: func() any {
 			out := make([]int32, n)

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"math"
 
 	"mobilesim/internal/cl"
@@ -55,23 +56,23 @@ func makeSobel(dim int) *Instance {
 	img := randBytes(r, w*h)
 
 	return &Instance{
-		Sim: func(ctx *cl.Context) (any, error) {
-			in, err := newBufU8(ctx, img)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			in, err := newBufU8(ctx, c, img)
 			if err != nil {
 				return nil, err
 			}
-			out, err := ctx.CreateBuffer(w * h)
+			out, err := c.CreateBuffer(w * h)
 			if err != nil {
 				return nil, err
 			}
-			k, err := kernel1(ctx, sobelSrc, "sobel", in, out, w, h)
+			k, err := kernel1(ctx, c, sobelSrc, "sobel", in, out, w, h)
 			if err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(k, cl.G2(uint32(w), uint32(h)), cl.G2(16, 16)); err != nil {
+			if err := c.EnqueueKernel(ctx, k, cl.G2(uint32(w), uint32(h)), cl.G2(16, 16)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadBuffer(out, w*h)
+			return c.ReadBuffer(ctx, out, w*h)
 		},
 		Native: func() any {
 			out := make([]byte, w*h)
@@ -135,23 +136,23 @@ func makeURNG(dim int) *Instance {
 	const factor = 15
 
 	return &Instance{
-		Sim: func(ctx *cl.Context) (any, error) {
-			in, err := newBufU8(ctx, img)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			in, err := newBufU8(ctx, c, img)
 			if err != nil {
 				return nil, err
 			}
-			out, err := ctx.CreateBuffer(n)
+			out, err := c.CreateBuffer(n)
 			if err != nil {
 				return nil, err
 			}
-			k, err := kernel1(ctx, urngSrc, "urng", in, out, factor, n)
+			k, err := kernel1(ctx, c, urngSrc, "urng", in, out, factor, n)
 			if err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(k, cl.G1(uint32(roundUp(n, 64))), cl.G1(64)); err != nil {
+			if err := c.EnqueueKernel(ctx, k, cl.G1(uint32(roundUp(n, 64))), cl.G1(64)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadBuffer(out, n)
+			return c.ReadBuffer(ctx, out, n)
 		},
 		Native: func() any {
 			out := make([]byte, n)
@@ -281,20 +282,20 @@ func makeRGauss(dim int) *Instance {
 
 	return &Instance{
 		Tol: 1e-3,
-		Sim: func(ctx *cl.Context) (any, error) {
-			in, err := newBufF32(ctx, img)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			in, err := newBufF32(ctx, c, img)
 			if err != nil {
 				return nil, err
 			}
-			tmp, err := ctx.CreateBuffer(4 * w * h)
+			tmp, err := c.CreateBuffer(4 * w * h)
 			if err != nil {
 				return nil, err
 			}
-			out, err := ctx.CreateBuffer(4 * w * h)
+			out, err := c.CreateBuffer(4 * w * h)
 			if err != nil {
 				return nil, err
 			}
-			prog, err := ctx.BuildProgram(rgaussSrc)
+			prog, err := c.BuildProgram(ctx, rgaussSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -309,16 +310,16 @@ func makeRGauss(dim int) *Instance {
 			if err := bindArgs(kr, in, tmp, w, h, alpha); err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(kr, cl.G1(uint32(roundUp(h, 32))), cl.G1(32)); err != nil {
+			if err := c.EnqueueKernel(ctx, kr, cl.G1(uint32(roundUp(h, 32))), cl.G1(32)); err != nil {
 				return nil, err
 			}
 			if err := bindArgs(kc, tmp, out, w, h, alpha); err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(kc, cl.G1(uint32(roundUp(w, 32))), cl.G1(32)); err != nil {
+			if err := c.EnqueueKernel(ctx, kc, cl.G1(uint32(roundUp(w, 32))), cl.G1(32)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadF32(out, w*h)
+			return c.ReadF32(ctx, out, w*h)
 		},
 		Native: func() any {
 			tmp := make([]float32, w*h)
@@ -429,24 +430,24 @@ func makeBinomial(numOptions int) *Instance {
 
 	return &Instance{
 		Tol: 5e-3,
-		Sim: func(ctx *cl.Context) (any, error) {
-			in, err := newBufF32(ctx, rands)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			in, err := newBufF32(ctx, c, rands)
 			if err != nil {
 				return nil, err
 			}
-			out, err := ctx.CreateBuffer(4 * numOptions)
+			out, err := c.CreateBuffer(4 * numOptions)
 			if err != nil {
 				return nil, err
 			}
-			k, err := kernel1(ctx, binomialSrc, "binomial", in, out, steps)
+			k, err := kernel1(ctx, c, binomialSrc, "binomial", in, out, steps)
 			if err != nil {
 				return nil, err
 			}
 			wg := uint32(steps + 1)
-			if err := ctx.EnqueueKernel(k, cl.G1(uint32(numOptions)*wg), cl.G1(wg)); err != nil {
+			if err := c.EnqueueKernel(ctx, k, cl.G1(uint32(numOptions)*wg), cl.G1(wg)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadF32(out, numOptions)
+			return c.ReadF32(ctx, out, numOptions)
 		},
 		Native: func() any { return native() },
 	}

@@ -29,12 +29,12 @@ func TestIntegerWorkloadsBitIdenticalAcrossVersions(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				ctx, err := cl.NewContext(p, ver)
+				c, err := cl.NewContext(p, ver)
 				if err != nil {
 					p.Close()
 					t.Fatal(err)
 				}
-				out, err := spec.Make(spec.SmallScale).Sim(ctx)
+				out, err := spec.Make(spec.SmallScale).Sim(bg, c)
 				p.Close()
 				if err != nil {
 					t.Fatalf("version %s: %v", ver, err)

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"math"
 
 	"mobilesim/internal/cl"
@@ -71,12 +72,12 @@ func makeBFS(n int) *Instance {
 	offsets, edges := bfsGraph(n, 1313)
 
 	return &Instance{
-		Sim: func(ctx *cl.Context) (any, error) {
-			bo, err := newBufI32(ctx, offsets)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			bo, err := newBufI32(ctx, c, offsets)
 			if err != nil {
 				return nil, err
 			}
-			be, err := newBufI32(ctx, edges)
+			be, err := newBufI32(ctx, c, edges)
 			if err != nil {
 				return nil, err
 			}
@@ -85,15 +86,15 @@ func makeBFS(n int) *Instance {
 				dist[i] = -1
 			}
 			dist[0] = 0
-			bd, err := newBufI32(ctx, dist)
+			bd, err := newBufI32(ctx, c, dist)
 			if err != nil {
 				return nil, err
 			}
-			bc, err := ctx.CreateBuffer(4)
+			bc, err := c.CreateBuffer(4)
 			if err != nil {
 				return nil, err
 			}
-			prog, err := ctx.BuildProgram(bfsSrc)
+			prog, err := c.BuildProgram(ctx, bfsSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -102,16 +103,16 @@ func makeBFS(n int) *Instance {
 				return nil, err
 			}
 			for level := 0; ; level++ {
-				if err := ctx.WriteI32(bc, []int32{0}); err != nil {
+				if err := c.WriteI32(ctx, bc, []int32{0}); err != nil {
 					return nil, err
 				}
 				if err := bindArgs(k, bo, be, bd, bc, level, n); err != nil {
 					return nil, err
 				}
-				if err := ctx.EnqueueKernel(k, cl.G1(uint32(roundUp(n, 64))), cl.G1(64)); err != nil {
+				if err := c.EnqueueKernel(ctx, k, cl.G1(uint32(roundUp(n, 64))), cl.G1(64)); err != nil {
 					return nil, err
 				}
-				ch, err := ctx.ReadI32(bc, 1)
+				ch, err := c.ReadI32(ctx, bc, 1)
 				if err != nil {
 					return nil, err
 				}
@@ -119,7 +120,7 @@ func makeBFS(n int) *Instance {
 					break
 				}
 			}
-			return ctx.ReadI32(bd, n)
+			return c.ReadI32(ctx, bd, n)
 		},
 		Native: func() any {
 			dist := make([]int32, n)
@@ -205,23 +206,23 @@ func makeCutcp(edge int) *Instance {
 
 	return &Instance{
 		Tol: 2e-3,
-		Sim: func(ctx *cl.Context) (any, error) {
-			ba, err := newBufF32(ctx, atoms)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			ba, err := newBufF32(ctx, c, atoms)
 			if err != nil {
 				return nil, err
 			}
-			bg, err := ctx.CreateBuffer(4 * total)
+			bg, err := c.CreateBuffer(4 * total)
 			if err != nil {
 				return nil, err
 			}
-			k, err := kernel1(ctx, cutcpSrc, "cutcp", ba, bg, nx, ny, nz, natoms, cutoff2, spacing)
+			k, err := kernel1(ctx, c, cutcpSrc, "cutcp", ba, bg, nx, ny, nz, natoms, cutoff2, spacing)
 			if err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(k, cl.G1(uint32(roundUp(total, 64))), cl.G1(64)); err != nil {
+			if err := c.EnqueueKernel(ctx, k, cl.G1(uint32(roundUp(total, 64))), cl.G1(64)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadF32(bg, total)
+			return c.ReadF32(ctx, bg, total)
 		},
 		Native: func() any {
 			grid := make([]float32, total)
@@ -295,27 +296,27 @@ func makeSgemm(m, n, k int, seed int64) *Instance {
 
 	return &Instance{
 		Tol: 1e-3,
-		Sim: func(ctx *cl.Context) (any, error) {
-			ba, err := newBufF32(ctx, a)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			ba, err := newBufF32(ctx, c, a)
 			if err != nil {
 				return nil, err
 			}
-			bb, err := newBufF32(ctx, b)
+			bb, err := newBufF32(ctx, c, b)
 			if err != nil {
 				return nil, err
 			}
-			bc, err := newBufF32(ctx, c0)
+			bc, err := newBufF32(ctx, c, c0)
 			if err != nil {
 				return nil, err
 			}
-			kk, err := kernel1(ctx, SgemmSrc, "sgemm", ba, bb, bc, m, n, k, alpha, beta)
+			kk, err := kernel1(ctx, c, SgemmSrc, "sgemm", ba, bb, bc, m, n, k, alpha, beta)
 			if err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(kk, cl.G2(uint32(n), uint32(m)), cl.G2(16, 16)); err != nil {
+			if err := c.EnqueueKernel(ctx, kk, cl.G2(uint32(n), uint32(m)), cl.G2(16, 16)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadF32(bc, m*n)
+			return c.ReadF32(ctx, bc, m*n)
 		},
 		Native: func() any {
 			out := make([]float32, m*n)
@@ -377,35 +378,35 @@ func makeSpmv(n int) *Instance {
 
 	return &Instance{
 		Tol: 1e-3,
-		Sim: func(ctx *cl.Context) (any, error) {
-			br, err := newBufI32(ctx, rowptr)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			br, err := newBufI32(ctx, c, rowptr)
 			if err != nil {
 				return nil, err
 			}
-			bc, err := newBufI32(ctx, cols)
+			bc, err := newBufI32(ctx, c, cols)
 			if err != nil {
 				return nil, err
 			}
-			bv, err := newBufF32(ctx, vals)
+			bv, err := newBufF32(ctx, c, vals)
 			if err != nil {
 				return nil, err
 			}
-			bx, err := newBufF32(ctx, x)
+			bx, err := newBufF32(ctx, c, x)
 			if err != nil {
 				return nil, err
 			}
-			by, err := ctx.CreateBuffer(4 * n)
+			by, err := c.CreateBuffer(4 * n)
 			if err != nil {
 				return nil, err
 			}
-			k, err := kernel1(ctx, spmvSrc, "spmv", br, bc, bv, bx, by, n)
+			k, err := kernel1(ctx, c, spmvSrc, "spmv", br, bc, bv, bx, by, n)
 			if err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(k, cl.G1(uint32(roundUp(n, 64))), cl.G1(64)); err != nil {
+			if err := c.EnqueueKernel(ctx, k, cl.G1(uint32(roundUp(n, 64))), cl.G1(64)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadF32(by, n)
+			return c.ReadF32(ctx, by, n)
 		},
 		Native: func() any {
 			y := make([]float32, n)
@@ -473,16 +474,16 @@ func makeStencil(edge int) *Instance {
 
 	return &Instance{
 		Tol: 1e-3,
-		Sim: func(ctx *cl.Context) (any, error) {
-			a, err := newBufF32(ctx, init0)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			a, err := newBufF32(ctx, c, init0)
 			if err != nil {
 				return nil, err
 			}
-			b, err := ctx.CreateBuffer(4 * total)
+			b, err := c.CreateBuffer(4 * total)
 			if err != nil {
 				return nil, err
 			}
-			prog, err := ctx.BuildProgram(stencilSrc)
+			prog, err := c.BuildProgram(ctx, stencilSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -495,14 +496,14 @@ func makeStencil(edge int) *Instance {
 				if err := bindArgs(k, src, dst, nx, ny, nz, c0, c1); err != nil {
 					return nil, err
 				}
-				if err := ctx.EnqueueKernel(k,
+				if err := c.EnqueueKernel(ctx, k,
 					[3]uint32{uint32(nx), uint32(ny), uint32(nz)},
 					[3]uint32{8, 8, 1}); err != nil {
 					return nil, err
 				}
 				src, dst = dst, src
 			}
-			return ctx.ReadF32(src, total)
+			return c.ReadF32(ctx, src, total)
 		},
 		Native: func() any {
 			cur := append([]float32(nil), init0...)

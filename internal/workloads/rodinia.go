@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"math"
 
 	"mobilesim/internal/cl"
@@ -90,21 +91,21 @@ func makeBackprop(inN int) *Instance {
 
 	return &Instance{
 		Tol: 2e-3,
-		Sim: func(ctx *cl.Context) (any, error) {
-			bi, err := newBufF32(ctx, input)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			bi, err := newBufF32(ctx, c, input)
 			if err != nil {
 				return nil, err
 			}
-			bw, err := newBufF32(ctx, weights)
+			bw, err := newBufF32(ctx, c, weights)
 			if err != nil {
 				return nil, err
 			}
 			numBlocks := inN / 16
-			bp, err := ctx.CreateBuffer(4 * numBlocks * hid)
+			bp, err := c.CreateBuffer(4 * numBlocks * hid)
 			if err != nil {
 				return nil, err
 			}
-			prog, err := ctx.BuildProgram(backpropSrc)
+			prog, err := c.BuildProgram(ctx, backpropSrc)
 			if err != nil {
 				return nil, err
 			}
@@ -115,11 +116,11 @@ func makeBackprop(inN int) *Instance {
 			if err := bindArgs(kf, bi, bw, bp, hid); err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(kf,
+			if err := c.EnqueueKernel(ctx, kf,
 				cl.G2(16, uint32(numBlocks*16)), cl.G2(16, 16)); err != nil {
 				return nil, err
 			}
-			partial, err := ctx.ReadF32(bp, numBlocks*hid)
+			partial, err := c.ReadF32(ctx, bp, numBlocks*hid)
 			if err != nil {
 				return nil, err
 			}
@@ -135,11 +136,11 @@ func makeBackprop(inN int) *Instance {
 			}
 
 			// Adjust weights.
-			bd, err := newBufF32(ctx, delta)
+			bd, err := newBufF32(ctx, c, delta)
 			if err != nil {
 				return nil, err
 			}
-			bo, err := newBufF32(ctx, oldw)
+			bo, err := newBufF32(ctx, c, oldw)
 			if err != nil {
 				return nil, err
 			}
@@ -150,14 +151,14 @@ func makeBackprop(inN int) *Instance {
 			if err := bindArgs(ka, bd, bi, bw, bo, hid); err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(ka, cl.G2(16, uint32(inN)), cl.G2(16, 16)); err != nil {
+			if err := c.EnqueueKernel(ctx, ka, cl.G2(16, uint32(inN)), cl.G2(16, 16)); err != nil {
 				return nil, err
 			}
-			wOut, err := ctx.ReadF32(bw, len(weights))
+			wOut, err := c.ReadF32(ctx, bw, len(weights))
 			if err != nil {
 				return nil, err
 			}
-			oOut, err := ctx.ReadF32(bo, len(oldw))
+			oOut, err := c.ReadF32(ctx, bo, len(oldw))
 			if err != nil {
 				return nil, err
 			}
@@ -235,27 +236,27 @@ func makeNN(n int) *Instance {
 
 	return &Instance{
 		Tol: 1e-4,
-		Sim: func(ctx *cl.Context) (any, error) {
-			bla, err := newBufF32(ctx, lat)
+		Sim: func(ctx context.Context, c *cl.Context) (any, error) {
+			bla, err := newBufF32(ctx, c, lat)
 			if err != nil {
 				return nil, err
 			}
-			blo, err := newBufF32(ctx, lng)
+			blo, err := newBufF32(ctx, c, lng)
 			if err != nil {
 				return nil, err
 			}
-			bd, err := ctx.CreateBuffer(4 * n)
+			bd, err := c.CreateBuffer(4 * n)
 			if err != nil {
 				return nil, err
 			}
-			k, err := kernel1(ctx, nnSrc, "nn_dist", bla, blo, bd, n, tlat, tlng)
+			k, err := kernel1(ctx, c, nnSrc, "nn_dist", bla, blo, bd, n, tlat, tlng)
 			if err != nil {
 				return nil, err
 			}
-			if err := ctx.EnqueueKernel(k, cl.G1(uint32(roundUp(n, 64))), cl.G1(64)); err != nil {
+			if err := c.EnqueueKernel(ctx, k, cl.G1(uint32(roundUp(n, 64))), cl.G1(64)); err != nil {
 				return nil, err
 			}
-			return ctx.ReadF32(bd, n)
+			return c.ReadF32(ctx, bd, n)
 		},
 		Native: func() any {
 			out := make([]float32, n)

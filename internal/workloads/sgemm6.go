@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 
 	"mobilesim/internal/cl"
@@ -86,7 +87,7 @@ func SgemmVariants() []SgemmVariant {
 
 // RunSgemmVariant executes one variant on the given context and returns
 // the C matrix.
-func RunSgemmVariant(ctx *cl.Context, v SgemmVariant, a, b []float32, m, n, k int) ([]float32, error) {
+func RunSgemmVariant(ctx context.Context, c *cl.Context, v SgemmVariant, a, b []float32, m, n, k int) ([]float32, error) {
 	if m%16 != 0 || n%16 != 0 || k%16 != 0 {
 		return nil, fmt.Errorf("workloads: sgemm dims must be multiples of 16 (got %dx%dx%d)", m, n, k)
 	}
@@ -99,26 +100,26 @@ func RunSgemmVariant(ctx *cl.Context, v SgemmVariant, a, b []float32, m, n, k in
 			}
 		}
 	}
-	ba, err := newBufF32(ctx, a)
+	ba, err := newBufF32(ctx, c, a)
 	if err != nil {
 		return nil, err
 	}
-	bb, err := newBufF32(ctx, bIn)
+	bb, err := newBufF32(ctx, c, bIn)
 	if err != nil {
 		return nil, err
 	}
-	bc, err := ctx.CreateBuffer(4 * m * n)
+	bc, err := c.CreateBuffer(4 * m * n)
 	if err != nil {
 		return nil, err
 	}
-	kk, err := kernel1(ctx, v.Kernel, "sgemm", ba, bb, bc, m, n, k)
+	kk, err := kernel1(ctx, c, v.Kernel, "sgemm", ba, bb, bc, m, n, k)
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.EnqueueKernel(kk, v.Global(m, n), v.Local); err != nil {
+	if err := c.EnqueueKernel(ctx, kk, v.Global(m, n), v.Local); err != nil {
 		return nil, err
 	}
-	return ctx.ReadF32(bc, m*n)
+	return c.ReadF32(ctx, bc, m*n)
 }
 
 // SgemmNative is the float32 reference (also the verification oracle).

@@ -23,11 +23,11 @@ func TestSgemmVariantsAllCorrect(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer p.Close()
-			ctx, err := cl.NewContext(p, "")
+			c, err := cl.NewContext(p, "")
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := RunSgemmVariant(ctx, v, a, b, m, n, k)
+			got, err := RunSgemmVariant(bg, c, v, a, b, m, n, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -56,11 +56,11 @@ func TestSgemmVariantShapes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ctx, err := cl.NewContext(p, "")
+		c, err := cl.NewContext(p, "")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := RunSgemmVariant(ctx, v, a, b, m, n, k); err != nil {
+		if _, err := RunSgemmVariant(bg, c, v, a, b, m, n, k); err != nil {
 			t.Fatalf("%s: %v", v.Name, err)
 		}
 		gs, _ := p.GPU.Stats()

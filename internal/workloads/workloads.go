@@ -7,10 +7,12 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"mobilesim/internal/cl"
@@ -19,8 +21,9 @@ import (
 // Instance is one prepared benchmark run: inputs generated, kernels ready.
 type Instance struct {
 	// Sim runs the full workload on the simulator (buffer traffic, kernel
-	// enqueues, result readback) and returns the output signature.
-	Sim func(ctx *cl.Context) (any, error)
+	// enqueues, result readback) and returns the output signature. A
+	// cancelled ctx interrupts the running kernel at a clause boundary.
+	Sim func(ctx context.Context, c *cl.Context) (any, error)
 	// Native runs the same computation host-natively and returns the
 	// reference signature.
 	Native func() any
@@ -54,14 +57,66 @@ func All() []*Spec {
 	return out
 }
 
-// ByName finds a benchmark.
+// ByName finds a benchmark. The error for an unknown name lists the
+// registered benchmarks and suggests the nearest match, mirroring the
+// compiler-version validation in the facade Config.
 func ByName(name string) (*Spec, error) {
 	for _, s := range registry {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+	names := make([]string, 0, len(registry))
+	for _, s := range registry {
+		names = append(names, s.Name)
+	}
+	return nil, UnknownNameError("workloads", "benchmark", name, names)
+}
+
+// UnknownNameError builds the standard list-and-suggest error for an
+// unknown registry name: "<prefix>: unknown <noun> <name> (did you mean
+// ...?); have ...". names is sorted in place.
+func UnknownNameError(prefix, noun, name string, names []string) error {
+	sort.Strings(names)
+	msg := fmt.Sprintf("%s: unknown %s %q", prefix, noun, name)
+	if near := Nearest(name, names); near != "" {
+		msg += fmt.Sprintf(" (did you mean %q?)", near)
+	}
+	return fmt.Errorf("%s; have %s", msg, strings.Join(names, ", "))
+}
+
+// Nearest returns the candidate with the smallest case-insensitive edit
+// distance from name, or "" when nothing is plausibly close (distance
+// greater than half the name's length).
+func Nearest(name string, candidates []string) string {
+	best, bestDist := "", len(name)/2+1
+	for _, c := range candidates {
+		if d := editDistance(strings.ToLower(name), strings.ToLower(c)); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // Result is a completed run.
@@ -74,20 +129,25 @@ type Result struct {
 }
 
 // Run executes the instance on the given context, times the simulator and
-// native paths, and verifies outputs.
-func (inst *Instance) Run(ctx *cl.Context, name string) (*Result, error) {
+// native paths, and verifies outputs. With verify false the host-native
+// reference is neither run nor compared (Result.Verified stays false and
+// NativeDuration zero).
+func (inst *Instance) Run(ctx context.Context, c *cl.Context, name string, verify bool) (*Result, error) {
 	t0 := time.Now()
-	simOut, err := inst.Sim(ctx)
+	simOut, err := inst.Sim(ctx, c)
 	if err != nil {
 		return nil, fmt.Errorf("%s: sim: %w", name, err)
 	}
 	simDur := time.Since(t0)
 
+	res := &Result{Name: name, SimDuration: simDur}
+	if !verify {
+		return res, nil
+	}
 	t1 := time.Now()
 	natOut := inst.Native()
-	natDur := time.Since(t1)
+	res.NativeDuration = time.Since(t1)
 
-	res := &Result{Name: name, SimDuration: simDur, NativeDuration: natDur}
 	if err := compare(simOut, natOut, inst.Tol); err != nil {
 		res.VerifyErr = fmt.Errorf("%s: verify: %w", name, err)
 	} else {
@@ -95,6 +155,11 @@ func (inst *Instance) Run(ctx *cl.Context, name string) (*Result, error) {
 	}
 	return res, nil
 }
+
+// Compare checks an output signature against its reference with the
+// package's tolerance rules (NaN-aware float comparison, exact integer
+// comparison) — for callers that verify outside Instance.Run.
+func Compare(sim, nat any, tol float64) error { return compare(sim, nat, tol) }
 
 // compare checks output signatures with tolerance for floats.
 func compare(sim, nat any, tol float64) error {
@@ -178,34 +243,34 @@ func randBytes(r *rand.Rand, n int) []byte {
 }
 
 // buffers is a small helper to cut allocation boilerplate in workloads.
-func newBufF32(ctx *cl.Context, vals []float32) (*cl.Buffer, error) {
-	b, err := ctx.CreateBuffer(4 * len(vals))
+func newBufF32(ctx context.Context, c *cl.Context, vals []float32) (*cl.Buffer, error) {
+	b, err := c.CreateBuffer(4 * len(vals))
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.WriteF32(b, vals); err != nil {
+	if err := c.WriteF32(ctx, b, vals); err != nil {
 		return nil, err
 	}
 	return b, nil
 }
 
-func newBufI32(ctx *cl.Context, vals []int32) (*cl.Buffer, error) {
-	b, err := ctx.CreateBuffer(4 * len(vals))
+func newBufI32(ctx context.Context, c *cl.Context, vals []int32) (*cl.Buffer, error) {
+	b, err := c.CreateBuffer(4 * len(vals))
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.WriteI32(b, vals); err != nil {
+	if err := c.WriteI32(ctx, b, vals); err != nil {
 		return nil, err
 	}
 	return b, nil
 }
 
-func newBufU8(ctx *cl.Context, vals []byte) (*cl.Buffer, error) {
-	b, err := ctx.CreateBuffer(len(vals))
+func newBufU8(ctx context.Context, c *cl.Context, vals []byte) (*cl.Buffer, error) {
+	b, err := c.CreateBuffer(len(vals))
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.WriteBuffer(b, vals); err != nil {
+	if err := c.WriteBuffer(ctx, b, vals); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -213,8 +278,8 @@ func newBufU8(ctx *cl.Context, vals []byte) (*cl.Buffer, error) {
 
 // kernel1 builds a program with one kernel and binds arguments in order:
 // *cl.Buffer, int32/int, float32.
-func kernel1(ctx *cl.Context, src, name string, args ...any) (*cl.Kernel, error) {
-	prog, err := ctx.BuildProgram(src)
+func kernel1(ctx context.Context, c *cl.Context, src, name string, args ...any) (*cl.Kernel, error) {
+	prog, err := c.BuildProgram(ctx, src)
 	if err != nil {
 		return nil, err
 	}

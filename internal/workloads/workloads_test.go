@@ -1,11 +1,14 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"mobilesim/internal/cl"
 	"mobilesim/internal/platform"
 )
+
+var bg = context.Background()
 
 // TestAllBenchmarksVerifyAgainstNative runs every Table II workload at
 // small scale through the full simulated stack and checks bit-level (int)
@@ -20,12 +23,12 @@ func TestAllBenchmarksVerifyAgainstNative(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer p.Close()
-			ctx, err := cl.NewContext(p, "")
+			c, err := cl.NewContext(p, "")
 			if err != nil {
 				t.Fatal(err)
 			}
 			inst := spec.Make(spec.SmallScale)
-			res, err := inst.Run(ctx, spec.Name)
+			res, err := inst.Run(bg, c, spec.Name, true)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -62,11 +65,11 @@ func TestBenchmarksVerifyOnOldCompiler(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer p.Close()
-			ctx, err := cl.NewContext(p, "5.6")
+			c, err := cl.NewContext(p, "5.6")
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := spec.Make(spec.SmallScale).Run(ctx, name)
+			res, err := spec.Make(spec.SmallScale).Run(bg, c, name, true)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package mobilesim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -51,6 +52,17 @@ func (s *Stats) merge(o *Stats) {
 	s.System.Merge(&o.System)
 	s.DriverCPUTime += o.DriverCPUTime
 	s.GuestInstructions += o.GuestInstructions
+}
+
+// sub returns the counter-wise difference s - o (per-run deltas diffed
+// around a run).
+func (s Stats) sub(o Stats) Stats {
+	return Stats{
+		GPU:               s.GPU.Sub(&o.GPU),
+		System:            s.System.Sub(&o.System),
+		DriverCPUTime:     s.DriverCPUTime - o.DriverCPUTime,
+		GuestInstructions: s.GuestInstructions - o.GuestInstructions,
+	}
 }
 
 // Config selects the shape of one simulated platform. The zero value is a
@@ -147,10 +159,22 @@ type Session struct {
 	mu     sync.Mutex
 	closed bool
 	p      *platform.Platform
-	ctx    *cl.Context
+	rt     *cl.Context
 	// final is the statistics snapshot taken at Close, so Stats stays
 	// meaningful on a closed session.
 	final Stats
+
+	// base scopes every queued run to the session lifetime: Close cancels
+	// it, which soft-stops an in-flight kernel and fails queued runs.
+	base       context.Context
+	baseCancel context.CancelFunc
+
+	// Command-queue state (see queue.go). qTail is the most recently
+	// submitted entry; each submission chains on its predecessor, giving
+	// in-order execution without a dedicated worker.
+	qMu     sync.Mutex
+	qClosed bool
+	qTail   *Pending
 }
 
 // New boots a platform from cfg and opens the device: GPU soft reset,
@@ -164,18 +188,38 @@ func New(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, err := cl.NewContext(p, cfg.CompilerVersion)
+	rt, err := cl.NewContext(p, cfg.CompilerVersion)
 	if err != nil {
 		p.Close()
 		return nil, err
 	}
-	return &Session{cfg: cfg, p: p, ctx: ctx}, nil
+	s := &Session{cfg: cfg, p: p, rt: rt}
+	s.base, s.baseCancel = context.WithCancel(context.Background())
+	return s, nil
 }
 
-// Close stops the platform's background machinery. Closing twice is a
+// Close drains the command queue and stops the platform's background
+// machinery. Queued runs fail with ErrClosed; an in-flight run is
+// soft-stopped at a clause boundary and completes with ErrClosed (or its
+// own context error) before the platform is torn down. Closing twice is a
 // no-op. Afterwards every operation that touches the device fails with
 // ErrClosed; Stats keeps returning the final snapshot taken at Close.
 func (s *Session) Close() error {
+	s.qMu.Lock()
+	draining := !s.qClosed
+	s.qClosed = true
+	tail := s.qTail
+	s.qMu.Unlock()
+	if draining {
+		s.baseCancel()
+		if tail != nil {
+			// Wait for the slot release, not just the outcome: a tail
+			// cancelled while queued completes early, but the device may
+			// still be executing its predecessor.
+			<-tail.released
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -200,8 +244,9 @@ func (s *Session) locked(f func() error) error {
 	return f()
 }
 
-// Stats returns the session's cumulative statistics snapshot. After
-// Close it returns the final snapshot taken at close time.
+// Stats returns the session's cumulative statistics snapshot (per-run
+// deltas are in RunResult.Stats). After Close it returns the final
+// snapshot taken at close time.
 func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -216,9 +261,25 @@ func (s *Session) statsLocked() Stats {
 	return Stats{
 		GPU:               gs,
 		System:            sys,
-		DriverCPUTime:     s.ctx.Drv.CPUTime,
+		DriverCPUTime:     s.rt.Drv.CPUTime,
 		GuestInstructions: s.p.CPUs[0].Instret,
 	}
+}
+
+// withCL runs f with the session lock held and the CL runtime exposed —
+// the bridge between Workload implementations and the device.
+func (s *Session) withCL(f func(c *cl.Context) error) error {
+	return s.locked(func() error { return f(s.rt) })
+}
+
+// device returns the GPU device, or nil once closed.
+func (s *Session) device() *gpu.Device {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.p.GPU
 }
 
 // ResetStats clears the accumulated statistics (between measurement
@@ -257,7 +318,7 @@ func (b *Buffer) Size() int { return b.b.Size }
 func (s *Session) NewBuffer(size int) (*Buffer, error) {
 	var buf *Buffer
 	err := s.locked(func() error {
-		b, err := s.ctx.CreateBuffer(size)
+		b, err := s.rt.CreateBuffer(size)
 		if err != nil {
 			return err
 		}
@@ -267,47 +328,57 @@ func (s *Session) NewBuffer(size int) (*Buffer, error) {
 	return buf, err
 }
 
+// orBackground lets nil stand in for context.Background() on the
+// public device primitives.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // Write copies host bytes into the buffer via the simulated-CPU memcpy
-// path (clEnqueueWriteBuffer).
-func (b *Buffer) Write(data []byte) error {
-	return b.s.locked(func() error { return b.s.ctx.WriteBuffer(b.b, data) })
+// path (clEnqueueWriteBuffer). Cancellation is honoured at staging-chunk
+// (4 MiB) granularity; a nil ctx means context.Background().
+func (b *Buffer) Write(ctx context.Context, data []byte) error {
+	return b.s.locked(func() error { return b.s.rt.WriteBuffer(orBackground(ctx), b.b, data) })
 }
 
 // Read copies the first n bytes of the buffer back to the host.
-func (b *Buffer) Read(n int) ([]byte, error) {
+func (b *Buffer) Read(ctx context.Context, n int) ([]byte, error) {
 	var out []byte
 	err := b.s.locked(func() (err error) {
-		out, err = b.s.ctx.ReadBuffer(b.b, n)
+		out, err = b.s.rt.ReadBuffer(orBackground(ctx), b.b, n)
 		return
 	})
 	return out, err
 }
 
 // WriteF32 marshals float32 values into the buffer.
-func (b *Buffer) WriteF32(vals []float32) error {
-	return b.s.locked(func() error { return b.s.ctx.WriteF32(b.b, vals) })
+func (b *Buffer) WriteF32(ctx context.Context, vals []float32) error {
+	return b.s.locked(func() error { return b.s.rt.WriteF32(orBackground(ctx), b.b, vals) })
 }
 
 // ReadF32 reads n float32 values from the buffer.
-func (b *Buffer) ReadF32(n int) ([]float32, error) {
+func (b *Buffer) ReadF32(ctx context.Context, n int) ([]float32, error) {
 	var out []float32
 	err := b.s.locked(func() (err error) {
-		out, err = b.s.ctx.ReadF32(b.b, n)
+		out, err = b.s.rt.ReadF32(orBackground(ctx), b.b, n)
 		return
 	})
 	return out, err
 }
 
 // WriteI32 marshals int32 values into the buffer.
-func (b *Buffer) WriteI32(vals []int32) error {
-	return b.s.locked(func() error { return b.s.ctx.WriteI32(b.b, vals) })
+func (b *Buffer) WriteI32(ctx context.Context, vals []int32) error {
+	return b.s.locked(func() error { return b.s.rt.WriteI32(orBackground(ctx), b.b, vals) })
 }
 
 // ReadI32 reads n int32 values from the buffer.
-func (b *Buffer) ReadI32(n int) ([]int32, error) {
+func (b *Buffer) ReadI32(ctx context.Context, n int) ([]int32, error) {
 	var out []int32
 	err := b.s.locked(func() (err error) {
-		out, err = b.s.ctx.ReadI32(b.b, n)
+		out, err = b.s.rt.ReadI32(orBackground(ctx), b.b, n)
 		return
 	})
 	return out, err
@@ -326,7 +397,7 @@ type Kernel struct {
 func (s *Session) LoadKernel(src, name string) (*Kernel, error) {
 	var kern *Kernel
 	err := s.locked(func() error {
-		prog, err := s.ctx.BuildProgram(src)
+		prog, err := s.rt.BuildProgram(context.Background(), src)
 		if err != nil {
 			return err
 		}
@@ -377,9 +448,11 @@ func (k *Kernel) SetArgs(args ...any) error {
 // Launch enqueues one NDRange run of the kernel and waits for the
 // completion interrupt: descriptor written to shared memory, doorbell
 // rung, Job Manager dispatch, guest ISR — the full hardware/software
-// contract.
-func (k *Kernel) Launch(global, local [3]uint32) error {
-	return k.s.locked(func() error { return k.s.ctx.EnqueueKernel(k.k, global, local) })
+// contract. Cancelling ctx soft-stops the running kernel at a clause
+// boundary and returns ctx.Err(); the session stays usable. A nil ctx
+// means context.Background().
+func (k *Kernel) Launch(ctx context.Context, global, local [3]uint32) error {
+	return k.s.locked(func() error { return k.s.rt.EnqueueKernel(orBackground(ctx), k.k, global, local) })
 }
 
 // Dim1 builds a 1-D NDRange dimension triple.
@@ -391,57 +464,45 @@ func Dim2(x, y uint32) [3]uint32 { return [3]uint32{x, y, 1} }
 // Dim3 builds a 3-D NDRange dimension triple.
 func Dim3(x, y, z uint32) [3]uint32 { return [3]uint32{x, y, z} }
 
-// RunResult is one completed benchmark run.
+// RunResult is one completed workload run.
 type RunResult struct {
-	// Benchmark and Scale identify what ran.
+	// Workload names what ran (a registry name, see Workloads); Kind
+	// classifies it; Scale is the resolved input scale (0 when the
+	// workload does not take one).
+	Workload string
+	Kind     WorkloadKind
+	Scale    int
+	// Benchmark is the legacy alias of Workload.
+	//
+	// Deprecated: use Workload.
 	Benchmark string
-	Scale     int
 	// SimDuration is time spent in full-stack simulation; NativeDuration
 	// is the host-native reference implementation's time (their ratio is
-	// the paper's Fig 7 slowdown); Wall is total elapsed time.
+	// the paper's Fig 7 slowdown); Wall is total elapsed time including
+	// verification.
 	SimDuration    time.Duration
 	NativeDuration time.Duration
 	Wall           time.Duration
 	// Verified reports whether the simulated output matched the
-	// host-native reference; VerifyErr carries the first mismatch.
+	// host-native reference; VerifyErr carries the first mismatch. Both
+	// stay zero for workload kinds without a reference (SLAM) and for
+	// runs with verification disabled (WithVerify(false)).
 	Verified  bool
 	VerifyErr error
-	// Stats is the session's statistics snapshot after the run.
+	// Stats is the per-run statistics delta: the session snapshot diffed
+	// around this run (WithStatsScope(StatsSession) selects the session-
+	// cumulative snapshot instead; Session.Stats always has it).
 	Stats Stats
-}
-
-// Run executes one registered benchmark (see Benchmarks) at the given
-// scale on this session, verifying simulated output against the
-// host-native reference. Scale <= 0 selects the benchmark's default.
-func (s *Session) Run(benchmark string, scale int) (*RunResult, error) {
-	var out *RunResult
-	err := s.locked(func() error {
-		spec, err := workloads.ByName(benchmark)
-		if err != nil {
-			return err
-		}
-		if scale <= 0 {
-			scale = spec.DefaultScale
-		}
-		inst := spec.Make(scale)
-		t0 := time.Now()
-		res, err := inst.Run(s.ctx, spec.Name)
-		if err != nil {
-			return err
-		}
-		out = &RunResult{
-			Benchmark:      spec.Name,
-			Scale:          scale,
-			SimDuration:    res.SimDuration,
-			NativeDuration: res.NativeDuration,
-			Wall:           time.Since(t0),
-			Verified:       res.Verified,
-			VerifyErr:      res.VerifyErr,
-			Stats:          s.statsLocked(),
-		}
-		return nil
-	})
-	return out, err
+	// CFG is the rendered divergence control-flow graph, collected when
+	// the run was submitted WithCFG. On sessions created with
+	// Config.CollectCFG it is cumulative since session start; otherwise
+	// it covers exactly this run.
+	CFG string
+	// SLAM carries the pipeline metrics of a KindSLAM run.
+	SLAM *SLAMMetrics
+	// Output is an experiment workload's rendered rows, captured when no
+	// WithOutput writer was supplied.
+	Output string
 }
 
 // Benchmark describes one registered workload from the paper's suite

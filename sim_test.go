@@ -52,7 +52,7 @@ func TestSessionKernelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bx.WriteF32(xs); err != nil {
+	if err := bx.WriteF32(nil, xs); err != nil {
 		t.Fatal(err)
 	}
 	k, err := sess.LoadKernel(axpbSrc, "axpb")
@@ -62,10 +62,10 @@ func TestSessionKernelRoundTrip(t *testing.T) {
 	if err := k.SetArgs(bx, by, float32(3.0), float32(1.0), n); err != nil {
 		t.Fatal(err)
 	}
-	if err := k.Launch(mobilesim.Dim1(n), mobilesim.Dim1(64)); err != nil {
+	if err := k.Launch(bg, mobilesim.Dim1(n), mobilesim.Dim1(64)); err != nil {
 		t.Fatal(err)
 	}
-	ys, err := by.ReadF32(n)
+	ys, err := by.ReadF32(nil, n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestSessionRunBenchmark(t *testing.T) {
 	}
 	defer sess.Close()
 
-	res, err := sess.Run("BinarySearch", smallScale(t, "BinarySearch"))
+	res, err := sess.Run(bg, "BinarySearch", mobilesim.WithScale(smallScale(t, "BinarySearch")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,8 +114,20 @@ func TestSessionRunUnknownBenchmark(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	if _, err := sess.Run("NoSuchBenchmark", 0); err == nil {
-		t.Fatal("expected error for unknown benchmark")
+	err = nil
+	_, err = sess.Run(bg, "NoSuchBenchmark")
+	if err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	// The error must be actionable: it lists the registry (satellite:
+	// mirror Config.validate's compiler-version error).
+	if !strings.Contains(err.Error(), "BinarySearch") {
+		t.Errorf("unknown-workload error does not list names: %v", err)
+	}
+	// A near-miss also gets a nearest-match suggestion.
+	_, err = sess.Run(bg, "binarysearch")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "BinarySearch"`) {
+		t.Errorf("near-miss error lacks suggestion: %v", err)
 	}
 }
 
@@ -125,7 +137,7 @@ func TestSessionCFGCollection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	if _, err := sess.Run("BFS", smallScale(t, "BFS")); err != nil {
+	if _, err := sess.Run(bg, "BFS", mobilesim.WithScale(smallScale(t, "BFS"))); err != nil {
 		t.Fatal(err)
 	}
 	if cfg := sess.CFG(); !strings.Contains(cfg, "->") {
@@ -255,7 +267,7 @@ func TestUseAfterClose(t *testing.T) {
 		t.Fatalf("second Close: %v", err)
 	}
 
-	if _, err := sess.Run("BinarySearch", 1); !errors.Is(err, mobilesim.ErrClosed) {
+	if _, err := sess.Run(bg, "BinarySearch", mobilesim.WithScale(1)); !errors.Is(err, mobilesim.ErrClosed) {
 		t.Errorf("Run after Close: %v, want ErrClosed", err)
 	}
 	if _, err := sess.LoadKernel(axpbSrc, "axpb"); !errors.Is(err, mobilesim.ErrClosed) {
@@ -264,10 +276,10 @@ func TestUseAfterClose(t *testing.T) {
 	if _, err := sess.NewBuffer(64); !errors.Is(err, mobilesim.ErrClosed) {
 		t.Errorf("NewBuffer after Close: %v, want ErrClosed", err)
 	}
-	if err := buf.WriteF32([]float32{1}); !errors.Is(err, mobilesim.ErrClosed) {
+	if err := buf.WriteF32(nil, []float32{1}); !errors.Is(err, mobilesim.ErrClosed) {
 		t.Errorf("Buffer.WriteF32 after Close: %v, want ErrClosed", err)
 	}
-	if err := k.Launch(mobilesim.Dim1(1), mobilesim.Dim1(1)); !errors.Is(err, mobilesim.ErrClosed) {
+	if err := k.Launch(bg, mobilesim.Dim1(1), mobilesim.Dim1(1)); !errors.Is(err, mobilesim.ErrClosed) {
 		t.Errorf("Kernel.Launch after Close: %v, want ErrClosed", err)
 	}
 }
