@@ -46,11 +46,11 @@ func Table3(w io.Writer, opt Options) ([]Table3Row, error) {
 		rows = append(rows, Table3Row{Name: name, Sys: out.sys})
 	}
 	tw := table(w)
-	fmt.Fprintln(tw, "benchmark\tpages acc.\tctrl reg reads\tctrl reg writes\tinterrupts\tcompute jobs")
+	fmt.Fprintln(tw, "benchmark\tpages acc.\tctrl reg reads\tctrl reg writes\tinterrupts\tcompute jobs\ttlb hits\ttlb walks")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			r.Name, r.Sys.PagesAccessed, r.Sys.CtrlRegReads, r.Sys.CtrlRegWrites,
-			r.Sys.IRQsAsserted, r.Sys.ComputeJobs)
+			r.Sys.IRQsAsserted, r.Sys.ComputeJobs, r.Sys.TLBHits, r.Sys.TLBWalks)
 	}
 	return rows, tw.Flush()
 }

@@ -375,13 +375,17 @@ func asFault(err error, out **mmu.Fault) bool {
 	return ok
 }
 
-// runChain walks a job descriptor chain.
+// runChain walks a job descriptor chain. Its walker runs in shared mode:
+// descriptor, shader and uniform reads may overlap guest stores from a
+// previous chain's tail or a racy guest, and must stay word-atomic.
 func (d *Device) runChain(head uint64) error {
-	walker := mmu.NewWalker(d.bus)
+	walker := mmu.NewSharedWalker(d.bus)
 	walker.SetRoot(d.translationRoot())
 	walker.ResetTouched()
 	defer func() {
 		d.statsMu.Lock()
+		d.sysStats.TLBHits += walker.Hits
+		d.sysStats.TLBWalks += walker.Walks
 		walker.ForEachTouched(func(p uint64) {
 			d.touchedPages[p] = struct{}{}
 		})

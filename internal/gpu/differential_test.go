@@ -1,0 +1,247 @@
+package gpu_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mobilesim/internal/gpu"
+)
+
+// Differential JIT-vs-interpreter testing. The closure-JIT engine must be
+// observationally identical to the interpreter: same guest memory after
+// the job, same statistics counters, same faults. These tests generate
+// random but well-formed kernels (random ALU/memory/divergence mixes over
+// disjoint per-thread data) and execute each one under both engines on
+// fresh devices, comparing final guest memory and the full stats records.
+// `go test` replays the seed corpus; `go test -fuzz=FuzzDifferentialJITInterp`
+// explores further (CI runs a short-budget smoke of exactly that).
+
+// diffBinOps are the two-source opcodes the generator draws from — every
+// closure-JIT-compiled binary op plus the interpreter-only accumulator
+// forms (FMA, SEL), so mixed dispatch within one clause is exercised.
+var diffBinOps = []gpu.Opcode{
+	gpu.OpIADD, gpu.OpISUB, gpu.OpIMUL, gpu.OpIDIV, gpu.OpIMOD,
+	gpu.OpSHL, gpu.OpSHR, gpu.OpSAR, gpu.OpAND, gpu.OpOR, gpu.OpXOR,
+	gpu.OpIMIN, gpu.OpIMAX, gpu.OpADD64, gpu.OpMUL64,
+	gpu.OpFADD, gpu.OpFSUB, gpu.OpFMUL, gpu.OpFDIV, gpu.OpFMIN, gpu.OpFMAX,
+	gpu.OpICMPEQ, gpu.OpICMPNE, gpu.OpICMPLT, gpu.OpICMPLE, gpu.OpUCMPLT,
+	gpu.OpFCMPEQ, gpu.OpFCMPLT, gpu.OpFCMPLE,
+	gpu.OpFMA, gpu.OpSEL,
+}
+
+var diffUnOps = []gpu.Opcode{
+	gpu.OpMOV, gpu.OpI2F, gpu.OpF2I, gpu.OpFABS, gpu.OpFNEG,
+	gpu.OpFSQRT, gpu.OpFEXP, gpu.OpFLOG, gpu.OpFSIN, gpu.OpFCOS, gpu.OpFFLOOR,
+}
+
+// diffOutStride is the per-thread slice of the output buffer.
+const diffOutStride = 16
+
+// genDifferentialProgram builds a random kernel for the differential
+// campaign. Uniforms: c0 = &in, c1 = &out, c2 = scalar. Every thread works
+// on its own in/out slice (stride 8 and diffOutStride bytes), so the
+// kernel is data-race-free and its output schedule-independent.
+func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge bool) *gpu.Program {
+	// Registers: r0..r2 address setup, r3..r5 loaded inputs, r6 local
+	// offset, r7 parity, r8.. scratch written by the random section.
+	src := []uint8{gpu.R(3), gpu.R(4), gpu.R(5), gpu.C(2), gpu.S(gpu.SpecGIDX), gpu.S(gpu.SpecLSZX)}
+	operand := func() uint8 {
+		if rnd.Intn(8) == 0 {
+			return gpu.Imm
+		}
+		return src[rnd.Intn(len(src))]
+	}
+	var nextDst = 8
+	dst := func() uint8 {
+		r := gpu.R(nextDst)
+		if nextDst < 20 {
+			nextDst++
+		}
+		return r
+	}
+	randALU := func() gpu.Instr {
+		d := dst()
+		var in gpu.Instr
+		if rnd.Intn(4) == 0 {
+			in = gpu.Instr{Op: diffUnOps[rnd.Intn(len(diffUnOps))], Dst: d, A: operand(), Imm: rnd.Uint32()}
+		} else {
+			in = gpu.Instr{Op: diffBinOps[rnd.Intn(len(diffBinOps))], Dst: d, A: operand(), B: operand(), Imm: rnd.Uint32()}
+		}
+		src = append(src, d)
+		return in
+	}
+
+	setup := gpu.Clause{Instrs: []gpu.Instr{
+		{Op: gpu.OpSHL, Dst: gpu.R(0), A: gpu.S(gpu.SpecGIDX), B: gpu.Imm, Imm: 3},
+		{Op: gpu.OpADD64, Dst: gpu.R(1), A: gpu.C(0), B: gpu.R(0)},
+		{Op: gpu.OpSHL, Dst: gpu.R(0), A: gpu.S(gpu.SpecGIDX), B: gpu.Imm, Imm: 4},
+		{Op: gpu.OpADD64, Dst: gpu.R(2), A: gpu.C(1), B: gpu.R(0)},
+		{Op: gpu.OpLDG64, Dst: gpu.R(3), A: gpu.R(1)},
+		{Op: gpu.OpLDG, Dst: gpu.R(4), A: gpu.R(1), Imm: 4},
+		{Op: gpu.OpLDGB, Dst: gpu.R(5), A: gpu.R(1), Imm: 3},
+		{Op: gpu.OpSHL, Dst: gpu.R(6), A: gpu.S(gpu.SpecLIDX), B: gpu.Imm, Imm: 2},
+		{Op: gpu.OpAND, Dst: gpu.R(7), A: gpu.S(gpu.SpecGIDX), B: gpu.Imm, Imm: 1},
+	}}
+	prog := &gpu.Program{RegCount: 24, Uniforms: 3, Clauses: []gpu.Clause{setup}}
+
+	// Random ALU section, split into clauses of 1..6 slots with the odd
+	// NOP thrown in (empty-slot accounting must match too).
+	var cur []gpu.Instr
+	flush := func() {
+		if len(cur) > 0 {
+			prog.Clauses = append(prog.Clauses, gpu.Clause{Instrs: cur})
+			cur = nil
+		}
+	}
+	for i := 0; i < nALU; i++ {
+		if rnd.Intn(10) == 0 {
+			cur = append(cur, gpu.Instr{Op: gpu.OpNOP})
+		}
+		cur = append(cur, randALU())
+		if len(cur) >= 1+rnd.Intn(6) {
+			flush()
+		}
+	}
+	flush()
+
+	if withLocal {
+		// Per-thread local slot traffic, with a barrier between store and
+		// load (also a guest memory fence).
+		prog.Clauses = append(prog.Clauses,
+			gpu.Clause{Instrs: []gpu.Instr{
+				{Op: gpu.OpSTL, A: gpu.R(6), B: gpu.R(4)},
+				{Op: gpu.OpBARRIER},
+			}},
+			gpu.Clause{Instrs: []gpu.Instr{
+				{Op: gpu.OpLDL, Dst: dst(), A: gpu.R(6)},
+			}},
+		)
+		src = append(src, gpu.R(nextDst-1))
+	}
+
+	if withDiverge {
+		// clause d:   brc r7 -> taken, rejoin
+		// clause d+1: fall path, br rejoin
+		// clause d+2: taken path, falls through
+		// clause d+3: rejoin (the final store clause below)
+		d := len(prog.Clauses)
+		prog.Clauses = append(prog.Clauses,
+			gpu.Clause{Instrs: []gpu.Instr{
+				{Op: gpu.OpBRC, A: gpu.R(7), Imm: gpu.BranchImm(d+2, d+3)},
+			}},
+			gpu.Clause{Instrs: []gpu.Instr{
+				{Op: gpu.OpIADD, Dst: gpu.R(8), A: gpu.R(8), B: gpu.Imm, Imm: 0x101},
+				{Op: gpu.OpBR, Imm: uint32(d + 3)},
+			}},
+			gpu.Clause{Instrs: []gpu.Instr{
+				{Op: gpu.OpFMUL, Dst: gpu.R(8), A: gpu.R(8), B: gpu.Imm, Imm: 0x40490FDB},
+			}},
+		)
+	}
+
+	// Final clause: fold two random live registers into the output slice
+	// alongside the raw loads, then terminate.
+	a, b := src[rnd.Intn(len(src))], src[rnd.Intn(len(src))]
+	prog.Clauses = append(prog.Clauses, gpu.Clause{Instrs: []gpu.Instr{
+		{Op: gpu.OpXOR, Dst: gpu.R(21), A: a, B: gpu.R(8)},
+		{Op: gpu.OpSTG64, A: gpu.R(2), B: gpu.R(21)},
+		{Op: gpu.OpSTG, A: gpu.R(2), B: b, Imm: 8},
+		{Op: gpu.OpSTGB, A: gpu.R(2), B: gpu.R(5), Imm: 12},
+		{Op: gpu.OpRET},
+	}})
+	for i := range prog.Clauses {
+		prog.Clauses[i].Addr = uint64(i) * 0x10
+	}
+	return prog
+}
+
+// runDifferentialEngine executes prog on a fresh device with the given
+// engine and returns the output buffer plus the stats records.
+func runDifferentialEngine(t *testing.T, jit bool, prog *gpu.Program, in []byte, global, local [3]uint32, localBytes uint32) ([]byte, any) {
+	t.Helper()
+	cfg := gpu.DefaultConfig()
+	cfg.JITClauses = jit
+	r := newRig(t, cfg)
+
+	inVA := r.allocBuf(len(in))
+	if err := r.bus.WriteBytes(inVA, in); err != nil {
+		t.Fatal(err)
+	}
+	outLen := int(global[0]) * diffOutStride
+	outVA := r.allocBuf(outLen)
+	progVA, progSize := r.loadProgram(prog)
+
+	desc := &gpu.JobDescriptor{
+		JobType:    gpu.JobTypeCompute,
+		GlobalSize: global,
+		LocalSize:  local,
+		ShaderVA:   progVA,
+		ShaderSize: progSize,
+	}
+	if localBytes > 0 {
+		desc.LocalMemBytes = localBytes
+		desc.LocalMemVA = r.allocBuf(int(localBytes) * cfg.ShaderCores)
+	}
+	raw := r.submit(desc, []uint64{inVA, outVA, 0x1234_5678})
+	if raw&gpu.IRQJobDone == 0 {
+		t.Fatalf("jit=%v: job fault rawstat=%#x", jit, raw)
+	}
+	out := make([]byte, outLen)
+	if err := r.bus.ReadBytes(outVA, out); err != nil {
+		t.Fatal(err)
+	}
+	gs, sys := r.dev.Stats()
+	// Control-register traffic counts the harness's own IRQ polling loop,
+	// whose iteration count is host-timing dependent — it says nothing
+	// about the engines, so it is excluded from the differential.
+	sys.CtrlRegReads, sys.CtrlRegWrites = 0, 0
+	return out, [2]any{gs, sys}
+}
+
+// runDifferential is one differential trial: generate, run both engines,
+// require identical guest memory and identical statistics.
+func runDifferential(t *testing.T, seed uint64, threadsSel, localSel, nALUSel uint8) {
+	rnd := rand.New(rand.NewSource(int64(seed)))
+	lsz := uint32(1 + localSel%8)
+	gsz := lsz * uint32(1+threadsSel%12)
+	nALU := int(nALUSel % 48)
+	withLocal := seed%3 == 0
+	withDiverge := seed%2 == 0
+
+	prog := genDifferentialProgram(rnd, nALU, withLocal, withDiverge)
+	var localBytes uint32
+	if withLocal {
+		localBytes = 4 * lsz
+	}
+	in := make([]byte, int(gsz)*8)
+	rnd.Read(in)
+
+	global, local := [3]uint32{gsz, 1, 1}, [3]uint32{lsz, 1, 1}
+	outI, statsI := runDifferentialEngine(t, false, prog, in, global, local, localBytes)
+	outJ, statsJ := runDifferentialEngine(t, true, prog, in, global, local, localBytes)
+
+	if !bytes.Equal(outI, outJ) {
+		for i := range outI {
+			if outI[i] != outJ[i] {
+				t.Fatalf("guest memory diverged at out[%d]: interp %#x, jit %#x\nprogram:\n%s",
+					i, outI[i], outJ[i], prog.Disassemble())
+			}
+		}
+	}
+	if statsI != statsJ {
+		t.Fatalf("stats diverged:\ninterp: %+v\njit:    %+v\nprogram:\n%s", statsI, statsJ, prog.Disassemble())
+	}
+}
+
+// FuzzDifferentialJITInterp is the fuzz entry point. The seed corpus
+// doubles as the always-on regression suite: plain `go test` replays
+// every seed kernel under both engines.
+func FuzzDifferentialJITInterp(f *testing.F) {
+	for seed := uint64(0); seed < 24; seed++ {
+		f.Add(seed, uint8(seed*7), uint8(seed*3), uint8(16+seed))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, threadsSel, localSel, nALUSel uint8) {
+		runDifferential(t, seed, threadsSel, localSel, nALUSel)
+	})
+}

@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
+	"mobilesim/internal/mem"
 	"mobilesim/internal/mmu"
 	"mobilesim/internal/stats"
 )
@@ -70,6 +70,13 @@ type workerResult struct {
 // Each host thread is a "virtual core" (§III-B3): it owns a TLB, a stats
 // shard, and — when over-committed beyond the architectural core count —
 // a host-side shadow local memory.
+//
+// Workgroups are partitioned statically (virtual core wi runs workgroups
+// wi, wi+n, wi+2n, …): with per-core TLBs, the assignment decides which
+// core takes each page's table walk, so a work-stealing counter would
+// make the Table III TLB statistics a function of host scheduling. Static
+// striding keeps them — and every other counter of a data-race-free
+// kernel — exactly reproducible for a fixed HostThreads count.
 func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) error {
 	totalWG, err := desc.Workgroups()
 	if err != nil {
@@ -92,7 +99,6 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 	}
 	collectCFG := d.collectCFG.Load()
 
-	var next atomic.Uint64
 	results := make([]workerResult, nWorkers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < nWorkers; wi++ {
@@ -100,7 +106,7 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 		go func(wi int) {
 			defer wg.Done()
 			res := &results[wi]
-			walker := mmu.NewWalker(d.bus)
+			walker := mmu.NewSharedWalker(d.bus)
 			walker.SetRoot(root)
 			walker.ResetTouched()
 			res.walker = walker
@@ -125,11 +131,15 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 			}
 			res.gs.RegistersUsed = uint64(prog.RegCount)
 
-			for {
-				i := next.Add(1) - 1
-				if i >= totalWG {
-					break
-				}
+			// Job-entry fence: guest-visible state written before the
+			// doorbell (descriptors, inputs) is ordered before any shader
+			// access. The matching job-exit fence below orders every store
+			// of this virtual core before job completion is signalled.
+			// Workgroup boundaries deliberately have no global fence — as
+			// on hardware, cross-core visibility between workgroups of one
+			// job is only word-granular, clause-ordered (see DESIGN.md §7).
+			mem.Fence()
+			for i := uint64(wi); i < totalWG; i += uint64(nWorkers) {
 				if d.stopReq.Load() {
 					res.err = ErrStopped
 					return
@@ -144,6 +154,7 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 					return
 				}
 			}
+			mem.Fence()
 		}(wi)
 	}
 	wg.Wait()
@@ -159,6 +170,8 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 			d.cfgGraph.Merge(r.cfg)
 		}
 		if r.walker != nil {
+			d.sysStats.TLBHits += r.walker.Hits
+			d.sysStats.TLBWalks += r.walker.Walks
 			r.walker.ForEachTouched(func(p uint64) {
 				d.touchedPages[p] = struct{}{}
 			})
@@ -265,7 +278,9 @@ func (e *execContext) runWorkgroup() error {
 			}
 		}
 		if remaining > 0 && atBarrier == remaining {
-			// Barrier generation complete: release everyone.
+			// Barrier generation complete. Guest barriers are full fences;
+			// one Fence at the rendezvous covers every warp's stores.
+			mem.Fence()
 			for i := range warps {
 				if !warps[i].done {
 					warps[i].atBarrier = false

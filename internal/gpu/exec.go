@@ -154,6 +154,10 @@ func (e *execContext) runWarp(w *warp) (warpStatus, error) {
 		if e.stop != nil && e.stop.Load() {
 			return warpDone, ErrStopped
 		}
+		// Clause-boundary marker of the guest memory model (the ordering
+		// itself comes from the seq-cst shared accessors; see
+		// mem.LoadFence) — the same clause granularity soft-stop uses.
+		mem.LoadFence()
 
 		// Reconvergence: entering the rejoin clause of stacked frames.
 		for len(w.stack) > 0 && w.pc == w.stack[len(w.stack)-1].rejoin {
@@ -244,6 +248,10 @@ func (e *execContext) execClause(w *warp) (warpStatus, error) {
 
 		switch in.Op {
 		case OpBARRIER:
+			// The guest-fence side of the barrier is issued once per
+			// generation at the rendezvous in runWorkgroup, not per warp:
+			// a per-warp RMW on the shared fence word would ping-pong its
+			// cache line across every core on barrier-heavy kernels.
 			if blk != nil {
 				blk.Terminator = "barrier"
 				blk.Out[e.clauseAddr(next)] += act
@@ -469,6 +477,11 @@ func (e *execContext) execLane(w *warp, lane int, in *Instr) error {
 				return fault
 			}
 			e.trace.inst(lane, w.gid[lane], in, v, true)
+			// Honour the walker's access mode: the store must stay on the
+			// same plain/atomic policy as every other access of this core.
+			if e.walker.Shared() {
+				return e.bus.AtomicWrite(pa, size, v)
+			}
 			return e.bus.Write(pa, size, v)
 		}
 		return e.walker.Store(addr, size, v)

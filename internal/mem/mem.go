@@ -72,6 +72,11 @@ type Device interface {
 type RAM struct {
 	base uint64
 	data []byte
+	// words is data's backing store extended to a multiple of 8 bytes,
+	// so the atomic accessors always find a full containing host word
+	// even for accesses touching the last bytes of an odd-sized region.
+	// Guest-visible bounds (Contains, Size) use data's logical length.
+	words []byte
 
 	// dirty is one past the highest offset that may hold a nonzero byte,
 	// rounded up to a page. Every write path records here — Write,
@@ -95,9 +100,12 @@ func (r *RAM) markDirty(addr uint64, size int) {
 	}
 }
 
-// NewRAM allocates a RAM region of the given size at the given physical base.
+// NewRAM allocates a RAM region of the given size at the given physical
+// base. The backing store is a word multiple (see RAM.words); the guest
+// sees exactly size bytes.
 func NewRAM(base, size uint64) *RAM {
-	return &RAM{base: base, data: make([]byte, size)}
+	buf := make([]byte, (size+7)&^uint64(7))
+	return &RAM{base: base, data: buf[:size], words: buf}
 }
 
 // Base returns the first physical address of the region.

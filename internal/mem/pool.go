@@ -22,9 +22,10 @@ var ramPools sync.Map // size (uint64) -> *sync.Pool of []byte
 // dirty watermark their previous owner declared to Recycle, so callers
 // observe the same all-zero initial contents as a fresh allocation.
 func AcquireRAM(base, size uint64) *RAM {
-	if p, ok := ramPools.Load(size); ok {
+	key := (size + 7) &^ uint64(7) // backing stores are word-rounded (see NewRAM)
+	if p, ok := ramPools.Load(key); ok {
 		if buf, _ := p.(*sync.Pool).Get().([]byte); buf != nil {
-			return &RAM{base: base, data: buf}
+			return &RAM{base: base, data: buf[:size], words: buf}
 		}
 	}
 	return NewRAM(base, size)
@@ -46,12 +47,12 @@ func (r *RAM) Recycle(dirtyTop uint64) {
 	if dirtyTop > r.base && dirtyTop-r.base > scrub {
 		scrub = dirtyTop - r.base
 	}
-	if scrub > uint64(len(r.data)) {
-		scrub = uint64(len(r.data))
+	if scrub > uint64(len(r.words)) {
+		scrub = uint64(len(r.words))
 	}
-	clear(r.data[:scrub])
-	size := uint64(len(r.data))
-	p, _ := ramPools.LoadOrStore(size, &sync.Pool{})
-	p.(*sync.Pool).Put(r.data)
-	r.data = nil
+	clear(r.words[:scrub])
+	key := uint64(len(r.words))
+	p, _ := ramPools.LoadOrStore(key, &sync.Pool{})
+	p.(*sync.Pool).Put(r.words)
+	r.data, r.words = nil, nil
 }

@@ -599,3 +599,210 @@ func BenchmarkWalkerLoadHit(b *testing.B) {
 		_ = v
 	}
 }
+
+// TestSharedWalkerMatchesPlain runs the fast-path edge cases through a
+// shared-mode walker and checks bit-identical results with the plain
+// path: same values, same fault behaviour, same hit/walk accounting.
+func TestSharedWalkerMatchesPlain(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va, pa = 0x4000_0000, 0x0020_0000
+	if err := as.MapRange(va, pa, 2*mem.PageSize, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	w := NewSharedWalker(bus)
+	if !w.Shared() {
+		t.Fatal("NewSharedWalker not shared")
+	}
+	w.SetRoot(as.Root())
+
+	cases := []struct {
+		off  uint64
+		size int
+		val  uint64
+	}{
+		{0, 1, 0xAB},
+		{1, 1, 0xCD},                                 // sub-word, mid-word byte
+		{2, 2, 0xBEEF},                               // 16-bit in upper half-word
+		{5, 2, 0x1234},                               // 16-bit straddling no word boundary (bytes 5-6)
+		{7, 2, 0x5678},                               // 16-bit crossing a word boundary
+		{4, 4, 0xDEADBEEF},                           // aligned word
+		{9, 4, 0xCAFEBABE},                           // misaligned word
+		{8, 8, 0x0123_4567_89AB_CDEF},                // aligned dword
+		{20, 8, 0x1111_2222_3333_4444},               // 4-aligned dword
+		{33, 8, 0x5555_6666_7777_8888},               // misaligned dword
+		{mem.PageSize - 4, 8, 0x9999_AAAA_BBBB_CCCC}, // page-crossing dword
+		{mem.PageSize + 16, 4, 0x42},
+	}
+	for _, c := range cases {
+		if err := w.Store(va+c.off, c.size, c.val); err != nil {
+			t.Fatalf("store %d@%#x: %v", c.size, c.off, err)
+		}
+		got, err := w.Load(va+c.off, c.size, mem.Read)
+		if err != nil {
+			t.Fatalf("load %d@%#x: %v", c.size, c.off, err)
+		}
+		if got != c.val {
+			t.Errorf("round trip %d@%#x = %#x, want %#x", c.size, c.off, got, c.val)
+		}
+		// Shared stores must mutate the same physical bytes the plain bus
+		// path sees, so plain readers (driver copies after a job) agree.
+		busVal, berr := bus.Read(pa+c.off, c.size)
+		if berr != nil || busVal != c.val {
+			t.Errorf("bus sees %#x (err %v), want %#x", busVal, berr, c.val)
+		}
+	}
+	if total := w.Hits + w.Walks; total != uint64(2*len(cases)) {
+		t.Errorf("hits+walks = %d, want %d", total, 2*len(cases))
+	}
+
+	// Bulk paths, page-crossing.
+	src := make([]byte, 3*mem.PageSize/2)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	if err := w.WriteBytes(va+5, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := w.ReadBytes(va+5, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("bulk byte %d = %#x, want %#x", i, dst[i], src[i])
+		}
+	}
+
+	// Permission faults are mode-independent.
+	if _, err := w.Load(va, 4, mem.Execute); err == nil {
+		t.Error("shared exec load should permission-fault")
+	}
+	if _, err := w.Load(0xdead_0000, 4, mem.Read); err == nil {
+		t.Error("shared unmapped load should fault")
+	}
+}
+
+// TestSharedWalkersConcurrentSamePage is the core race-clean contract:
+// independent shared walkers (one per virtual core, as the GPU dispatches
+// them) hammer the same guest words concurrently. Run under -race this
+// fails loudly if any access path falls back to plain host memory ops.
+func TestSharedWalkersConcurrentSamePage(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va = 0x4000_0000
+	if err := as.MapRange(va, 0x0020_0000, mem.PageSize, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			w := NewSharedWalker(bus)
+			w.SetRoot(as.Root())
+			for i := 0; i < 300; i++ {
+				// Same word for everyone (benign guest race)...
+				if err := w.Store(va, 4, uint64(g)); err != nil {
+					done <- err
+					return
+				}
+				if _, err := w.Load(va, 4, mem.Read); err != nil {
+					done <- err
+					return
+				}
+				// ...neighbouring bytes of one word (sub-word CAS path)...
+				if err := w.Store(va+8+uint64(g&3), 1, uint64(g)); err != nil {
+					done <- err
+					return
+				}
+				// ...and bulk traffic over the same page.
+				var buf [64]byte
+				if err := w.ReadBytes(va+64, buf[:]); err != nil {
+					done <- err
+					return
+				}
+				if err := w.WriteBytes(va+128+uint64(g)*64, buf[:]); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := NewWalker(bus)
+	check.SetRoot(as.Root())
+	for lane := uint64(0); lane < 4; lane++ {
+		v, err := check.Load(va+8+lane, 1, mem.Read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v&3 != lane {
+			t.Errorf("neighbouring byte %d lost: %#x", lane, v)
+		}
+	}
+}
+
+// TestSharedLoadHitPathZeroAllocs pins the shared fast path to zero
+// allocations, same as the plain one: atomics must not cost heap.
+func TestSharedLoadHitPathZeroAllocs(t *testing.T) {
+	bus, _, as := newTestEnv(t)
+	const va = 0x8000
+	if err := as.Map(va, 0x0020_0000, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	w := NewSharedWalker(bus)
+	w.SetRoot(as.Root())
+	w.ResetTouched()
+	if _, err := w.Load(va, 4, mem.Read); err != nil { // prime
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := w.Load(va+8, 4, mem.Read); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Store(va+16, 4, 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Store(va+21, 1, 9); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("shared TLB-hit load/store allocates %v/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSharedWalkerLoadHit is the shared-mode companion of
+// BenchmarkWalkerLoadHit: the GPU's hot translate-and-access path.
+func BenchmarkSharedWalkerLoadHit(b *testing.B) {
+	bus := mem.NewBus(mem.NewRAM(0, 16<<20))
+	alloc, err := mem.NewPageAllocator(1<<20, 8<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	as, err := NewAddressSpace(bus, alloc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const va = 0x8000
+	if err := as.Map(va, 0x0020_0000, PermR|PermW); err != nil {
+		b.Fatal(err)
+	}
+	w := NewSharedWalker(bus)
+	w.SetRoot(as.Root())
+	w.ResetTouched()
+	if _, err := w.Load(va, 4, mem.Read); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := w.Load(va+uint64(i)%1024, 4, mem.Read)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = v
+	}
+}

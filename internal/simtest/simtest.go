@@ -28,6 +28,18 @@ type Harness struct {
 	Dev   *gpu.Device
 }
 
+// NewMP creates a started harness whose device dispatches workgroups
+// across hostThreads concurrent virtual cores — the multi-core
+// configuration the race-clean guest memory model is accountable for.
+// Tests that hammer shared guest memory use it so GPU concurrency is
+// exercised directly, not only through the facade.
+func NewMP(tb testing.TB, hostThreads int) *Harness {
+	tb.Helper()
+	cfg := gpu.DefaultConfig()
+	cfg.HostThreads = hostThreads
+	return New(tb, cfg)
+}
+
 // New creates a started harness; the device is closed via test cleanup.
 func New(tb testing.TB, cfg gpu.Config) *Harness {
 	tb.Helper()

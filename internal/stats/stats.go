@@ -211,6 +211,15 @@ type SystemStats struct {
 	IRQsAsserted  uint64 // GPU interrupt edges
 	ComputeJobs   uint64 // jobs executed by the Job Manager
 	KernelLaunch  uint64 // runtime-level kernel enqueues
+
+	// GPU MMU traffic, summed over every translation agent the device
+	// ran (the Job Manager's chain walker plus one walker per virtual
+	// core). For data-race-free kernels these are deterministic at a
+	// fixed HostThreads count (workgroups are partitioned statically
+	// across virtual cores); kernels with benign guest races — BFS's
+	// frontier flags — can shift the hit/walk split between runs.
+	TLBHits  uint64 // accesses served from a TLB entry
+	TLBWalks uint64 // full table walks (TLB misses)
 }
 
 // Merge accumulates o into s.
@@ -221,6 +230,8 @@ func (s *SystemStats) Merge(o *SystemStats) {
 	s.IRQsAsserted += o.IRQsAsserted
 	s.ComputeJobs += o.ComputeJobs
 	s.KernelLaunch += o.KernelLaunch
+	s.TLBHits += o.TLBHits
+	s.TLBWalks += o.TLBWalks
 }
 
 // Sub returns the counter-wise difference s - o (see GPUStats.Sub).
@@ -234,13 +245,16 @@ func (s *SystemStats) Sub(o *SystemStats) SystemStats {
 		IRQsAsserted:  s.IRQsAsserted - o.IRQsAsserted,
 		ComputeJobs:   s.ComputeJobs - o.ComputeJobs,
 		KernelLaunch:  s.KernelLaunch - o.KernelLaunch,
+		TLBHits:       s.TLBHits - o.TLBHits,
+		TLBWalks:      s.TLBWalks - o.TLBWalks,
 	}
 }
 
 // String renders a compact one-line summary for logs.
 func (s *SystemStats) String() string {
-	return fmt.Sprintf("pages=%d ctrlR=%d ctrlW=%d irq=%d jobs=%d",
-		s.PagesAccessed, s.CtrlRegReads, s.CtrlRegWrites, s.IRQsAsserted, s.ComputeJobs)
+	return fmt.Sprintf("pages=%d ctrlR=%d ctrlW=%d irq=%d jobs=%d tlbHit=%d tlbWalk=%d",
+		s.PagesAccessed, s.CtrlRegReads, s.CtrlRegWrites, s.IRQsAsserted, s.ComputeJobs,
+		s.TLBHits, s.TLBWalks)
 }
 
 // CFG is the control-flow graph built from clause-boundary PC tracking

@@ -117,13 +117,16 @@ func TestCFGMergeAndRender(t *testing.T) {
 }
 
 func TestSystemStatsMergeAndString(t *testing.T) {
-	a := SystemStats{PagesAccessed: 1, CtrlRegReads: 2, CtrlRegWrites: 3, IRQsAsserted: 4, ComputeJobs: 5, KernelLaunch: 6}
+	a := SystemStats{PagesAccessed: 1, CtrlRegReads: 2, CtrlRegWrites: 3, IRQsAsserted: 4, ComputeJobs: 5, KernelLaunch: 6, TLBHits: 7, TLBWalks: 8}
 	b := a
 	a.Merge(&b)
-	if a.ComputeJobs != 10 || a.KernelLaunch != 12 {
+	if a.ComputeJobs != 10 || a.KernelLaunch != 12 || a.TLBHits != 14 || a.TLBWalks != 16 {
 		t.Errorf("merge wrong: %+v", a)
 	}
-	if !strings.Contains(a.String(), "jobs=10") {
+	if !strings.Contains(a.String(), "jobs=10") || !strings.Contains(a.String(), "tlbHit=14") {
 		t.Errorf("String() = %q", a.String())
+	}
+	if d := a.Sub(&b); d != b {
+		t.Errorf("sub wrong: %+v", d)
 	}
 }

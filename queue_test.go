@@ -1,7 +1,9 @@
 // Queue, registry and cancellation tests for the Workload API. These run
-// with HostThreads 1 so the -race CI job can include them: the GPU's
-// known guest-RAM races only appear with concurrent shader-core workers,
-// and the queue machinery itself must be race-clean.
+// with HostThreads 1 to keep kernel timing predictable for the
+// cancellation deadlines — not for race avoidance: the guest memory model
+// is race-clean at any HostThreads (the whole tree runs under -race in
+// CI), and TestHostThreads4AllBenchmarksVerify covers the multi-core
+// configuration.
 package mobilesim_test
 
 import (
@@ -15,8 +17,8 @@ import (
 	"mobilesim"
 )
 
-// raceCleanConfig keeps GPU dispatch single-threaded (see file comment).
-func raceCleanConfig() mobilesim.Config {
+// queueTestConfig keeps GPU dispatch single-threaded (see file comment).
+func queueTestConfig() mobilesim.Config {
 	return mobilesim.Config{RAMSize: 64 << 20, HostThreads: 1, ShaderCores: 1}
 }
 
@@ -71,12 +73,12 @@ var registerSpin = sync.OnceValue(func() error {
 	return mobilesim.Register(spinWorkload{})
 })
 
-func newRaceCleanSession(t *testing.T) *mobilesim.Session {
+func newQueueTestSession(t *testing.T) *mobilesim.Session {
 	t.Helper()
 	if err := registerSpin(); err != nil {
 		t.Fatal(err)
 	}
-	sess, err := mobilesim.New(raceCleanConfig())
+	sess, err := mobilesim.New(queueTestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func newRaceCleanSession(t *testing.T) *mobilesim.Session {
 // (the clause-boundary soft-stop), and the session survives for a
 // subsequent, verified run.
 func TestCancelMidKernel(t *testing.T) {
-	sess := newRaceCleanSession(t)
+	sess := newQueueTestSession(t)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -121,7 +123,7 @@ func TestCancelMidKernel(t *testing.T) {
 
 // TestDeadlineMidKernel covers the timeout flavour of cancellation.
 func TestDeadlineMidKernel(t *testing.T) {
-	sess := newRaceCleanSession(t)
+	sess := newQueueTestSession(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	if _, err := sess.Run(ctx, "test/spin"); !errors.Is(err, context.DeadlineExceeded) {
@@ -132,7 +134,7 @@ func TestDeadlineMidKernel(t *testing.T) {
 // TestSubmitInOrder checks the command queue's ordering contract: a later
 // submission only runs after every earlier one completed.
 func TestSubmitInOrder(t *testing.T) {
-	sess := newRaceCleanSession(t)
+	sess := newQueueTestSession(t)
 	ctx := context.Background()
 
 	var pendings []*mobilesim.Pending
@@ -188,7 +190,7 @@ func (p probeWorkload) Execute(ctx context.Context, s *mobilesim.Session, opt *m
 // disturbing its predecessor, and without releasing its queue slot early
 // — the successor must not overtake the still-running predecessor.
 func TestCancelQueuedSubmission(t *testing.T) {
-	sess := newRaceCleanSession(t)
+	sess := newQueueTestSession(t)
 	bg := context.Background()
 
 	spinCtx, stopSpin := context.WithCancel(bg)
@@ -241,7 +243,7 @@ func TestCancelQueuedSubmission(t *testing.T) {
 // TestCloseDrainsQueue: Close soft-stops the in-flight run, fails queued
 // entries with ErrClosed, and leaves the session consistently closed.
 func TestCloseDrainsQueue(t *testing.T) {
-	sess := newRaceCleanSession(t)
+	sess := newQueueTestSession(t)
 	bg := context.Background()
 
 	running, err := sess.Submit(bg, "test/spin")
@@ -321,7 +323,7 @@ func TestWorkloadRegistryRoundTrip(t *testing.T) {
 // cumulative session snapshot (satellite fix), with the session scope
 // still available via option and Session.Stats.
 func TestRunStatsDelta(t *testing.T) {
-	sess := newRaceCleanSession(t)
+	sess := newQueueTestSession(t)
 	bg := context.Background()
 
 	r1, err := sess.Run(bg, "BinarySearch", mobilesim.WithScale(256))
@@ -360,7 +362,7 @@ func TestRunStatsDelta(t *testing.T) {
 // TestPerRunCFG: WithCFG collects a divergence CFG for one run on a
 // session created without Config.CollectCFG.
 func TestPerRunCFG(t *testing.T) {
-	sess := newRaceCleanSession(t)
+	sess := newQueueTestSession(t)
 	bg := context.Background()
 
 	res, err := sess.Run(bg, "BFS", mobilesim.WithScale(64), mobilesim.WithCFG())
@@ -389,7 +391,7 @@ func TestUnifiedKinds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs four workload kinds")
 	}
-	sess := newRaceCleanSession(t)
+	sess := newQueueTestSession(t)
 	bg := context.Background()
 
 	bench, err := sess.Run(bg, "BinarySearch", mobilesim.WithScale(256))
@@ -437,7 +439,7 @@ func TestBatchMidRunCancellation(t *testing.T) {
 			{Benchmark: "BinarySearch", Scale: 256},
 		},
 		Workers: 1, // force the second job to queue behind the spin
-		Config:  raceCleanConfig(),
+		Config:  queueTestConfig(),
 	}
 	go func() {
 		time.Sleep(100 * time.Millisecond)

@@ -328,3 +328,34 @@ func TestBatchCancellation(t *testing.T) {
 		}
 	}
 }
+
+// TestHostThreads4AllBenchmarksVerify is the acceptance test for the
+// race-clean guest memory model at the facade level: one session with
+// four concurrent virtual cores runs every Table II workload and every
+// result must verify against its host-native reference. The exact
+// per-workload counter values for this configuration are pinned by the
+// golden-stats test in internal/workloads; here the per-run deltas are
+// sanity-checked so a facade-level stats regression cannot hide behind
+// the internal harness.
+func TestHostThreads4AllBenchmarksVerify(t *testing.T) {
+	sess, err := mobilesim.New(mobilesim.Config{RAMSize: 256 << 20, HostThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for _, b := range mobilesim.Benchmarks() {
+		res, err := sess.Run(context.Background(), b.Name, mobilesim.WithScale(b.SmallScale))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !res.Verified {
+			t.Errorf("%s: verified = false at HostThreads 4: %v", b.Name, res.VerifyErr)
+		}
+		if res.Stats.GPU.Threads == 0 || res.Stats.System.ComputeJobs == 0 {
+			t.Errorf("%s: empty per-run stats delta: %+v", b.Name, res.Stats)
+		}
+		if res.Stats.System.TLBHits+res.Stats.System.TLBWalks == 0 {
+			t.Errorf("%s: GPU MMU traffic not accounted", b.Name)
+		}
+	}
+}
