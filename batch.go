@@ -58,7 +58,14 @@ type BatchResult struct {
 // Batch runs N independent simulations across a bounded worker pool — the
 // first scaling layer: many concurrent guests in one host process. Each
 // job gets its own Session (own platform, GPU, driver), so jobs share
-// nothing and scale with host cores until memory bandwidth saturates.
+// nothing mutable and scale with host cores until memory bandwidth
+// saturates.
+//
+// Jobs that use the batch-wide Config are forked from one warm snapshot:
+// the batch boots a single session, captures it, and every such job
+// starts as a copy-on-write fork — paying the cold boot once instead of
+// N times. Jobs with their own Config still cold-boot (their shape may
+// differ from the snapshot's).
 type Batch struct {
 	// Jobs are the simulations to run.
 	Jobs []BatchJob
@@ -67,6 +74,9 @@ type Batch struct {
 	Workers int
 	// Config is the session configuration for jobs without their own.
 	Config Config
+	// ColdBoot disables the shared warm snapshot: every job boots its own
+	// platform from scratch, as in the pre-snapshot Batch.
+	ColdBoot bool
 }
 
 // Run executes the batch, blocking until every job has finished or the
@@ -97,6 +107,17 @@ func (b *Batch) Run(ctx context.Context) (*BatchResult, error) {
 	}
 
 	t0 := time.Now()
+	// Boot the batch-wide configuration once and capture it; jobs without
+	// a per-job Config fork from this warm snapshot instead of cold
+	// booting. Any failure here falls back to per-job cold boots — the
+	// snapshot is an optimisation, never a prerequisite.
+	var snap *Snapshot
+	if !b.ColdBoot && b.defaultConfigJobs() >= 2 {
+		if warm, err := New(b.Config); err == nil {
+			snap, _ = warm.Snapshot()
+			warm.Close()
+		}
+	}
 	res := &BatchResult{Jobs: make([]JobResult, len(b.Jobs))}
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
@@ -105,7 +126,7 @@ func (b *Batch) Run(ctx context.Context) (*BatchResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				res.Jobs[i] = b.runJob(ctx, i)
+				res.Jobs[i] = b.runJob(ctx, i, snap)
 			}
 		}()
 	}
@@ -145,18 +166,37 @@ func (b *Batch) jobConfig(i int) Config {
 	return b.Config
 }
 
-// runJob boots a fresh session, submits one workload run through the
-// session's command queue and tears down. Riding the queue means batch
-// cancellation reaches into a running job: the kernel is soft-stopped at
-// a clause boundary instead of running to completion.
-func (b *Batch) runJob(ctx context.Context, i int) JobResult {
+// defaultConfigJobs counts jobs that would use the batch-wide Config.
+func (b *Batch) defaultConfigJobs() int {
+	n := 0
+	for i := range b.Jobs {
+		if b.Jobs[i].Config == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// runJob obtains a session — a copy-on-write fork of the batch's warm
+// snapshot when the job uses the batch-wide Config, a cold boot otherwise
+// — submits one workload run through the session's command queue and
+// tears down. Riding the queue means batch cancellation reaches into a
+// running job: the kernel is soft-stopped at a clause boundary instead of
+// running to completion.
+func (b *Batch) runJob(ctx context.Context, i int, snap *Snapshot) JobResult {
 	job := b.Jobs[i]
 	jr := JobResult{Index: i, Job: job}
 	if err := ctx.Err(); err != nil {
 		jr.Err = err
 		return jr
 	}
-	sess, err := New(b.jobConfig(i))
+	var sess *Session
+	var err error
+	if job.Config == nil && snap != nil {
+		sess, err = New(Config{ConsoleOut: b.Config.ConsoleOut}, FromSnapshot(snap))
+	} else {
+		sess, err = New(b.jobConfig(i))
+	}
 	if err != nil {
 		jr.Err = err
 		return jr

@@ -13,6 +13,7 @@ import (
 	"io"
 	"testing"
 
+	"mobilesim"
 	"mobilesim/internal/cl"
 	"mobilesim/internal/clc"
 	"mobilesim/internal/cpu"
@@ -409,6 +410,46 @@ kernel void k(global float* a, global float* b, global float* c, int n) {
 		if _, err := clc.Compile(src, "k", clc.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Snapshot/fork trajectory ------------------------------------------------
+
+// BenchmarkColdBoot is the baseline session cost every pre-snapshot layer
+// paid per guest: platform construction, firmware assembly and load,
+// guest-code GPU probe (gpu_init), staging allocation, teardown scrub.
+func BenchmarkColdBoot(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := mobilesim.New(mobilesim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkSnapshotFork creates run-ready sessions by copy-on-write
+// forking a warm snapshot — the serving path Batch and cmd/mobilesimd
+// sit on. The acceptance bar is >= 10x faster than BenchmarkColdBoot.
+func BenchmarkSnapshotFork(b *testing.B) {
+	parent, err := mobilesim.New(mobilesim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := mobilesim.New(mobilesim.Config{}, mobilesim.FromSnapshot(snap))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
 	}
 }
 

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mobilesim"
+)
+
+// testServer boots one small server per test binary run; the warm
+// snapshot makes per-test forks cheap.
+func testServer(t *testing.T) *server {
+	t.Helper()
+	srv, err := newServer(mobilesim.Config{RAMSize: 128 << 20, HostThreads: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.pool.Close)
+	return srv
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Status != "ok" {
+		t.Fatalf("bad health body %q (%v)", rec.Body, err)
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/workloads", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Workloads []workloadInfo `json:"workloads"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Workloads) != len(mobilesim.Workloads()) {
+		t.Fatalf("listed %d workloads, registry has %d", len(body.Workloads), len(mobilesim.Workloads()))
+	}
+}
+
+func TestRunBFSVerified(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/run",
+		strings.NewReader(`{"workload": "BFS", "scale": 4}`))
+	srv.mux().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp runResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Verified {
+		t.Fatalf("run not verified: %s", rec.Body)
+	}
+	if resp.Stats.System.ComputeJobs == 0 || resp.Stats.GPU.TotalInstr() == 0 {
+		t.Fatalf("empty stats delta: %s", rec.Body)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/run",
+		strings.NewReader(`{"workload": "BFSS"}`))
+	srv.mux().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "BFS") {
+		t.Fatalf("no suggestion in error: %s", rec.Body)
+	}
+}
+
+func TestRunMethodAndBodyErrors(t *testing.T) {
+	srv := testServer(t)
+
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/run", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET run: status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/run", strings.NewReader(`{`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/run", strings.NewReader(`{}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing workload: status %d", rec.Code)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/run",
+		strings.NewReader(`{"workload": "MatrixTranspose"}`))
+	srv.mux().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run: status %d: %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/stats", nil))
+	var body struct {
+		Requests uint64 `json:"requests"`
+		Failures uint64 `json:"failures"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Requests != 1 || body.Failures != 0 {
+		t.Fatalf("requests=%d failures=%d, want 1/0", body.Requests, body.Failures)
+	}
+}

@@ -61,13 +61,31 @@
 // soft-stops it mid-run; Close drains the queue, failing queued entries
 // with ErrClosed.
 //
+// # Snapshots and forking
+//
+// A booted Session can be captured once and forked many times: Snapshot
+// serialises the platform state (guest RAM, MMU, devices, driver,
+// runtime) into an immutable image, and New with FromSnapshot builds a
+// ready-to-run session from it in microseconds — guest memory is shared
+// copy-on-write until the fork writes it, and no boot code re-runs:
+//
+//	snap, err := sess.Snapshot()
+//	fork, err := mobilesim.New(mobilesim.Config{}, mobilesim.FromSnapshot(snap))
+//
+// Restored sessions reproduce cold-boot statistics bit for bit.
+// Snapshots persist via Encode/ReadSnapshot (a versioned, deterministic
+// wire format), and SessionPool keeps warm forks ready for serving
+// layers (cmd/mobilesimd exposes the pool over HTTP).
+//
 // # Batches
 //
 // A Batch runs N independent simulations across a bounded worker pool —
-// one fresh Session per job, nothing shared between jobs — and merges
-// their statistics. Batch jobs ride the session command queue, so batch
-// cancellation interrupts the executing job mid-run (reported as
-// Interrupted) rather than waiting for it to finish:
+// nothing mutable shared between jobs — and merges their statistics.
+// Jobs on the batch-wide configuration fork from one warm snapshot
+// (one cold boot per batch, not per job). Batch jobs ride the session
+// command queue, so batch cancellation interrupts the executing job
+// mid-run (reported as Interrupted) rather than waiting for it to
+// finish:
 //
 //	batch := &mobilesim.Batch{Jobs: jobs, Workers: 4}
 //	res, err := batch.Run(ctx)

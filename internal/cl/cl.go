@@ -37,6 +37,42 @@ func NewContext(p *platform.Platform, compilerVersion string) (*Context, error) 
 	return &Context{P: p, Drv: drv, Version: compilerVersion}, nil
 }
 
+// State is the serializable runtime state for snapshots: the compiler
+// version and the driver-allocated local-memory slots, plus the nested
+// driver state. Built Programs and Kernels are host-side handles into
+// guest memory and are not captured — a restored context rebuilds them
+// (cheaply, via the device decode cache) from source.
+type State struct {
+	Version    string
+	LocalVA    uint64
+	LocalBytes uint32
+	Drv        driver.State
+}
+
+// CaptureState snapshots the runtime.
+func (c *Context) CaptureState() State {
+	return State{
+		Version:    c.Version,
+		LocalVA:    c.localVA,
+		LocalBytes: c.localBytes,
+		Drv:        c.Drv.CaptureState(),
+	}
+}
+
+// Restore reopens a runtime context on a restored platform without
+// re-probing the device (see driver.Restore).
+func Restore(p *platform.Platform, st State) (*Context, error) {
+	drv, err := driver.Restore(p, st.Drv)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{
+		P: p, Drv: drv, Version: st.Version,
+		localVA:    st.LocalVA,
+		localBytes: st.LocalBytes,
+	}, nil
+}
+
 // Buffer is a device allocation.
 type Buffer struct {
 	VA   uint64

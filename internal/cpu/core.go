@@ -135,6 +135,57 @@ func (c *Core) Reset(entry uint64) {
 	c.PC = entry
 }
 
+// State is the serializable architectural state of one core, captured
+// for platform snapshots. The translation caches (TLB, block translation
+// cache) are warm-up state, not architecture, and are rebuilt on demand
+// after a restore.
+type State struct {
+	X       [32]uint64
+	PC      uint64
+	FlagN   bool
+	FlagZ   bool
+	FlagC   bool
+	FlagV   bool
+	Sys     [NumSysRegs]uint64
+	Instret uint64
+	Faults  uint64
+	IRQs    uint64
+	Halted  bool
+}
+
+// CaptureState snapshots the core's architectural state.
+func (c *Core) CaptureState() State {
+	return State{
+		X: c.X, PC: c.PC,
+		FlagN: c.FlagN, FlagZ: c.FlagZ, FlagC: c.FlagC, FlagV: c.FlagV,
+		Sys:     c.sys,
+		Instret: c.Instret, Faults: c.Faults, IRQs: c.IRQs,
+		Halted: c.halted,
+	}
+}
+
+// RestoreState installs captured architectural state, reapplying MMU
+// side effects (TTBR0/SCTLR) and flushing the translation caches. The
+// core keeps its identity (CPUID is read-only).
+func (c *Core) RestoreState(st State) {
+	id := c.sys[SysCPUID]
+	c.X = st.X
+	c.PC = st.PC
+	c.FlagN, c.FlagZ, c.FlagC, c.FlagV = st.FlagN, st.FlagZ, st.FlagC, st.FlagV
+	c.sys = st.Sys
+	c.sys[SysCPUID] = id
+	c.Instret, c.Faults, c.IRQs = st.Instret, st.Faults, st.IRQs
+	c.halted = st.Halted
+	c.stopErr = nil
+	// Reapply MMU side effects only when the restored state needs them: a
+	// fresh core already has translation off and empty caches, and the
+	// redundant TLB flush is a measurable cost on the microsecond fork
+	// path.
+	if c.sys[SysSCTLR]&1 != 0 || c.walker.Enabled() {
+		c.applyMMU()
+	}
+}
+
 // Sys reads a system register.
 func (c *Core) Sys(r SysReg) uint64 { return c.sys[r] }
 

@@ -39,6 +39,10 @@ type Block struct {
 	count  uint64
 	status uint64
 
+	// sharedImage marks image as borrowed from a snapshot (shared across
+	// restored platforms): the first write command copies it first.
+	sharedImage bool
+
 	// Reads and Writes count completed commands.
 	Reads, Writes uint64
 }
@@ -109,6 +113,12 @@ func (d *Block) execute(cmd uint64) {
 			d.Reads++
 		}
 	case 2:
+		if d.sharedImage {
+			// Copy-on-write: the image is borrowed from a snapshot shared
+			// with sibling platforms; privatize it before the first write.
+			d.image = append([]byte(nil), d.image...)
+			d.sharedImage = false
+		}
 		err = d.bus.ReadBytes(d.addr, d.image[start:start+n])
 		if err == nil {
 			d.Writes++

@@ -1,0 +1,92 @@
+package dev
+
+// Serializable device state for platform snapshots. Host-side wiring
+// (interrupt controller, bus, console writer) is reconstructed by the
+// platform on restore; only guest-visible register and data state is
+// captured here.
+
+// TimerState captures the programmable timer.
+type TimerState struct {
+	Count   uint64
+	Compare uint64
+	Enabled bool
+	Fired   bool
+}
+
+// CaptureState snapshots the timer.
+func (t *Timer) CaptureState() TimerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TimerState{Count: t.count, Compare: t.compare, Enabled: t.enabled, Fired: t.fired}
+}
+
+// RestoreState installs captured timer state.
+func (t *Timer) RestoreState(st TimerState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count, t.compare, t.enabled, t.fired = st.Count, st.Compare, st.Enabled, st.Fired
+}
+
+// UARTState captures the console device: pending receive bytes, the RX
+// interrupt enable and the transmit counter.
+type UARTState struct {
+	RX     []byte
+	RXIRQ  bool
+	TxSent uint64
+}
+
+// CaptureState snapshots the UART.
+func (u *UART) CaptureState() UARTState {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	rx := make([]byte, len(u.rx))
+	copy(rx, u.rx)
+	return UARTState{RX: rx, RXIRQ: u.rxIRQ, TxSent: u.TxSent}
+}
+
+// RestoreState installs captured UART state.
+func (u *UART) RestoreState(st UARTState) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.rx = append([]byte(nil), st.RX...)
+	u.rxIRQ = st.RXIRQ
+	u.TxSent = st.TxSent
+}
+
+// BlockState captures the block device: descriptor registers, status,
+// command counters and the full disk image (the guest can write it).
+type BlockState struct {
+	Sector uint64
+	Addr   uint64
+	Count  uint64
+	Status uint64
+	Reads  uint64
+	Writes uint64
+	Image  []byte
+}
+
+// CaptureState snapshots the block device, including the disk contents.
+func (d *Block) CaptureState() BlockState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img := make([]byte, len(d.image))
+	copy(img, d.image)
+	return BlockState{
+		Sector: d.sector, Addr: d.addr, Count: d.count, Status: d.status,
+		Reads: d.Reads, Writes: d.Writes, Image: img,
+	}
+}
+
+// RestoreState installs captured block-device state. The disk image is
+// borrowed copy-on-write: restored platforms share the captured bytes
+// until their guest issues a write command, which privatizes the image
+// first — so forking costs no disk copy and siblings never see each
+// other's writes.
+func (d *Block) RestoreState(st BlockState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sector, d.addr, d.count, d.status = st.Sector, st.Addr, st.Count, st.Status
+	d.Reads, d.Writes = st.Reads, st.Writes
+	d.image = st.Image
+	d.sharedImage = true
+}

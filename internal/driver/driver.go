@@ -69,6 +69,49 @@ func Open(p *platform.Platform) (*Driver, error) {
 	return d, nil
 }
 
+// State is the serializable driver-side state for snapshots: the staging
+// buffer address, the GPU address-space geometry (the page tables
+// themselves live in guest RAM) and the driver's counters.
+type State struct {
+	Staging       uint64
+	ASRoot        uint64
+	ASPages       int
+	JobsSubmitted uint64
+	IRQsHandled   uint64
+	CPUTime       time.Duration
+}
+
+// CaptureState snapshots the driver.
+func (d *Driver) CaptureState() State {
+	return State{
+		Staging:       d.staging,
+		ASRoot:        d.AS.Root(),
+		ASPages:       d.AS.MappedPages(),
+		JobsSubmitted: d.JobsSubmitted,
+		IRQsHandled:   d.IRQsHandled,
+		CPUTime:       d.CPUTime,
+	}
+}
+
+// Restore reopens the device on a restored platform without running any
+// guest code: the GPU was already initialised when the snapshot was
+// taken (its register state, the address space's page tables and the
+// staging buffer all live in the restored platform), so the probe path is
+// not repeated.
+func Restore(p *platform.Platform, st State) (*Driver, error) {
+	as, err := mmu.RestoreAddressSpace(p.Bus, p.Alloc, st.ASRoot, st.ASPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Driver{
+		P: p, Core: p.CPUs[0], AS: as,
+		staging:       st.Staging,
+		JobsSubmitted: st.JobsSubmitted,
+		IRQsHandled:   st.IRQsHandled,
+		CPUTime:       st.CPUTime,
+	}, nil
+}
+
 // call runs a firmware routine on the simulated CPU.
 func (d *Driver) call(name string, args ...uint64) (uint64, error) {
 	entry, err := d.P.Firmware.Entry(name)

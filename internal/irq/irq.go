@@ -145,6 +145,39 @@ func (c *Controller) WaitChan() <-chan struct{} {
 	return ch
 }
 
+// State is the serializable controller state, captured for platform
+// snapshots. Waiters are host-side parking, not guest state, and are not
+// captured.
+type State struct {
+	Level   uint32
+	Pending uint32
+	Enabled uint32
+	Asserts [NumLines]uint64
+}
+
+// CaptureState snapshots the controller.
+func (c *Controller) CaptureState() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return State{Level: c.level, Pending: c.pending, Enabled: c.enabled, Asserts: c.asserts}
+}
+
+// RestoreState installs captured controller state and pokes any parked
+// waiter when a deliverable interrupt was restored.
+func (c *Controller) RestoreState(st State) {
+	c.mu.Lock()
+	c.level, c.pending, c.enabled, c.asserts = st.Level, st.Pending, st.Enabled, st.Asserts
+	var waiters []chan struct{}
+	if c.pending&c.enabled != 0 {
+		waiters = c.waiters
+		c.waiters = nil
+	}
+	c.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+}
+
 // Asserted returns the number of assert edges observed on a line.
 func (c *Controller) Asserted(l Line) uint64 {
 	c.checkLine(l)

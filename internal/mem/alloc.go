@@ -84,10 +84,54 @@ func (a *PageAllocator) HighWater() uint64 {
 	return a.next
 }
 
-// ZeroPage clears one page frame in the given RAM.
+// ZeroPage clears one page frame in the given RAM. On a copy-on-write
+// fork a still-shared page is simply marked private: the fork's backing
+// store is already zero for shared pages, so no copy and no clear is
+// needed.
 func ZeroPage(ram *RAM, addr uint64) {
+	if ram.cow != nil && addr%PageSize == 0 && ram.Contains(addr, PageSize) {
+		pi := (addr - ram.base) / PageSize
+		if !ram.cow.pagePrivate(pi) {
+			ram.privatizeSkipCopy(pi)
+			ram.markDirty(addr, PageSize)
+			return
+		}
+	}
 	b := ram.Bytes(addr, PageSize)
 	for i := range b {
 		b[i] = 0
 	}
+}
+
+// AllocState is the serializable state of a PageAllocator, captured for
+// platform snapshots.
+type AllocState struct {
+	Base  uint64
+	Limit uint64
+	Next  uint64
+	Free  []uint64
+}
+
+// State captures the allocator for a snapshot.
+func (a *PageAllocator) State() AllocState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	free := make([]uint64, len(a.free))
+	copy(free, a.free)
+	return AllocState{Base: a.base, Limit: a.limit, Next: a.next, Free: free}
+}
+
+// NewPageAllocatorFromState reconstructs an allocator from captured
+// state, so a restored platform's allocations continue exactly where the
+// snapshot's left off.
+func NewPageAllocatorFromState(st AllocState) (*PageAllocator, error) {
+	if st.Base%PageSize != 0 || st.Limit%PageSize != 0 || st.Next%PageSize != 0 {
+		return nil, fmt.Errorf("mem: allocator state %#x/%#x/%#x not page aligned", st.Base, st.Next, st.Limit)
+	}
+	if st.Next < st.Base || st.Next > st.Limit {
+		return nil, fmt.Errorf("mem: allocator bump pointer %#x outside [%#x, %#x]", st.Next, st.Base, st.Limit)
+	}
+	free := make([]uint64, len(st.Free))
+	copy(free, st.Free)
+	return &PageAllocator{base: st.Base, limit: st.Limit, next: st.Next, free: free}, nil
 }

@@ -305,9 +305,14 @@ func LoadFence() {
 // AtomicRead is the atomic variant of Read for shared access paths. It
 // operates on the word-extended backing store (RAM.words) so accesses at
 // the very end of an odd-sized region still have a full containing word.
+// On a copy-on-write fork still-shared pages are served from the image
+// with the same word-granular atomicity.
 func (r *RAM) AtomicRead(addr uint64, size int) (uint64, error) {
 	if !r.Contains(addr, size) {
 		return 0, &BusError{Addr: addr, Size: size, Kind: Read, Why: "outside RAM"}
+	}
+	if r.cow != nil {
+		return r.cowAtomicRead(addr-r.base, size), nil
 	}
 	return AtomicLoadLE(r.words, addr-r.base, size), nil
 }
@@ -317,7 +322,11 @@ func (r *RAM) AtomicWrite(addr uint64, size int, val uint64) error {
 	if !r.Contains(addr, size) {
 		return &BusError{Addr: addr, Size: size, Kind: Write, Why: "outside RAM"}
 	}
-	AtomicStoreLE(r.words, addr-r.base, size, val)
+	off := addr - r.base
+	if r.cow != nil {
+		r.privatizeRange(off, uint64(size))
+	}
+	AtomicStoreLE(r.words, off, size, val)
 	r.markDirty(addr, size)
 	return nil
 }
@@ -353,7 +362,7 @@ func (b *Bus) AtomicReadBytes(addr uint64, dst []byte) error {
 	if !b.ram.Contains(addr, len(dst)) {
 		return &BusError{Addr: addr, Size: len(dst), Kind: Read, Why: "bulk access outside RAM"}
 	}
-	AtomicReadBytes(b.ram.words, addr-b.ram.base, dst)
+	b.ram.atomicReadBytesCow(addr-b.ram.base, dst)
 	return nil
 }
 
@@ -361,6 +370,12 @@ func (b *Bus) AtomicReadBytes(addr uint64, dst []byte) error {
 func (b *Bus) AtomicWriteBytes(addr uint64, src []byte) error {
 	if !b.ram.Contains(addr, len(src)) {
 		return &BusError{Addr: addr, Size: len(src), Kind: Write, Why: "bulk access outside RAM"}
+	}
+	if len(src) == 0 {
+		return nil
+	}
+	if b.ram.cow != nil {
+		b.ram.privatizeRange(addr-b.ram.base, uint64(len(src)))
 	}
 	AtomicWriteBytes(b.ram.words, addr-b.ram.base, src)
 	b.ram.markDirty(addr, len(src))

@@ -85,6 +85,11 @@ type RAM struct {
 	// before the backing store is reused. Atomic: GPU workers write
 	// concurrently.
 	dirty atomic.Uint64
+
+	// cow is non-nil for a copy-on-write fork of a snapshot Image (see
+	// image.go): reads of still-shared pages are served from the image,
+	// and every write path privatizes the covered pages first.
+	cow *cowState
 }
 
 // markDirty raises the dirty watermark to cover [addr, addr+size). The
@@ -122,20 +127,32 @@ func (r *RAM) Contains(addr uint64, size int) bool {
 // Bytes exposes the backing store for a physical range. It is the fast path
 // used by the CPU interpreter and GPU execution engines once an address has
 // been bounds-checked; mutating the returned slice mutates simulated memory.
+// On a copy-on-write fork the covered pages are privatized first (the view
+// is writable), so prefer the read paths for read-only access.
 func (r *RAM) Bytes(addr uint64, size int) []byte {
 	off := addr - r.base
+	if r.cow != nil {
+		r.privatizeRange(off, uint64(size))
+		r.markDirty(addr, size)
+	}
 	return r.data[off : off+uint64(size)]
 }
 
 // Slice is the checked variant of Bytes: it returns a host view of
 // [addr, addr+size) when the range lies entirely inside the region, and
-// (nil, false) otherwise. The MMU uses it to cache per-page views in TLB
-// entries; mutating the returned slice mutates simulated memory.
+// (nil, false) otherwise. Mutating the returned slice mutates simulated
+// memory, so on a copy-on-write fork the covered pages are privatized
+// first; the MMU's TLB caching uses PageView instead, which can hand out
+// shared read-only views.
 func (r *RAM) Slice(addr uint64, size int) ([]byte, bool) {
 	if !r.Contains(addr, size) {
 		return nil, false
 	}
 	off := addr - r.base
+	if r.cow != nil {
+		r.privatizeRange(off, uint64(size))
+		r.markDirty(addr, size)
+	}
 	return r.data[off : off+uint64(size)], true
 }
 
@@ -144,7 +161,11 @@ func (r *RAM) Read(addr uint64, size int) (uint64, error) {
 	if !r.Contains(addr, size) {
 		return 0, &BusError{Addr: addr, Size: size, Kind: Read, Why: "outside RAM"}
 	}
-	return loadLE(r.Bytes(addr, size)), nil
+	off := addr - r.base
+	if r.cow != nil {
+		return r.cowRead(off, size), nil
+	}
+	return loadLE(r.data[off : off+uint64(size)]), nil
 }
 
 // Write stores size bytes little-endian.
@@ -152,7 +173,11 @@ func (r *RAM) Write(addr uint64, size int, val uint64) error {
 	if !r.Contains(addr, size) {
 		return &BusError{Addr: addr, Size: size, Kind: Write, Why: "outside RAM"}
 	}
-	storeLE(r.Bytes(addr, size), size, val)
+	off := addr - r.base
+	if r.cow != nil {
+		r.privatizeRange(off, uint64(size))
+	}
+	storeLE(r.data[off:off+uint64(size)], size, val)
 	r.markDirty(addr, size)
 	return nil
 }
@@ -290,7 +315,7 @@ func (b *Bus) findDevice(addr uint64) (mmioRange, bool) {
 // Read performs a physical read of size bytes (1, 2, 4 or 8).
 func (b *Bus) Read(addr uint64, size int) (uint64, error) {
 	if b.ram.Contains(addr, size) {
-		return loadLE(b.ram.Bytes(addr, size)), nil
+		return b.ram.Read(addr, size)
 	}
 	if m, ok := b.findDevice(addr); ok {
 		return m.dev.ReadReg(addr-m.base, size)
@@ -301,9 +326,7 @@ func (b *Bus) Read(addr uint64, size int) (uint64, error) {
 // Write performs a physical write of size bytes (1, 2, 4 or 8).
 func (b *Bus) Write(addr uint64, size int, val uint64) error {
 	if b.ram.Contains(addr, size) {
-		storeLE(b.ram.Bytes(addr, size), size, val)
-		b.ram.markDirty(addr, size)
-		return nil
+		return b.ram.Write(addr, size, val)
 	}
 	if m, ok := b.findDevice(addr); ok {
 		return m.dev.WriteReg(addr-m.base, size, val)
@@ -312,12 +335,14 @@ func (b *Bus) Write(addr uint64, size int, val uint64) error {
 }
 
 // ReadBytes copies a physical range out of RAM. Device ranges are not
-// byte-copyable; crossing out of RAM returns a BusError.
+// byte-copyable; crossing out of RAM returns a BusError. On a
+// copy-on-write fork the copy is served from the logical view without
+// privatizing anything.
 func (b *Bus) ReadBytes(addr uint64, dst []byte) error {
 	if !b.ram.Contains(addr, len(dst)) {
 		return &BusError{Addr: addr, Size: len(dst), Kind: Read, Why: "bulk access outside RAM"}
 	}
-	copy(dst, b.ram.Bytes(addr, len(dst)))
+	b.ram.readBytesCow(addr-b.ram.base, dst)
 	return nil
 }
 
@@ -326,7 +351,14 @@ func (b *Bus) WriteBytes(addr uint64, src []byte) error {
 	if !b.ram.Contains(addr, len(src)) {
 		return &BusError{Addr: addr, Size: len(src), Kind: Write, Why: "bulk access outside RAM"}
 	}
-	copy(b.ram.Bytes(addr, len(src)), src)
+	if len(src) == 0 {
+		return nil
+	}
+	off := addr - b.ram.base
+	if b.ram.cow != nil {
+		b.ram.privatizeRangeForOverwrite(off, uint64(len(src)))
+	}
+	copy(b.ram.data[off:off+uint64(len(src))], src)
 	b.ram.markDirty(addr, len(src))
 	return nil
 }

@@ -44,6 +44,16 @@ func (r *RAM) Recycle(dirtyTop uint64) {
 		return
 	}
 	scrub := r.dirty.Load()
+	if r.cow != nil {
+		// A copy-on-write fork's backing store holds only privatized
+		// pages and post-fork writes — all below the RAM's own dirty
+		// watermark. The caller-derived bound covers the snapshot's boot
+		// allocations, which live in the shared image, not here; honouring
+		// it would re-introduce the multi-MiB scrub forking exists to
+		// avoid.
+		dirtyTop = 0
+		r.cow = nil
+	}
 	if dirtyTop > r.base && dirtyTop-r.base > scrub {
 		scrub = dirtyTop - r.base
 	}

@@ -1,0 +1,195 @@
+package mmu
+
+import (
+	"testing"
+
+	"mobilesim/internal/mem"
+)
+
+// cowEnv builds an address space with one RW mapping over RAM carrying a
+// known pattern, captures an image, and returns a walker over a fork of
+// it plus the fork itself.
+func cowEnv(t *testing.T, shared bool) (*Walker, *mem.RAM, uint64, uint64) {
+	t.Helper()
+	const va, pa = uint64(0x4000_0000), uint64(0x0050_0000)
+	ram := mem.NewRAM(0, 16<<20)
+	bus := mem.NewBus(ram)
+	alloc, err := mem.NewPageAllocator(1<<20, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := NewAddressSpace(bus, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(va, pa, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < mem.PageSize; i += 8 {
+		if err := bus.Write(pa+i, 8, 0x5151_5151_5151_5151); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, err := ram.CaptureImage(alloc.HighWater())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa+mem.PageSize > img.CapturedBytes() {
+		t.Fatalf("pattern page %#x beyond captured %#x", pa, img.CapturedBytes())
+	}
+	fork := mem.ForkRAM(img)
+	fbus := mem.NewBus(fork)
+	var w *Walker
+	if shared {
+		w = NewSharedWalker(fbus)
+	} else {
+		w = NewWalker(fbus)
+	}
+	w.SetRoot(as.Root()) // page tables live in the forked (shared) RAM
+	return w, fork, va, pa
+}
+
+// TestCowReadDoesNotPrivatize pins the point of the design: a read-only
+// access pattern on a forked session shares pages with the image.
+func TestCowReadDoesNotPrivatize(t *testing.T) {
+	w, fork, va, _ := cowEnv(t, false)
+	for off := uint64(0); off < 256; off += 8 {
+		v, err := w.Load(va+off, 8, mem.Read)
+		if err != nil || v != 0x5151_5151_5151_5151 {
+			t.Fatalf("load %#x: %#x (%v)", va+off, v, err)
+		}
+	}
+	// The data page stays shared; only the table walk's dirty marking of
+	// page-table pages may have privatized those.
+	if got := fork.PrivatizedPages(); got > 4 {
+		t.Fatalf("reads privatized %d pages", got)
+	}
+}
+
+// TestCowFirstStoreUpgradesView exercises the fault-path routing: the
+// first store to a read-cached shared page privatizes it and upgrades the
+// TLB view; subsequent loads and stores serve from the private page.
+func TestCowFirstStoreUpgradesView(t *testing.T) {
+	w, fork, va, _ := cowEnv(t, false)
+	if _, err := w.Load(va, 8, mem.Read); err != nil {
+		t.Fatal(err)
+	}
+	before := fork.PrivatizedPages()
+	if err := w.Store(va+16, 8, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	if got := fork.PrivatizedPages(); got != before+1 {
+		t.Fatalf("store privatized %d pages, want %d", got, before+1)
+	}
+	if v, err := w.Load(va+16, 8, mem.Read); err != nil || v != 0xbeef {
+		t.Fatalf("readback %#x (%v)", v, err)
+	}
+	if v, err := w.Load(va+24, 8, mem.Read); err != nil || v != 0x5151_5151_5151_5151 {
+		t.Fatalf("page remainder %#x (%v)", v, err)
+	}
+	// Second store must hit the upgraded view without another walk.
+	walks := w.Walks
+	if err := w.Store(va+32, 8, 0xcafe); err != nil {
+		t.Fatal(err)
+	}
+	if w.Walks != walks {
+		t.Fatalf("second store walked (%d -> %d)", walks, w.Walks)
+	}
+}
+
+// TestCowCountersMatchNonFork pins TLB accounting equality: the same
+// access sequence produces identical Hits/Walks on a forked walker and on
+// a walker over plain RAM — the property that keeps golden statistics
+// bit-identical between cold-boot and restored sessions.
+func TestCowCountersMatchNonFork(t *testing.T) {
+	run := func(w *Walker, va uint64) (uint64, uint64) {
+		seq := []struct {
+			off   uint64
+			kind  mem.AccessKind
+			write bool
+		}{
+			{0, mem.Read, false},
+			{8, mem.Read, false},
+			{16, mem.Write, true}, // first store: upgrade on fork, plain hit otherwise
+			{24, mem.Read, false},
+			{32, mem.Write, true},
+			{4096, mem.Read, false}, // unmapped neighbour page would fault; stay in page
+		}
+		for _, s := range seq[:5] {
+			var err error
+			if s.write {
+				err = w.Store(va+s.off, 8, 0x77)
+			} else {
+				_, err = w.Load(va+s.off, 8, s.kind)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		return w.Hits, w.Walks
+	}
+
+	for _, shared := range []bool{false, true} {
+		// Fork walker.
+		fw, _, fva, _ := cowEnv(t, shared)
+		fHits, fWalks := run(fw, fva)
+
+		// Plain walker over an identical layout (same builder, no fork).
+		const va, pa = uint64(0x4000_0000), uint64(0x0050_0000)
+		ram := mem.NewRAM(0, 16<<20)
+		bus := mem.NewBus(ram)
+		alloc, _ := mem.NewPageAllocator(1<<20, 8<<20)
+		as, err := NewAddressSpace(bus, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Map(va, pa, PermR|PermW); err != nil {
+			t.Fatal(err)
+		}
+		var pw *Walker
+		if shared {
+			pw = NewSharedWalker(bus)
+		} else {
+			pw = NewWalker(bus)
+		}
+		pw.SetRoot(as.Root())
+		pHits, pWalks := run(pw, va)
+
+		if fHits != pHits || fWalks != pWalks {
+			t.Fatalf("shared=%v: fork hits/walks %d/%d, plain %d/%d",
+				shared, fHits, fWalks, pHits, pWalks)
+		}
+	}
+}
+
+// TestCowSharedWalkerBulk exercises the shared-mode bulk paths over a
+// fork: atomic bulk reads from shared pages, bulk writes privatizing.
+func TestCowSharedWalkerBulk(t *testing.T) {
+	w, fork, va, _ := cowEnv(t, true)
+	dst := make([]byte, 128)
+	if err := w.ReadBytes(va+64, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0x51 {
+		t.Fatalf("bulk read %#x", dst[0])
+	}
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := w.WriteBytes(va+128, src); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, 64)
+	if err := w.ReadBytes(va+128, back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if back[i] != byte(i) {
+			t.Fatalf("bulk readback[%d] = %#x", i, back[i])
+		}
+	}
+	if fork.PrivatizedPages() == 0 {
+		t.Fatal("bulk write did not privatize")
+	}
+}

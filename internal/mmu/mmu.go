@@ -99,6 +99,11 @@ type tlbEntry struct {
 	// time when the frame is RAM-backed; nil for MMIO frames, which must
 	// always go through the bus (device reads have side effects).
 	page []byte
+	// ro marks page as a shared copy-on-write view (a forked session
+	// still sharing the page with its snapshot image): loads may be
+	// served from it, but the first store must take the fault path so the
+	// page is privatized and the view upgraded (see Translate).
+	ro bool
 }
 
 // Walker translates virtual addresses through page tables rooted at a
@@ -108,7 +113,12 @@ type tlbEntry struct {
 type Walker struct {
 	bus  *mem.Bus
 	root uint64 // physical base of top-level table; 0 = translation off
-	tlb  [tlbSize]tlbEntry
+	// tlb is allocated lazily on the first non-zero SetRoot: walkers with
+	// translation off (the driver-path CPU cores) never touch it, and the
+	// ~14 KiB zeroed allocation per walker is a measurable cost on the
+	// microsecond snapshot-fork path. All TLB accesses are guarded by
+	// root != 0, which implies tlb != nil.
+	tlb *[tlbSize]tlbEntry
 
 	// shared selects the race-clean access mode: data loads and stores go
 	// through mem's word-granular atomic accessors instead of plain host
@@ -156,6 +166,10 @@ func (w *Walker) Shared() bool { return w.shared }
 // A zero root disables translation (identity mapping, all permissions).
 func (w *Walker) SetRoot(root uint64) {
 	w.root = root
+	if root != 0 && w.tlb == nil {
+		w.tlb = new([tlbSize]tlbEntry) // fresh array is already clean
+		return
+	}
 	w.FlushTLB()
 }
 
@@ -167,7 +181,9 @@ func (w *Walker) Enabled() bool { return w.root != 0 }
 
 // FlushTLB invalidates all cached translations.
 func (w *Walker) FlushTLB() {
-	w.tlb = [tlbSize]tlbEntry{}
+	if w.tlb != nil {
+		*w.tlb = [tlbSize]tlbEntry{}
+	}
 }
 
 // ResetTouched clears and enables touched-page tracking.
@@ -211,6 +227,15 @@ func (w *Walker) Translate(va uint64, kind mem.AccessKind) (uint64, *Fault) {
 		if !permOK(e.perms, kind) {
 			return 0, &Fault{Type: FaultPermission, VA: va, Kind: kind}
 		}
+		if e.ro && kind == mem.Write {
+			// First store through a shared copy-on-write view: privatize
+			// the backing page and upgrade the cached view in place. The
+			// translation itself (pfn, perms) is unchanged, so this stays
+			// a TLB hit — counters match a non-forked session exactly.
+			if page, ro, ok := w.bus.PageView(e.pfn, true); ok {
+				e.page, e.ro = page, ro
+			}
+		}
 		return e.pfn | (va & mem.PageMask), nil
 	}
 	w.Walks++
@@ -221,13 +246,17 @@ func (w *Walker) Translate(va uint64, kind mem.AccessKind) (uint64, *Fault) {
 	if w.touched != nil {
 		w.touched[vpn>>6] |= 1 << (vpn & 63)
 	}
-	page, _ := w.bus.Slice(pfn, mem.PageSize)
-	if page != nil && perms&PermW != 0 {
+	// Cache the host page view. A write access asks for a writable view
+	// (privatizing a copy-on-write page); reads and fetches accept a
+	// shared read-only view so forked sessions keep sharing read-mostly
+	// pages with their snapshot image.
+	page, ro, _ := w.bus.PageView(pfn, kind == mem.Write)
+	if page != nil && !ro && perms&PermW != 0 {
 		// Stores through the cached view bypass the bus, so account the
 		// whole page to the RAM recycling watermark up front.
 		w.bus.MarkDirty(pfn, mem.PageSize)
 	}
-	*e = tlbEntry{vpn: vpn + 1, pfn: pfn, perms: perms, page: page}
+	*e = tlbEntry{vpn: vpn + 1, pfn: pfn, perms: perms, page: page, ro: ro}
 	if !permOK(perms, kind) {
 		return 0, &Fault{Type: FaultPermission, VA: va, Kind: kind}
 	}
@@ -236,16 +265,18 @@ func (w *Walker) Translate(va uint64, kind mem.AccessKind) (uint64, *Fault) {
 
 // hitPage returns the cached host page for va when the access can be
 // served entirely from the TLB: translation on, valid entry, permitted
-// kind, RAM-backed frame. It returns nil in every other case without
-// touching any counter; the caller then falls back to Translate, which
-// accounts the access (one Hit or one Walk) exactly as before.
+// kind, RAM-backed frame, and — for stores — a writable (non-shared)
+// view. It returns nil in every other case without touching any counter;
+// the caller then falls back to Translate, which accounts the access (one
+// Hit or one Walk) exactly as before and upgrades a shared copy-on-write
+// view on the first store.
 func (w *Walker) hitPage(va uint64, kind mem.AccessKind) []byte {
 	if w.root == 0 {
 		return nil
 	}
 	vpn := va >> 12
 	e := &w.tlb[vpn&(tlbSize-1)]
-	if e.vpn != vpn+1 || e.page == nil || !permOK(e.perms, kind) {
+	if e.vpn != vpn+1 || e.page == nil || !permOK(e.perms, kind) || (e.ro && kind == mem.Write) {
 		return nil
 	}
 	w.Hits++

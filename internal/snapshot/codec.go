@@ -1,0 +1,355 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"mobilesim/internal/cl"
+	"mobilesim/internal/cpu"
+	"mobilesim/internal/dev"
+	"mobilesim/internal/driver"
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/mem"
+	"mobilesim/internal/platform"
+)
+
+// Wire format v1. Little-endian throughout; strings and byte blobs are
+// u64-length-prefixed; maps are emitted in sorted key order so encoding
+// is a pure function of the state.
+const (
+	magic   = "MSIMSNAP"
+	version = uint32(1)
+
+	// maxBlob caps length prefixes while decoding, so a corrupt or
+	// hostile snapshot cannot ask for an absurd allocation. 16 GiB
+	// comfortably exceeds any supported guest RAM.
+	maxBlob = 16 << 30
+)
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (e *encoder) u8(v uint8) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(v)
+	}
+}
+
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.raw(b[:])
+}
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.raw(b[:])
+}
+
+func (e *encoder) raw(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u64(uint64(len(b)))
+	e.raw(b)
+}
+
+func (e *encoder) str(s string) { e.bytes([]byte(s)) }
+
+func (e *encoder) u64s(v []uint64) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.u64(x)
+	}
+}
+
+// fixed serialises a struct composed purely of fixed-size fields
+// (uint64s, bools, fixed arrays) via encoding/binary — cpu.State and the
+// stats records qualify.
+func (e *encoder) fixed(v any) {
+	if e.err == nil {
+		e.err = binary.Write(e.w, binary.LittleEndian, v)
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	d.err = err
+	return b
+}
+
+func (d *decoder) boolean() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	var b [4]byte
+	d.raw(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (d *decoder) u64() uint64 {
+	var b [8]byte
+	d.raw(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (d *decoder) raw(b []byte) {
+	if d.err == nil {
+		_, d.err = io.ReadFull(d.r, b)
+	}
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxBlob {
+		d.err = fmt.Errorf("snapshot: blob length %d exceeds limit", n)
+		return nil
+	}
+	b := make([]byte, n)
+	d.raw(b)
+	return b
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }
+
+func (d *decoder) u64s() []uint64 {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxBlob/8 {
+		d.err = fmt.Errorf("snapshot: list length %d exceeds limit", n)
+		return nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = d.u64()
+	}
+	return v
+}
+
+func (d *decoder) fixed(v any) {
+	if d.err == nil {
+		d.err = binary.Read(d.r, binary.LittleEndian, v)
+	}
+}
+
+// Encode writes the state in wire format v1. Encoding the same state
+// twice produces identical bytes.
+func Encode(w io.Writer, st *State) error {
+	e := &encoder{w: bufio.NewWriter(w)}
+	e.raw([]byte(magic))
+	e.u32(version)
+
+	// Session configuration.
+	e.u64(st.Config.RAMSize)
+	e.u64(uint64(st.Config.CPUCores))
+	e.u64(uint64(st.Config.ShaderCores))
+	e.u64(uint64(st.Config.HostThreads))
+	e.str(st.Config.CompilerVersion)
+	e.boolean(st.Config.CollectCFG)
+	e.boolean(st.Config.JITClauses)
+	e.boolean(st.Config.DisableDecodeCache)
+
+	// Guest RAM image.
+	p := st.Platform
+	e.u64(p.RAM.Base())
+	e.u64(p.RAM.Size())
+	e.bytes(p.RAM.Data())
+
+	// Page allocator.
+	e.u64(p.Alloc.Base)
+	e.u64(p.Alloc.Limit)
+	e.u64(p.Alloc.Next)
+	e.u64s(p.Alloc.Free)
+
+	// CPU cores (fixed-size architectural state).
+	e.u64(uint64(len(p.CPUs)))
+	for i := range p.CPUs {
+		e.fixed(&p.CPUs[i])
+	}
+
+	// Interrupt controller.
+	e.fixed(&p.IRQ)
+
+	// Peripherals.
+	e.fixed(&p.Timer)
+	e.bytes(p.UART.RX)
+	e.boolean(p.UART.RXIRQ)
+	e.u64(p.UART.TxSent)
+	e.u64(p.Block.Sector)
+	e.u64(p.Block.Addr)
+	e.u64(p.Block.Count)
+	e.u64(p.Block.Status)
+	e.u64(p.Block.Reads)
+	e.u64(p.Block.Writes)
+	e.bytes(p.Block.Image)
+
+	// GPU registers and statistics.
+	e.u32(p.GPU.IRQRawstat)
+	e.u32(p.GPU.IRQMask)
+	e.u64(p.GPU.JSHead)
+	e.u32(p.GPU.JSStatus)
+	e.u64(p.GPU.ASTranstab)
+	e.u64(p.GPU.ASApplied)
+	e.u64(p.GPU.FaultStat)
+	e.u64(p.GPU.FaultAddr)
+	e.u64(p.GPU.DecodesTotal)
+	e.fixed(&p.GPU.GPUStats)
+	e.fixed(&p.GPU.SysStats)
+	e.u64s(p.GPU.TouchedPages)
+
+	// Firmware program (code + sorted symbol table).
+	e.u64(p.FirmwareBase)
+	e.bytes(p.FirmwareCode)
+	syms := make([]string, 0, len(p.FirmwareSyms))
+	for name := range p.FirmwareSyms {
+		syms = append(syms, name)
+	}
+	sort.Strings(syms)
+	e.u64(uint64(len(syms)))
+	for _, name := range syms {
+		e.str(name)
+		e.u64(p.FirmwareSyms[name])
+	}
+
+	// Runtime + driver.
+	e.str(st.CL.Version)
+	e.u64(st.CL.LocalVA)
+	e.u64(uint64(st.CL.LocalBytes))
+	e.u64(st.CL.Drv.Staging)
+	e.u64(st.CL.Drv.ASRoot)
+	e.u64(uint64(st.CL.Drv.ASPages))
+	e.u64(st.CL.Drv.JobsSubmitted)
+	e.u64(st.CL.Drv.IRQsHandled)
+	e.u64(uint64(st.CL.Drv.CPUTime))
+
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// Decode reads a state in wire format v1.
+func Decode(r io.Reader) (*State, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+	var m [len(magic)]byte
+	d.raw(m[:])
+	if d.err == nil && string(m[:]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", m)
+	}
+	if v := d.u32(); d.err == nil && v != version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (have %d)", v, version)
+	}
+
+	st := &State{Platform: &platform.State{}}
+	st.Config.RAMSize = d.u64()
+	st.Config.CPUCores = int(d.u64())
+	st.Config.ShaderCores = int(d.u64())
+	st.Config.HostThreads = int(d.u64())
+	st.Config.CompilerVersion = d.str()
+	st.Config.CollectCFG = d.boolean()
+	st.Config.JITClauses = d.boolean()
+	st.Config.DisableDecodeCache = d.boolean()
+
+	p := st.Platform
+	imgBase := d.u64()
+	imgSize := d.u64()
+	imgData := d.bytes()
+	if d.err == nil {
+		img, err := mem.NewImage(imgBase, imgSize, imgData)
+		if err != nil {
+			return nil, err
+		}
+		p.RAM = img
+	}
+
+	p.Alloc = mem.AllocState{Base: d.u64(), Limit: d.u64(), Next: d.u64(), Free: d.u64s()}
+
+	nCPUs := d.u64()
+	if d.err == nil && nCPUs > 4096 {
+		return nil, fmt.Errorf("snapshot: implausible CPU count %d", nCPUs)
+	}
+	p.CPUs = make([]cpu.State, nCPUs)
+	for i := range p.CPUs {
+		d.fixed(&p.CPUs[i])
+	}
+
+	d.fixed(&p.IRQ)
+
+	d.fixed(&p.Timer)
+	p.UART = dev.UARTState{RX: d.bytes(), RXIRQ: d.boolean(), TxSent: d.u64()}
+	p.Block = dev.BlockState{
+		Sector: d.u64(), Addr: d.u64(), Count: d.u64(), Status: d.u64(),
+		Reads: d.u64(), Writes: d.u64(), Image: d.bytes(),
+	}
+
+	p.GPU = gpu.State{
+		IRQRawstat: d.u32(), IRQMask: d.u32(),
+		JSHead: d.u64(), JSStatus: d.u32(),
+		ASTranstab: d.u64(), ASApplied: d.u64(),
+		FaultStat: d.u64(), FaultAddr: d.u64(),
+		DecodesTotal: d.u64(),
+	}
+	d.fixed(&p.GPU.GPUStats)
+	d.fixed(&p.GPU.SysStats)
+	p.GPU.TouchedPages = d.u64s()
+
+	p.FirmwareBase = d.u64()
+	p.FirmwareCode = d.bytes()
+	nSyms := d.u64()
+	if d.err == nil && nSyms > 1<<20 {
+		return nil, fmt.Errorf("snapshot: implausible symbol count %d", nSyms)
+	}
+	p.FirmwareSyms = make(map[string]uint64, nSyms)
+	for i := uint64(0); i < nSyms && d.err == nil; i++ {
+		name := d.str()
+		p.FirmwareSyms[name] = d.u64()
+	}
+
+	st.CL = cl.State{
+		Version:    d.str(),
+		LocalVA:    d.u64(),
+		LocalBytes: uint32(d.u64()),
+		Drv: driver.State{
+			Staging:       d.u64(),
+			ASRoot:        d.u64(),
+			ASPages:       int(d.u64()),
+			JobsSubmitted: d.u64(),
+			IRQsHandled:   d.u64(),
+			CPUTime:       time.Duration(d.u64()),
+		},
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", d.err)
+	}
+	return st, nil
+}

@@ -1,0 +1,149 @@
+package mobilesim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPoolClosed is returned by SessionPool.Get after Close.
+var ErrPoolClosed = errors.New("mobilesim: session pool is closed")
+
+// SessionPool maintains warm, ready-to-run sessions forked from one
+// snapshot, so serving layers (cmd/mobilesimd, custom front-ends) hand
+// out a booted session in microseconds under load. A background refiller
+// keeps the pool full; Get falls back to forking synchronously when
+// demand outruns it (forking is itself fast, so the pool degrades
+// gracefully rather than queueing).
+//
+// Sessions handed out by Get are owned by the caller and single-use by
+// convention: run what you need, then Close the session. Forked sessions
+// share the snapshot's memory copy-on-write, so discarding one after a
+// run is cheaper than scrubbing it back to pristine state.
+type SessionPool struct {
+	snap *Snapshot
+	cfg  Config
+
+	warm chan *Session
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	forked atomic.Uint64
+}
+
+// NewSessionPool creates a pool of size warm sessions forked from snap,
+// each configured like New(cfg, FromSnapshot(snap)). The first fork is
+// performed synchronously so configuration errors surface immediately;
+// the rest fill in the background.
+func NewSessionPool(snap *Snapshot, size int, cfg Config) (*SessionPool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &SessionPool{
+		snap: snap,
+		cfg:  cfg,
+		warm: make(chan *Session, size),
+		done: make(chan struct{}),
+	}
+	first, err := p.fork()
+	if err != nil {
+		return nil, err
+	}
+	p.warm <- first
+	p.wg.Add(1)
+	go p.refill()
+	return p, nil
+}
+
+// fork creates one fresh session from the snapshot.
+func (p *SessionPool) fork() (*Session, error) {
+	s, err := New(p.cfg, FromSnapshot(p.snap))
+	if err != nil {
+		return nil, err
+	}
+	p.forked.Add(1)
+	return s, nil
+}
+
+// refill keeps the warm channel full until the pool closes.
+func (p *SessionPool) refill() {
+	defer p.wg.Done()
+	for {
+		s, err := p.fork()
+		if err != nil {
+			// Forking failed after the first one succeeded — host memory
+			// pressure, most likely. Back off to on-demand forking in Get.
+			return
+		}
+		select {
+		case p.warm <- s:
+		case <-p.done:
+			s.Close()
+			return
+		}
+	}
+}
+
+// Get returns a ready-to-run session, preferring a warm one and forking
+// on demand when the pool is momentarily empty. The caller owns the
+// session and must Close it. ctx only gates the hand-out (it is not the
+// session's lifetime); cancellation returns ctx.Err().
+func (p *SessionPool) Get(ctx context.Context) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-p.done:
+		return nil, ErrPoolClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case s := <-p.warm:
+		return s, nil
+	default:
+	}
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, ErrPoolClosed
+	}
+	return p.fork()
+}
+
+// Warm reports how many forked sessions are currently waiting in the
+// pool.
+func (p *SessionPool) Warm() int { return len(p.warm) }
+
+// Forked reports how many sessions the pool has forked over its lifetime
+// (warm fills plus on-demand forks).
+func (p *SessionPool) Forked() uint64 { return p.forked.Load() }
+
+// Snapshot returns the snapshot the pool forks from.
+func (p *SessionPool) Snapshot() *Snapshot { return p.snap }
+
+// Close stops the refiller and closes every warm session. Sessions
+// already handed out are unaffected (their owners Close them). Closing
+// twice is a no-op.
+func (p *SessionPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.done)
+	p.mu.Unlock()
+	p.wg.Wait()
+	for {
+		select {
+		case s := <-p.warm:
+			s.Close()
+		default:
+			return
+		}
+	}
+}

@@ -12,7 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 pr="${1:?usage: scripts/bench.sh <pr-number> [bench-regex]}"
-regex="${2:-^(BenchmarkFig|BenchmarkAblation|BenchmarkTable)}"
+regex="${2:-^(BenchmarkFig|BenchmarkAblation|BenchmarkTable|BenchmarkColdBoot|BenchmarkSnapshotFork)}"
 benchtime="${BENCHTIME:-3x}"
 
 tmp="$(mktemp)"

@@ -180,7 +180,18 @@ type Session struct {
 // New boots a platform from cfg and opens the device: GPU soft reset,
 // address-space setup and IRQ unmasking all run as guest code, exactly as
 // the kernel module's probe path would. Callers must Close the session.
-func New(cfg Config) (*Session, error) {
+//
+// With FromSnapshot the cold boot is skipped entirely: the session is
+// forked copy-on-write from a captured snapshot and is ready to run in
+// microseconds (see Snapshot).
+func New(cfg Config, opts ...NewOption) (*Session, error) {
+	var o newOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.snap != nil {
+		return newFromSnapshot(cfg, o.snap)
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -193,9 +204,14 @@ func New(cfg Config) (*Session, error) {
 		p.Close()
 		return nil, err
 	}
+	return newSession(cfg, p, rt), nil
+}
+
+// newSession wraps a live platform + runtime pair in the facade.
+func newSession(cfg Config, p *platform.Platform, rt *cl.Context) *Session {
 	s := &Session{cfg: cfg, p: p, rt: rt}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
-	return s, nil
+	return s
 }
 
 // Close drains the command queue and stops the platform's background

@@ -1,0 +1,216 @@
+package mobilesim
+
+import (
+	"fmt"
+	"io"
+
+	"mobilesim/internal/gpu"
+	"mobilesim/internal/snapshot"
+)
+
+// This file is the facade of the snapshot/restore subsystem
+// (internal/snapshot): capture a booted session once, then fork
+// ready-to-run sessions from it in microseconds instead of paying a cold
+// boot each. Forked sessions share the snapshot's guest RAM copy-on-write
+// — pages are shared read-only until a fork writes them — so a warm pool
+// of hundreds of sessions costs little more memory than one.
+
+// Snapshot is a captured, immutable image of a booted session: guest RAM
+// (sparse, up to the allocator's high watermark), MMU roots and page
+// tables, device/IRQ/Job-Manager registers, driver and CL-runtime
+// handles, and the accumulated statistics. One Snapshot can be restored
+// into any number of concurrent sessions; it is never mutated by them.
+//
+// Host-side handles from the captured session — *Kernel, *Buffer, the
+// collected CFG, the shader decode cache — are not part of a snapshot.
+// Restored sessions rebuild programs on demand; guest memory those
+// handles pointed at is captured, so re-running a registered workload
+// reproduces the original run exactly.
+type Snapshot struct {
+	st *snapshot.State
+}
+
+// Config returns the session configuration the snapshot was captured
+// under (without host-side wiring such as ConsoleOut).
+func (s *Snapshot) Config() Config {
+	c := s.st.Config
+	return Config{
+		RAMSize:            c.RAMSize,
+		CPUCores:           c.CPUCores,
+		ShaderCores:        c.ShaderCores,
+		HostThreads:        c.HostThreads,
+		CompilerVersion:    c.CompilerVersion,
+		CollectCFG:         c.CollectCFG,
+		JITClauses:         c.JITClauses,
+		DisableDecodeCache: c.DisableDecodeCache,
+	}
+}
+
+// Encode writes the snapshot in its versioned wire format. Encoding is
+// deterministic: the same snapshot always produces the same bytes.
+func (s *Snapshot) Encode(w io.Writer) error {
+	return snapshot.Encode(w, s.st)
+}
+
+// ReadSnapshot decodes a snapshot previously written with Encode.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	st, err := snapshot.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{st: st}, nil
+}
+
+// Snapshot captures the session's current state. The capture is
+// serialised on the session's command queue: it waits for every
+// previously submitted run to finish, captures, and only then lets later
+// submissions proceed — so the image is always a quiescent,
+// between-runs state. Capturing a freshly booted session yields the warm
+// "post-boot" image that Batch and SessionPool fork from.
+func (s *Session) Snapshot() (*Snapshot, error) {
+	// Take a queue slot like a run would, so the capture cannot overlap
+	// an executing workload and later submissions cannot overtake it.
+	p := &Pending{workload: "snapshot", done: make(chan struct{}), released: make(chan struct{})}
+	s.qMu.Lock()
+	if s.qClosed {
+		s.qMu.Unlock()
+		return nil, ErrClosed
+	}
+	prev := s.qTail
+	s.qTail = p
+	s.qMu.Unlock()
+	defer func() {
+		close(p.done)
+		close(p.released)
+		s.qMu.Lock()
+		if s.qTail == p {
+			s.qTail = nil
+		}
+		s.qMu.Unlock()
+	}()
+
+	if prev != nil {
+		select {
+		case <-prev.released:
+		case <-s.base.Done():
+			// Same invariant as a cancelled queue entry: this slot must
+			// not be released before the predecessor releases, or Close
+			// could tear down the platform under a still-executing run.
+			<-prev.released
+			return nil, ErrClosed
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	st, err := snapshot.Capture(snapshotConfig(s.cfg), s.rt)
+	if err != nil {
+		return nil, fmt.Errorf("mobilesim: snapshot: %w", err)
+	}
+	return &Snapshot{st: st}, nil
+}
+
+// snapshotConfig lowers the facade configuration to its serialisable
+// mirror.
+func snapshotConfig(c Config) snapshot.Config {
+	return snapshot.Config{
+		RAMSize:            c.RAMSize,
+		CPUCores:           c.CPUCores,
+		ShaderCores:        c.ShaderCores,
+		HostThreads:        c.HostThreads,
+		CompilerVersion:    c.CompilerVersion,
+		CollectCFG:         c.CollectCFG,
+		JITClauses:         c.JITClauses,
+		DisableDecodeCache: c.DisableDecodeCache,
+	}
+}
+
+// NewOption configures New beyond the session Config.
+type NewOption func(*newOptions)
+
+type newOptions struct {
+	snap *Snapshot
+}
+
+// FromSnapshot makes New restore the session from a snapshot instead of
+// cold-booting: guest memory is forked copy-on-write from the snapshot
+// image and no guest boot code runs, so the session is ready to run in
+// microseconds.
+//
+// The session's shape is the snapshot's. cfg may supply host-side wiring
+// (ConsoleOut) and override host-side knobs: a non-zero HostThreads
+// replaces the snapshot's, and CollectCFG/JITClauses/DisableDecodeCache
+// set in cfg are enabled on top of the snapshot's. Architectural fields
+// (RAMSize, CPUCores, ShaderCores, CompilerVersion) must be zero or equal
+// to the snapshot's — the corresponding state is baked into the image.
+func FromSnapshot(snap *Snapshot) NewOption {
+	return func(o *newOptions) { o.snap = snap }
+}
+
+// mergeSnapshotConfig resolves the effective configuration of a restored
+// session (see FromSnapshot). Architectural fields in cfg are compared
+// against the snapshot's *resolved* shape, so asking for the defaults
+// explicitly (e.g. CPUCores: 4 against a snapshot captured with the zero
+// default) is accepted.
+func mergeSnapshotConfig(cfg Config, snap *Snapshot) (Config, error) {
+	eff := snap.Config()
+	eff.ConsoleOut = cfg.ConsoleOut
+	snapRAM := eff.RAMSize
+	if snapRAM == 0 {
+		snapRAM = snap.st.Platform.RAM.Size()
+	}
+	snapCPUs := eff.CPUCores
+	if snapCPUs == 0 {
+		snapCPUs = len(snap.st.Platform.CPUs)
+	}
+	snapSC := eff.ShaderCores
+	if snapSC == 0 {
+		snapSC = gpu.DefaultConfig().ShaderCores
+	}
+	type mismatch struct {
+		field string
+		want  any
+		have  any
+	}
+	var bad *mismatch
+	switch {
+	case cfg.RAMSize != 0 && cfg.RAMSize != snapRAM:
+		bad = &mismatch{"RAMSize", snapRAM, cfg.RAMSize}
+	case cfg.CPUCores != 0 && cfg.CPUCores != snapCPUs:
+		bad = &mismatch{"CPUCores", snapCPUs, cfg.CPUCores}
+	case cfg.ShaderCores != 0 && cfg.ShaderCores != snapSC:
+		bad = &mismatch{"ShaderCores", snapSC, cfg.ShaderCores}
+	case cfg.CompilerVersion != "" && cfg.CompilerVersion != eff.CompilerVersion:
+		bad = &mismatch{"CompilerVersion", eff.CompilerVersion, cfg.CompilerVersion}
+	}
+	if bad != nil {
+		return Config{}, fmt.Errorf("mobilesim: FromSnapshot: %s %v does not match the snapshot's %v",
+			bad.field, bad.have, bad.want)
+	}
+	if cfg.HostThreads != 0 {
+		eff.HostThreads = cfg.HostThreads
+	}
+	eff.CollectCFG = eff.CollectCFG || cfg.CollectCFG
+	eff.JITClauses = eff.JITClauses || cfg.JITClauses
+	eff.DisableDecodeCache = eff.DisableDecodeCache || cfg.DisableDecodeCache
+	return eff, nil
+}
+
+// newFromSnapshot is the restore arm of New.
+func newFromSnapshot(cfg Config, snap *Snapshot) (*Session, error) {
+	eff, err := mergeSnapshotConfig(cfg, snap)
+	if err != nil {
+		return nil, err
+	}
+	if err := eff.validate(); err != nil {
+		return nil, err
+	}
+	p, rt, err := snapshot.Restore(snap.st, eff.platformConfig())
+	if err != nil {
+		return nil, fmt.Errorf("mobilesim: restore: %w", err)
+	}
+	return newSession(eff, p, rt), nil
+}

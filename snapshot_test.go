@@ -1,0 +1,425 @@
+package mobilesim_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"mobilesim"
+)
+
+// snapCfg is the reference configuration for snapshot determinism tests:
+// one host thread makes every workload — including BFS's benignly racy
+// frontier — exactly deterministic, so cold-boot and restored runs can be
+// compared bit for bit.
+var snapCfg = mobilesim.Config{RAMSize: 256 << 20, HostThreads: 1}
+
+// runStats runs one workload on a fresh session built by mk and returns
+// the per-run stats delta with the host-time fields zeroed (wall-clock is
+// not part of the deterministic contract).
+func runStats(t *testing.T, mk func() (*mobilesim.Session, error), name string, scale int) mobilesim.Stats {
+	t.Helper()
+	s, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background(), name, mobilesim.WithScale(scale))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatalf("%s: verification failed: %v", name, res.VerifyErr)
+	}
+	st := res.Stats
+	st.DriverCPUTime = 0
+	return st
+}
+
+// TestSnapshotGoldenStatsAllBenchmarks is the determinism acceptance
+// test: for every registered Table II benchmark (and the SGEMM ladder's
+// first rung), a session restored from a warm snapshot must reproduce the
+// cold-boot per-run statistics exactly — instruction mixes, memory
+// accesses, TLB hit/walk counts, pages, jobs, guest instructions, all of
+// it.
+func TestSnapshotGoldenStatsAllBenchmarks(t *testing.T) {
+	parent, err := mobilesim.New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var names []struct {
+		name  string
+		scale int
+	}
+	for _, w := range mobilesim.Workloads() {
+		if w.Kind == mobilesim.KindBenchmark {
+			names = append(names, struct {
+				name  string
+				scale int
+			}{w.Name, w.SmallScale})
+		}
+	}
+	names = append(names, struct {
+		name  string
+		scale int
+	}{"sgemm6/naive", 1})
+
+	for _, n := range names {
+		n := n
+		t.Run(n.name, func(t *testing.T) {
+			cold := runStats(t, func() (*mobilesim.Session, error) {
+				return mobilesim.New(snapCfg)
+			}, n.name, n.scale)
+			forked := runStats(t, func() (*mobilesim.Session, error) {
+				return mobilesim.New(mobilesim.Config{}, mobilesim.FromSnapshot(snap))
+			}, n.name, n.scale)
+			if cold != forked {
+				t.Errorf("stats diverge:\ncold:   %+v\nforked: %+v", cold, forked)
+			}
+		})
+	}
+}
+
+// TestSnapshotGoldenStatsReferenceThreads repeats the comparison on the
+// golden-table reference configuration (HostThreads 4) for a
+// deterministic, data-race-free subset.
+func TestSnapshotGoldenStatsReferenceThreads(t *testing.T) {
+	cfg := mobilesim.Config{RAMSize: 256 << 20, HostThreads: 4}
+	parent, err := mobilesim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"MatrixTranspose", "SGEMM", "FloydWarshall"} {
+		cold := runStats(t, func() (*mobilesim.Session, error) {
+			return mobilesim.New(cfg)
+		}, name, 0)
+		forked := runStats(t, func() (*mobilesim.Session, error) {
+			return mobilesim.New(mobilesim.Config{}, mobilesim.FromSnapshot(snap))
+		}, name, 0)
+		if cold != forked {
+			t.Errorf("%s: stats diverge at HostThreads 4:\ncold:   %+v\nforked: %+v", name, cold, forked)
+		}
+	}
+}
+
+// TestForkIsolation proves a fork's writes never leak: siblings forked
+// from the same snapshot, and the snapshot itself, are unaffected by a
+// fork running workloads. Runs concurrently so -race also audits the
+// shared image.
+func TestForkIsolation(t *testing.T) {
+	parent, err := mobilesim.New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Several forks run different workloads concurrently against the one
+	// shared image.
+	jobs := []struct {
+		name  string
+		scale int
+	}{
+		{"BFS", 4},
+		{"MatrixTranspose", 0},
+		{"Reduction", 0},
+		{"BFS", 4},
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(name string, scale int) {
+			defer wg.Done()
+			s, err := mobilesim.New(mobilesim.Config{}, mobilesim.FromSnapshot(snap))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			res, err := s.Run(context.Background(), name, mobilesim.WithScale(scale))
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			if res.VerifyErr != nil {
+				t.Errorf("%s: %v", name, res.VerifyErr)
+			}
+		}(j.name, j.scale)
+	}
+	wg.Wait()
+
+	// After all that traffic, a fresh fork must still behave exactly like
+	// the first fork of a pristine snapshot.
+	a := runStats(t, func() (*mobilesim.Session, error) {
+		return mobilesim.New(mobilesim.Config{}, mobilesim.FromSnapshot(snap))
+	}, "BFS", 4)
+	b := runStats(t, func() (*mobilesim.Session, error) {
+		return mobilesim.New(mobilesim.Config{}, mobilesim.FromSnapshot(snap))
+	}, "BFS", 4)
+	if a != b {
+		t.Fatalf("forks of a used snapshot diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSnapshotSerializationRoundTrip pins the wire format: encoding is
+// deterministic, decode(encode(s)) restores a fully working session, and
+// re-encoding the decoded snapshot is byte-identical.
+func TestSnapshotSerializationRoundTrip(t *testing.T) {
+	parent, err := mobilesim.New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf1, buf2 bytes.Buffer
+	if err := snap.Encode(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("encoding is not deterministic")
+	}
+
+	decoded, err := mobilesim.ReadSnapshot(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := decoded.Encode(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf3.Bytes()) {
+		t.Fatal("decode/encode round trip changed the bytes")
+	}
+
+	cold := runStats(t, func() (*mobilesim.Session, error) {
+		return mobilesim.New(snapCfg)
+	}, "Reduction", 0)
+	restored := runStats(t, func() (*mobilesim.Session, error) {
+		return mobilesim.New(mobilesim.Config{}, mobilesim.FromSnapshot(decoded))
+	}, "Reduction", 0)
+	if cold != restored {
+		t.Fatalf("decoded snapshot diverges:\ncold:     %+v\nrestored: %+v", cold, restored)
+	}
+
+	if _, err := mobilesim.ReadSnapshot(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted as snapshot")
+	}
+}
+
+// TestSnapshotSerialisedOnQueue pins capture ordering: a snapshot taken
+// while a run is queued waits for it, so the image includes that run's
+// effects.
+func TestSnapshotSerialisedOnQueue(t *testing.T) {
+	s, err := mobilesim.New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	pending, err := s.Submit(context.Background(), "MatrixTranspose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pending.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run completed before the capture, so the snapshot's cumulative
+	// statistics include it.
+	f, err := mobilesim.New(mobilesim.Config{}, mobilesim.FromSnapshot(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := f.Stats().System.ComputeJobs; got < res.Stats.System.ComputeJobs || got == 0 {
+		t.Fatalf("snapshot misses the queued run: %d jobs", got)
+	}
+}
+
+// blockingWorkload parks in Execute until its context is cancelled —
+// a controllable "long run" for queue-ordering tests.
+type blockingWorkload struct{ started chan struct{} }
+
+func (w blockingWorkload) Info() mobilesim.WorkloadInfo {
+	return mobilesim.WorkloadInfo{Name: "test/blocking"}
+}
+
+func (w blockingWorkload) Execute(ctx context.Context, s *mobilesim.Session, opt *mobilesim.RunOptions) (*mobilesim.RunResult, error) {
+	close(w.started)
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestCloseDuringQueuedSnapshot closes the session while a run is
+// executing and a Snapshot is queued behind it: the snapshot must fail
+// with ErrClosed only after the running entry releases its slot, so
+// Close never tears the platform down under an executing run (the
+// released-chain invariant, audited under -race).
+func TestCloseDuringQueuedSnapshot(t *testing.T) {
+	s, err := mobilesim.New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := blockingWorkload{started: make(chan struct{})}
+	pending, err := s.SubmitWorkload(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-w.started
+
+	snapErr := make(chan error, 1)
+	go func() {
+		_, err := s.Snapshot()
+		snapErr <- err
+	}()
+	s.Close()
+	// Either outcome is legal — ErrClosed, or a capture that won the race
+	// and completed before teardown — but both must respect the released
+	// chain: no deadlock, no teardown under the executing run (-race
+	// audits the latter).
+	<-snapErr
+	if _, err := pending.Wait(); err == nil {
+		t.Fatal("blocked run completed without error")
+	}
+}
+
+// TestFromSnapshotConfigRules pins the merge semantics of FromSnapshot.
+func TestFromSnapshotConfigRules(t *testing.T) {
+	parent, err := mobilesim.New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mismatching architectural shape is refused.
+	if _, err := mobilesim.New(mobilesim.Config{RAMSize: 512 << 20}, mobilesim.FromSnapshot(snap)); err == nil {
+		t.Fatal("RAM mismatch accepted")
+	}
+	if _, err := mobilesim.New(mobilesim.Config{ShaderCores: 2}, mobilesim.FromSnapshot(snap)); err == nil {
+		t.Fatal("shader-core mismatch accepted")
+	}
+	// Explicitly restating the snapshot's shape is fine.
+	s, err := mobilesim.New(mobilesim.Config{RAMSize: 256 << 20}, mobilesim.FromSnapshot(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// HostThreads is a host-side knob and may be overridden.
+	s, err = mobilesim.New(mobilesim.Config{HostThreads: 3}, mobilesim.FromSnapshot(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().HostThreads; got != 3 {
+		t.Fatalf("HostThreads override lost: %d", got)
+	}
+	res, err := s.Run(context.Background(), "URNG")
+	if err != nil || res.VerifyErr != nil {
+		t.Fatalf("overridden session run: %v / %v", err, res.VerifyErr)
+	}
+	s.Close()
+}
+
+// TestSessionPool exercises the warm pool: hand-out, refill, on-demand
+// forking and close semantics.
+func TestSessionPool(t *testing.T) {
+	parent, err := mobilesim.New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := mobilesim.NewSessionPool(snap, 2, mobilesim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Draw more sessions than the pool size: Get must never block.
+	var sessions []*mobilesim.Session
+	for i := 0; i < 5; i++ {
+		s, err := pool.Get(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	res, err := sessions[0].Run(context.Background(), "URNG")
+	if err != nil || res.VerifyErr != nil {
+		t.Fatalf("pooled session run: %v / %v", err, res.VerifyErr)
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	if pool.Forked() < 5 {
+		t.Fatalf("forked %d sessions, want >= 5", pool.Forked())
+	}
+
+	pool.Close()
+	pool.Close() // idempotent
+	if _, err := pool.Get(context.Background()); err == nil {
+		t.Fatal("Get succeeded on a closed pool")
+	}
+}
+
+// TestBatchForksFromSnapshot runs a uniform batch (which forks every job
+// from one warm snapshot) and a ColdBoot batch, and requires identical
+// aggregate statistics at HostThreads 1.
+func TestBatchForksFromSnapshot(t *testing.T) {
+	jobs := []mobilesim.BatchJob{
+		{Benchmark: "MatrixTranspose"},
+		{Benchmark: "URNG"},
+		{Benchmark: "Reduction"},
+		{Benchmark: "MatrixTranspose"},
+	}
+	warm := &mobilesim.Batch{Jobs: jobs, Config: snapCfg, Workers: 2}
+	cold := &mobilesim.Batch{Jobs: jobs, Config: snapCfg, Workers: 2, ColdBoot: true}
+
+	wres, err := warm.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := cold.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Completed != len(jobs) || cres.Completed != len(jobs) {
+		t.Fatalf("completed %d/%d, want %d", wres.Completed, cres.Completed, len(jobs))
+	}
+	wa, ca := wres.Aggregate, cres.Aggregate
+	wa.DriverCPUTime, ca.DriverCPUTime = 0, 0
+	if wa != ca {
+		t.Fatalf("aggregates diverge:\nwarm: %+v\ncold: %+v", wa, ca)
+	}
+}
