@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mobilesimd [-addr :8900] [-pool N] [-ram MiB] [-cores N] [-threads N] [-compiler VER] [-jit]
+//	mobilesimd [-addr :8900] [-pool N] [-ram MiB] [-cores N] [-threads N] [-compiler VER] [-engine warp|jit|interp]
 //
 // Endpoints:
 //
@@ -45,7 +45,8 @@ func main() {
 	cores := flag.Int("cores", 8, "simulated shader cores")
 	threads := flag.Int("threads", 8, "GPU simulation host threads")
 	compiler := flag.String("compiler", "", "JIT compiler version (5.6..6.2, default 6.1)")
-	jit := flag.Bool("jit", false, "use closure-JIT shader execution")
+	engine := flag.String("engine", "", "shader execution engine: warp (default), jit or interp")
+	jit := flag.Bool("jit", false, "use closure-JIT shader execution (shorthand for -engine jit)")
 	flag.Parse()
 
 	cfg := mobilesim.Config{
@@ -53,6 +54,7 @@ func main() {
 		ShaderCores:     *cores,
 		HostThreads:     *threads,
 		CompilerVersion: *compiler,
+		GPUEngine:       *engine,
 		JITClauses:      *jit,
 	}
 	srv, err := newServer(cfg, *pool)

@@ -48,9 +48,12 @@ type Program struct {
 	// Hash fingerprints the binary bytes for the decode cache.
 	Hash uint64
 
-	// jit holds the closure-specialised form when Config.JITClauses is
-	// enabled; built once per decoded program.
-	jit *jitProgram
+	// jit and warp hold the lazily built engine artifacts (closure-JIT
+	// and fused warp-batched forms). Each is compiled at most once per
+	// decoded program, under the owning ProgramCache's lock when the
+	// program is shared across sessions (see engine.go).
+	jit  *jitProgram
+	warp *warpProgram
 }
 
 // MaxTuples is the architectural clause limit in tuples.

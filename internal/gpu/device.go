@@ -85,10 +85,16 @@ type Config struct {
 	// CollectCFG records clause-level control flow with divergence
 	// annotations (Fig 6). Costs a map update per clause execution.
 	CollectCFG bool
-	// JITClauses specialises decoded ALU instructions into closures with
-	// pre-resolved operand accessors (the paper's future-work JIT mode).
-	// Instruction tracing bypasses it.
-	JITClauses bool
+	// Engine selects the shader execution engine (warp-batched by
+	// default; see engine.go). Engines are observationally identical —
+	// bit-identical counters and guest memory — and instruction tracing
+	// always uses the interpreter path regardless of this setting.
+	Engine Engine
+	// Programs, when non-nil, is a shared compiled-program cache: sessions
+	// forked from one snapshot pass the same cache so each kernel binary
+	// is decoded and engine-compiled once across the whole pool. Nil gives
+	// the device a private cache.
+	Programs *ProgramCache
 }
 
 // DefaultConfig returns the paper's default setup: a G71 MP8 simulated
@@ -129,9 +135,9 @@ type Device struct {
 	// (per-run CFG collection in the facade).
 	collectCFG atomic.Bool
 
-	decodeMu     sync.Mutex
-	decodeCache  map[uint64]*Program
-	DecodesTotal uint64 // decode invocations (ablation metric)
+	programs     *ProgramCache // content-keyed decode + compile cache
+	decodeMu     sync.Mutex    // guards DecodesTotal
+	DecodesTotal uint64        // decode invocations (ablation metric)
 
 	statsMu      sync.Mutex
 	gpuStats     stats.GPUStats
@@ -151,6 +157,10 @@ func NewDevice(cfg Config, bus *mem.Bus, intc *irq.Controller, line irq.Line) *D
 	if cfg.HostThreads <= 0 {
 		cfg.HostThreads = cfg.ShaderCores
 	}
+	programs := cfg.Programs
+	if programs == nil {
+		programs = NewProgramCache()
+	}
 	d := &Device{
 		cfg:          cfg,
 		bus:          bus,
@@ -158,7 +168,7 @@ func NewDevice(cfg Config, bus *mem.Bus, intc *irq.Controller, line irq.Line) *D
 		line:         line,
 		doorbell:     make(chan uint64, 64),
 		done:         make(chan struct{}),
-		decodeCache:  make(map[uint64]*Program),
+		programs:     programs,
 		cfgGraph:     stats.NewCFG(),
 		touchedPages: make(map[uint64]struct{}),
 	}
@@ -470,36 +480,41 @@ func (d *Device) decodeShader(walker *mmu.Walker, desc *JobDescriptor) (*Program
 	if err != nil {
 		return nil, err
 	}
-	if d.cfg.DecodeCache {
-		key := hashBytes(raw)
+	if !d.cfg.DecodeCache {
 		d.decodeMu.Lock()
-		if p, ok := d.decodeCache[key]; ok {
-			d.decodeMu.Unlock()
-			return p, nil
-		}
+		d.DecodesTotal++
 		d.decodeMu.Unlock()
 		p, err := ParseBinary(raw)
 		if err != nil {
 			return nil, err
 		}
-		if d.cfg.JITClauses {
-			p.jit = jitCompile(p)
-		}
-		d.decodeMu.Lock()
-		d.decodeCache[key] = p
-		d.DecodesTotal++
-		d.decodeMu.Unlock()
+		p.compile(d.cfg.Engine)
 		return p, nil
 	}
-	d.decodeMu.Lock()
-	d.DecodesTotal++
-	d.decodeMu.Unlock()
-	p, err := ParseBinary(raw)
-	if err != nil {
-		return nil, err
+	key := hashBytes(raw)
+	c := d.programs
+	c.mu.Lock()
+	p, hit := c.m[key]
+	if !hit {
+		var err error
+		p, err = ParseBinary(raw)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.m[key] = p
 	}
-	if d.cfg.JITClauses {
-		p.jit = jitCompile(p)
+	// Compile under the cache lock: when the cache is shared across
+	// snapshot forks, the lock publishes the artifact pointer to every
+	// other session's Job Manager before its exec workers can observe the
+	// program; once set an artifact is never replaced, so the workers'
+	// lock-free reads are race-free.
+	p.compile(d.cfg.Engine)
+	c.mu.Unlock()
+	if !hit {
+		d.decodeMu.Lock()
+		d.DecodesTotal++
+		d.decodeMu.Unlock()
 	}
 	return p, nil
 }

@@ -8,18 +8,21 @@ import (
 	"mobilesim/internal/gpu"
 )
 
-// Differential JIT-vs-interpreter testing. The closure-JIT engine must be
-// observationally identical to the interpreter: same guest memory after
-// the job, same statistics counters, same faults. These tests generate
-// random but well-formed kernels (random ALU/memory/divergence mixes over
-// disjoint per-thread data) and execute each one under both engines on
-// fresh devices, comparing final guest memory and the full stats records.
-// `go test` replays the seed corpus; `go test -fuzz=FuzzDifferentialJITInterp`
+// Three-way differential engine testing. The closure-JIT and the
+// warp-batched engines must both be observationally identical to the
+// interpreter: same guest memory after the job, same statistics counters,
+// same faults. These tests generate random but well-formed kernels
+// (random ALU/memory/divergence mixes over disjoint per-thread data,
+// plus misaligned and page-crossing accesses that force the warp engine
+// off its fused fast path) and execute each one under all three engines
+// on fresh devices, comparing final guest memory and the full stats
+// records against the interpreter reference.
+// `go test` replays the seed corpus; `go test -fuzz=FuzzDifferentialEngines`
 // explores further (CI runs a short-budget smoke of exactly that).
 
 // diffBinOps are the two-source opcodes the generator draws from — every
-// closure-JIT-compiled binary op plus the interpreter-only accumulator
-// forms (FMA, SEL), so mixed dispatch within one clause is exercised.
+// closure-compiled binary op plus the accumulator forms (FMA, SEL), so
+// mixed dispatch within one clause is exercised.
 var diffBinOps = []gpu.Opcode{
 	gpu.OpIADD, gpu.OpISUB, gpu.OpIMUL, gpu.OpIDIV, gpu.OpIMOD,
 	gpu.OpSHL, gpu.OpSHR, gpu.OpSAR, gpu.OpAND, gpu.OpOR, gpu.OpXOR,
@@ -38,13 +41,20 @@ var diffUnOps = []gpu.Opcode{
 // diffOutStride is the per-thread slice of the output buffer.
 const diffOutStride = 16
 
+// diffScratchOff is the in-page offset of the page-crossing scratch store:
+// a 4-byte STG here spans the first scratch page boundary.
+const diffScratchOff = 4094
+
 // genDifferentialProgram builds a random kernel for the differential
-// campaign. Uniforms: c0 = &in, c1 = &out, c2 = scalar. Every thread works
-// on its own in/out slice (stride 8 and diffOutStride bytes), so the
-// kernel is data-race-free and its output schedule-independent.
-func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge bool) *gpu.Program {
+// campaign. Uniforms: c0 = &in, c1 = &out, c2 = scalar, c3 = &scratch.
+// Every thread works on its own in/out slice (stride 8 and diffOutStride
+// bytes), so the kernel is data-race-free and its output
+// schedule-independent; the optional page-crossing scratch store writes
+// the same constant from every thread, so it too is deterministic.
+func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge, withMisalign, withCross bool) *gpu.Program {
 	// Registers: r0..r2 address setup, r3..r5 loaded inputs, r6 local
-	// offset, r7 parity, r8.. scratch written by the random section.
+	// offset, r7 parity, r8..r20 scratch written by the random section,
+	// r21 output fold, r22..r25 misaligned/crossing loads.
 	src := []uint8{gpu.R(3), gpu.R(4), gpu.R(5), gpu.C(2), gpu.S(gpu.SpecGIDX), gpu.S(gpu.SpecLSZX)}
 	operand := func() uint8 {
 		if rnd.Intn(8) == 0 {
@@ -83,7 +93,19 @@ func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge boo
 		{Op: gpu.OpSHL, Dst: gpu.R(6), A: gpu.S(gpu.SpecLIDX), B: gpu.Imm, Imm: 2},
 		{Op: gpu.OpAND, Dst: gpu.R(7), A: gpu.S(gpu.SpecGIDX), B: gpu.Imm, Imm: 1},
 	}}
-	prog := &gpu.Program{RegCount: 24, Uniforms: 3, Clauses: []gpu.Clause{setup}}
+	prog := &gpu.Program{RegCount: 26, Uniforms: 4, Clauses: []gpu.Clause{setup}}
+
+	if withMisalign {
+		// Misaligned global loads: in-page but not naturally aligned, so
+		// the warp engine's fused LDG path must reproduce the walker's
+		// unaligned fast-path behaviour exactly. The LDG64 at +3 reads
+		// into the next thread's (read-only) input slice.
+		prog.Clauses = append(prog.Clauses, gpu.Clause{Instrs: []gpu.Instr{
+			{Op: gpu.OpLDG, Dst: gpu.R(22), A: gpu.R(1), Imm: 1},
+			{Op: gpu.OpLDG64, Dst: gpu.R(23), A: gpu.R(1), Imm: 3},
+		}})
+		src = append(src, gpu.R(22), gpu.R(23))
+	}
 
 	// Random ALU section, split into clauses of 1..6 slots with the odd
 	// NOP thrown in (empty-slot accounting must match too).
@@ -104,6 +126,23 @@ func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge boo
 		}
 	}
 	flush()
+
+	if withCross {
+		// Page-crossing accesses: the fixed-offset LDG64 straddles the
+		// input buffer's first page boundary (every thread loads the same
+		// address), and the STG straddles the scratch buffer's — both
+		// must fall off the walker's single-page fast path identically
+		// under every engine. The store writes the same uniform constant
+		// from every thread, so the race is benign and the result
+		// deterministic.
+		prog.Clauses = append(prog.Clauses, gpu.Clause{Instrs: []gpu.Instr{
+			{Op: gpu.OpADD64, Dst: gpu.R(24), A: gpu.C(0), B: gpu.Imm, Imm: 4092},
+			{Op: gpu.OpLDG64, Dst: gpu.R(25), A: gpu.R(24)},
+			{Op: gpu.OpADD64, Dst: gpu.R(24), A: gpu.C(3), B: gpu.Imm, Imm: diffScratchOff},
+			{Op: gpu.OpSTG, A: gpu.R(24), B: gpu.C(2)},
+		}})
+		src = append(src, gpu.R(25))
+	}
 
 	if withLocal {
 		// Per-thread local slot traffic, with a barrier between store and
@@ -141,15 +180,23 @@ func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge boo
 	}
 
 	// Final clause: fold two random live registers into the output slice
-	// alongside the raw loads, then terminate.
+	// alongside the raw loads, then terminate. The misaligned variant adds
+	// in-slice stores that are not naturally aligned.
 	a, b := src[rnd.Intn(len(src))], src[rnd.Intn(len(src))]
-	prog.Clauses = append(prog.Clauses, gpu.Clause{Instrs: []gpu.Instr{
+	final := []gpu.Instr{
 		{Op: gpu.OpXOR, Dst: gpu.R(21), A: a, B: gpu.R(8)},
 		{Op: gpu.OpSTG64, A: gpu.R(2), B: gpu.R(21)},
 		{Op: gpu.OpSTG, A: gpu.R(2), B: b, Imm: 8},
 		{Op: gpu.OpSTGB, A: gpu.R(2), B: gpu.R(5), Imm: 12},
-		{Op: gpu.OpRET},
-	}})
+	}
+	if withMisalign {
+		final = append(final,
+			gpu.Instr{Op: gpu.OpSTG, A: gpu.R(2), B: gpu.R(22), Imm: 9},
+			gpu.Instr{Op: gpu.OpSTGB, A: gpu.R(2), B: gpu.R(23), Imm: 15},
+		)
+	}
+	final = append(final, gpu.Instr{Op: gpu.OpRET})
+	prog.Clauses = append(prog.Clauses, gpu.Clause{Instrs: final})
 	for i := range prog.Clauses {
 		prog.Clauses[i].Addr = uint64(i) * 0x10
 	}
@@ -158,18 +205,22 @@ func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge boo
 
 // runDifferentialEngine executes prog on a fresh device with the given
 // engine and returns the output buffer plus the stats records.
-func runDifferentialEngine(t *testing.T, jit bool, prog *gpu.Program, in []byte, global, local [3]uint32, localBytes uint32) ([]byte, any) {
+func runDifferentialEngine(t *testing.T, eng gpu.Engine, prog *gpu.Program, in []byte, global, local [3]uint32, localBytes uint32) ([]byte, any) {
 	t.Helper()
 	cfg := gpu.DefaultConfig()
-	cfg.JITClauses = jit
+	cfg.Engine = eng
 	r := newRig(t, cfg)
 
-	inVA := r.allocBuf(len(in))
+	// The input allocation carries a page of slack so the fixed-offset
+	// page-crossing load (withCross) and the +3 misaligned LDG64 of the
+	// last thread always hit mapped, deterministically zeroed memory.
+	inVA := r.allocBuf(len(in) + 8192)
 	if err := r.bus.WriteBytes(inVA, in); err != nil {
 		t.Fatal(err)
 	}
 	outLen := int(global[0]) * diffOutStride
 	outVA := r.allocBuf(outLen)
+	scratchVA := r.allocBuf(8192)
 	progVA, progSize := r.loadProgram(prog)
 
 	desc := &gpu.JobDescriptor{
@@ -183,14 +234,21 @@ func runDifferentialEngine(t *testing.T, jit bool, prog *gpu.Program, in []byte,
 		desc.LocalMemBytes = localBytes
 		desc.LocalMemVA = r.allocBuf(int(localBytes) * cfg.ShaderCores)
 	}
-	raw := r.submit(desc, []uint64{inVA, outVA, 0x1234_5678})
+	raw := r.submit(desc, []uint64{inVA, outVA, 0x1234_5678, scratchVA})
 	if raw&gpu.IRQJobDone == 0 {
-		t.Fatalf("jit=%v: job fault rawstat=%#x", jit, raw)
+		t.Fatalf("engine %v: job fault rawstat=%#x", eng, raw)
 	}
 	out := make([]byte, outLen)
 	if err := r.bus.ReadBytes(outVA, out); err != nil {
 		t.Fatal(err)
 	}
+	// Fold the crossing-store bytes into the compared output so the
+	// scratch page is part of the differential too.
+	scr := make([]byte, 8)
+	if err := r.bus.ReadBytes(scratchVA+diffScratchOff-2, scr); err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, scr...)
 	gs, sys := r.dev.Stats()
 	// Control-register traffic counts the harness's own IRQ polling loop,
 	// whose iteration count is host-timing dependent — it says nothing
@@ -199,8 +257,9 @@ func runDifferentialEngine(t *testing.T, jit bool, prog *gpu.Program, in []byte,
 	return out, [2]any{gs, sys}
 }
 
-// runDifferential is one differential trial: generate, run both engines,
-// require identical guest memory and identical statistics.
+// runDifferential is one differential trial: generate once, run all three
+// engines, require guest memory and statistics identical to the
+// interpreter reference.
 func runDifferential(t *testing.T, seed uint64, threadsSel, localSel, nALUSel uint8) {
 	rnd := rand.New(rand.NewSource(int64(seed)))
 	lsz := uint32(1 + localSel%8)
@@ -208,8 +267,10 @@ func runDifferential(t *testing.T, seed uint64, threadsSel, localSel, nALUSel ui
 	nALU := int(nALUSel % 48)
 	withLocal := seed%3 == 0
 	withDiverge := seed%2 == 0
+	withMisalign := seed%5 == 0
+	withCross := seed%4 == 0
 
-	prog := genDifferentialProgram(rnd, nALU, withLocal, withDiverge)
+	prog := genDifferentialProgram(rnd, nALU, withLocal, withDiverge, withMisalign, withCross)
 	var localBytes uint32
 	if withLocal {
 		localBytes = 4 * lsz
@@ -218,27 +279,31 @@ func runDifferential(t *testing.T, seed uint64, threadsSel, localSel, nALUSel ui
 	rnd.Read(in)
 
 	global, local := [3]uint32{gsz, 1, 1}, [3]uint32{lsz, 1, 1}
-	outI, statsI := runDifferentialEngine(t, false, prog, in, global, local, localBytes)
-	outJ, statsJ := runDifferentialEngine(t, true, prog, in, global, local, localBytes)
-
-	if !bytes.Equal(outI, outJ) {
-		for i := range outI {
-			if outI[i] != outJ[i] {
-				t.Fatalf("guest memory diverged at out[%d]: interp %#x, jit %#x\nprogram:\n%s",
-					i, outI[i], outJ[i], prog.Disassemble())
+	outRef, statsRef := runDifferentialEngine(t, gpu.EngineInterp, prog, in, global, local, localBytes)
+	for _, eng := range []gpu.Engine{gpu.EngineJIT, gpu.EngineWarp} {
+		out, stats := runDifferentialEngine(t, eng, prog, in, global, local, localBytes)
+		if !bytes.Equal(outRef, out) {
+			for i := range outRef {
+				if outRef[i] != out[i] {
+					t.Fatalf("guest memory diverged at out[%d]: interp %#x, %v %#x\nprogram:\n%s",
+						i, outRef[i], eng, out[i], prog.Disassemble())
+				}
 			}
 		}
-	}
-	if statsI != statsJ {
-		t.Fatalf("stats diverged:\ninterp: %+v\njit:    %+v\nprogram:\n%s", statsI, statsJ, prog.Disassemble())
+		if statsRef != stats {
+			t.Fatalf("stats diverged:\ninterp: %+v\n%v: %+v\nprogram:\n%s", statsRef, eng, stats, prog.Disassemble())
+		}
 	}
 }
 
-// FuzzDifferentialJITInterp is the fuzz entry point. The seed corpus
-// doubles as the always-on regression suite: plain `go test` replays
-// every seed kernel under both engines.
-func FuzzDifferentialJITInterp(f *testing.F) {
-	for seed := uint64(0); seed < 24; seed++ {
+// FuzzDifferentialEngines is the fuzz entry point. The seed corpus doubles
+// as the always-on regression suite: plain `go test` replays every seed
+// kernel under all three engines. Seeds are chosen so every generator
+// feature combination — divergence inside warp-fused programs, partial
+// tail warps (lsz not a multiple of WarpSize), misaligned and
+// page-crossing LDG/STG — appears in the corpus.
+func FuzzDifferentialEngines(f *testing.F) {
+	for seed := uint64(0); seed < 32; seed++ {
 		f.Add(seed, uint8(seed*7), uint8(seed*3), uint8(16+seed))
 	}
 	f.Fuzz(func(t *testing.T, seed uint64, threadsSel, localSel, nALUSel uint8) {

@@ -115,6 +115,7 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 
 			ec := &execContext{
 				prog:     prog,
+				eng:      d.cfg.Engine,
 				uniforms: uniforms,
 				bus:      d.bus,
 				walker:   walker,

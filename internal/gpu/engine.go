@@ -1,0 +1,70 @@
+package gpu
+
+import "sync"
+
+// Engine selects the shader execution engine. All three engines implement
+// the same architectural contract — identical guest memory effects and
+// bit-identical statistics counters (the golden-stats files are the spec)
+// — and differ only in host-side speed (DESIGN.md §9).
+type Engine int
+
+const (
+	// EngineWarp (the default) compiles the straight-line body of each
+	// clause into one fused closure that executes a whole warp per call
+	// over SoA register files, with per-lane fallback to the walker /
+	// interpreter for memory system corner cases and rare operand shapes.
+	EngineWarp Engine = iota
+	// EngineJIT specialises each instruction into a per-lane closure with
+	// pre-resolved operand accessors (the paper's future-work JIT mode).
+	EngineJIT
+	// EngineInterp is the reference interpreter: a full opcode switch with
+	// operand decoding on every access.
+	EngineInterp
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineWarp:
+		return "warp"
+	case EngineJIT:
+		return "jit"
+	case EngineInterp:
+		return "interp"
+	}
+	return "unknown"
+}
+
+// ProgramCache is a content-keyed cache of decoded (and engine-compiled)
+// shader programs. A Device owns a private cache by default; sessions
+// forked from one snapshot share a cache (Config.Programs), so a warm pool
+// decodes and compiles each kernel binary exactly once.
+//
+// Entries are immutable once published except for the lazily compiled
+// engine artifacts (Program.jit / Program.warp), which are only written
+// under mu and never replaced once set; readers obtain the program through
+// the mutex before their exec goroutines start, which publishes the
+// artifact pointers race-free.
+type ProgramCache struct {
+	mu sync.Mutex
+	m  map[uint64]*Program
+}
+
+// NewProgramCache returns an empty program cache.
+func NewProgramCache() *ProgramCache {
+	return &ProgramCache{m: make(map[uint64]*Program)}
+}
+
+// compile ensures the artifact for the chosen engine exists. Callers must
+// hold the owning ProgramCache's mutex when the program is shared.
+func (p *Program) compile(eng Engine) {
+	switch eng {
+	case EngineJIT:
+		if p.jit == nil {
+			p.jit = jitCompile(p)
+		}
+	case EngineWarp:
+		if p.warp == nil {
+			p.warp = warpCompile(p)
+		}
+	}
+}

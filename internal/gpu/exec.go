@@ -86,13 +86,15 @@ type divFrame struct {
 	joinMask [WarpSize]bool
 }
 
-// warp is a quad of threads executing in lockstep.
+// warp is a quad of threads executing in lockstep. Register files are laid
+// out structure-of-arrays — one [WarpSize] row per register — so the fused
+// warp engine streams a whole warp's operands from one contiguous row.
 type warp struct {
 	lanes  int // live lanes (tail warps may be partial)
 	active [WarpSize]bool
 	exited [WarpSize]bool
-	regs   [WarpSize][NumGRF]uint64
-	temps  [WarpSize][NumTemp]uint64
+	regs   [NumGRF][WarpSize]uint64
+	temps  [NumTemp][WarpSize]uint64
 
 	gid [WarpSize][3]uint32
 	lid [WarpSize][3]uint32
@@ -124,6 +126,7 @@ func (w *warp) allExited() bool {
 // and worker: program, argument values, memory paths and stat shards.
 type execContext struct {
 	prog     *Program
+	eng      Engine // which engine artifact this worker may consult
 	uniforms []uint64
 	bus      *mem.Bus
 	walker   *mmu.Walker
@@ -232,8 +235,29 @@ func (e *execContext) execClause(w *warp) (warpStatus, error) {
 	}
 
 	next := ci + 1 // fallthrough
+
+	// Warp-batched fast path: one fused closure executes the whole
+	// straight-line body for all lanes, then the shared terminal handling
+	// applies the clause's control flow (skipped under tracing, which
+	// needs per-instruction visibility).
+	if e.eng == EngineWarp && e.prog.warp != nil && e.trace == nil {
+		wc := &e.prog.warp.clauses[ci]
+		if wc.body != nil {
+			if err := wc.body(e, w, act); err != nil {
+				return warpDone, err
+			}
+		}
+		if wc.term != nil {
+			return e.execTerminal(w, wc.term, next, blk, act)
+		}
+		return e.endFallthrough(w, next, blk, act)
+	}
+
 	for ii := range c.Instrs {
 		in := &c.Instrs[ii]
+		if IsClauseTerminal(in.Op) {
+			return e.execTerminal(w, in, next, blk, act)
+		}
 		switch Classify(in.Op) {
 		case ClassNop:
 			e.gs.NopInstr += act
@@ -242,123 +266,136 @@ func (e *execContext) execClause(w *warp) (warpStatus, error) {
 			e.gs.ArithInstr += act
 		case ClassLS:
 			e.gs.LSInstr += act
-		case ClassCF:
-			e.gs.CFInstr += act
 		}
 
-		switch in.Op {
-		case OpBARRIER:
-			// The guest-fence side of the barrier is issued once per
-			// generation at the rendezvous in runWorkgroup, not per warp:
-			// a per-warp RMW on the shared fence word would ping-pong its
-			// cache line across every core on barrier-heavy kernels.
-			if blk != nil {
-				blk.Terminator = "barrier"
-				blk.Out[e.clauseAddr(next)] += act
-			}
-			w.pc = next
-			return warpAtBarrier, nil
-
-		case OpRET:
-			for i := 0; i < w.lanes; i++ {
-				if w.active[i] && !w.exited[i] {
-					w.exited[i] = true
-					w.active[i] = false
-				}
-			}
-			if blk != nil {
-				blk.Terminator = "ret"
-				blk.ExitCount += act
-			}
-			w.pc = next
-			return warpDone, nil
-
-		case OpBR:
-			tgt := in.BranchTarget()
-			if blk != nil {
-				blk.Terminator = "br"
-				blk.Out[e.clauseAddr(tgt)] += act
-			}
-			w.pc = tgt
-			return warpRunning, nil
-
-		case OpBRC:
-			e.gs.Branches++
-			tgt, rejoin := in.BranchTarget(), in.Reconverge()
-			var taken, fall [WarpSize]bool
-			nTaken, nFall := 0, 0
-			for i := 0; i < w.lanes; i++ {
-				if !w.active[i] || w.exited[i] {
-					continue
-				}
-				if e.read(w, i, in.A, in) != 0 {
-					taken[i] = true
-					nTaken++
-				} else {
-					fall[i] = true
-					nFall++
-				}
-			}
-			if blk != nil {
-				blk.Terminator = "brc"
-				if nTaken > 0 {
-					blk.Out[e.clauseAddr(tgt)] += uint64(nTaken)
-				}
-				if nFall > 0 {
-					blk.Out[e.clauseAddr(next)] += uint64(nFall)
-				}
-			}
-			switch {
-			case nFall == 0:
-				w.pc = tgt
-			case nTaken == 0:
-				w.pc = next
-			default:
-				e.gs.DivergentBranches++
-				if blk != nil {
-					blk.Diverged++
-				}
-				w.stack = append(w.stack, divFrame{
-					rejoin:   rejoin,
-					pendPC:   tgt,
-					pendMask: taken,
-					joinMask: w.active,
-				})
-				w.active = fall
-				w.pc = next
-			}
-			return warpRunning, nil
-
-		default:
-			// JIT fast path: pre-specialised closure with operand
-			// accessors resolved at decode time (skipped under tracing).
-			if e.prog.jit != nil && e.trace == nil {
-				if op := e.prog.jit.clauses[ci][ii]; op != nil {
-					for i := 0; i < w.lanes; i++ {
-						if w.active[i] && !w.exited[i] {
-							if err := op(e, w, i); err != nil {
-								return warpDone, err
-							}
+		// JIT fast path: pre-specialised closure with operand accessors
+		// resolved at decode time (skipped under tracing).
+		if e.eng == EngineJIT && e.prog.jit != nil && e.trace == nil {
+			if op := e.prog.jit.clauses[ci][ii]; op != nil {
+				for i := 0; i < w.lanes; i++ {
+					if w.active[i] && !w.exited[i] {
+						if err := op(e, w, i); err != nil {
+							return warpDone, err
 						}
 					}
-					continue
 				}
+				continue
 			}
-			for i := 0; i < w.lanes; i++ {
-				if !w.active[i] || w.exited[i] {
-					continue
-				}
-				if err := e.execLane(w, i, in); err != nil {
-					return warpDone, err
-				}
+		}
+		for i := 0; i < w.lanes; i++ {
+			if !w.active[i] || w.exited[i] {
+				continue
+			}
+			if err := e.execLane(w, i, in); err != nil {
+				return warpDone, err
 			}
 		}
 	}
 
+	return e.endFallthrough(w, next, blk, act)
+}
+
+// endFallthrough closes a clause with no terminal instruction.
+func (e *execContext) endFallthrough(w *warp, next int, blk *stats.CFGBlock, act uint64) (warpStatus, error) {
 	if blk != nil {
 		blk.Terminator = "fallthrough"
 		blk.Out[e.clauseAddr(next)] += act
 	}
+	w.pc = next
+	return warpRunning, nil
+}
+
+// execTerminal applies a clause-terminal control-flow instruction. Both
+// the per-instruction engines and the fused warp path end clauses here, so
+// divergence, reconvergence-stack and CFG bookkeeping are engine-agnostic.
+func (e *execContext) execTerminal(w *warp, in *Instr, next int, blk *stats.CFGBlock, act uint64) (warpStatus, error) {
+	e.gs.CFInstr += act
+
+	switch in.Op {
+	case OpBARRIER:
+		// The guest-fence side of the barrier is issued once per
+		// generation at the rendezvous in runWorkgroup, not per warp:
+		// a per-warp RMW on the shared fence word would ping-pong its
+		// cache line across every core on barrier-heavy kernels.
+		if blk != nil {
+			blk.Terminator = "barrier"
+			blk.Out[e.clauseAddr(next)] += act
+		}
+		w.pc = next
+		return warpAtBarrier, nil
+
+	case OpRET:
+		for i := 0; i < w.lanes; i++ {
+			if w.active[i] && !w.exited[i] {
+				w.exited[i] = true
+				w.active[i] = false
+			}
+		}
+		if blk != nil {
+			blk.Terminator = "ret"
+			blk.ExitCount += act
+		}
+		w.pc = next
+		return warpDone, nil
+
+	case OpBR:
+		tgt := in.BranchTarget()
+		if blk != nil {
+			blk.Terminator = "br"
+			blk.Out[e.clauseAddr(tgt)] += act
+		}
+		w.pc = tgt
+		return warpRunning, nil
+
+	case OpBRC:
+		e.gs.Branches++
+		tgt, rejoin := in.BranchTarget(), in.Reconverge()
+		var taken, fall [WarpSize]bool
+		nTaken, nFall := 0, 0
+		for i := 0; i < w.lanes; i++ {
+			if !w.active[i] || w.exited[i] {
+				continue
+			}
+			if e.read(w, i, in.A, in) != 0 {
+				taken[i] = true
+				nTaken++
+			} else {
+				fall[i] = true
+				nFall++
+			}
+		}
+		if blk != nil {
+			blk.Terminator = "brc"
+			if nTaken > 0 {
+				blk.Out[e.clauseAddr(tgt)] += uint64(nTaken)
+			}
+			if nFall > 0 {
+				blk.Out[e.clauseAddr(next)] += uint64(nFall)
+			}
+		}
+		switch {
+		case nFall == 0:
+			w.pc = tgt
+		case nTaken == 0:
+			w.pc = next
+		default:
+			e.gs.DivergentBranches++
+			if blk != nil {
+				blk.Diverged++
+			}
+			w.stack = append(w.stack, divFrame{
+				rejoin:   rejoin,
+				pendPC:   tgt,
+				pendMask: taken,
+				joinMask: w.active,
+			})
+			w.active = fall
+			w.pc = next
+		}
+		return warpRunning, nil
+	}
+
+	// Unreachable: IsClauseTerminal admits exactly the four cases above.
 	w.pc = next
 	return warpRunning, nil
 }
@@ -382,10 +419,10 @@ func (e *execContext) read(w *warp, lane int, o uint8, in *Instr) uint64 {
 	switch kind {
 	case OperGRF:
 		e.gs.GRFRead++
-		return w.regs[lane][idx]
+		return w.regs[idx][lane]
 	case OperTemp:
 		e.gs.TempAcc++
-		return w.temps[lane][idx]
+		return w.temps[idx][lane]
 	case OperUniform:
 		e.gs.ConstRead++
 		if int(idx) < len(e.uniforms) {
@@ -426,10 +463,10 @@ func (e *execContext) write(w *warp, lane int, o uint8, v uint64) {
 	switch kind {
 	case OperGRF:
 		e.gs.GRFWrite++
-		w.regs[lane][idx] = v
+		w.regs[idx][lane] = v
 	case OperTemp:
 		e.gs.TempAcc++
-		w.temps[lane][idx] = v
+		w.temps[idx][lane] = v
 	}
 }
 

@@ -40,13 +40,13 @@ func compileReader(o uint8, imm uint32, prog *Program) readFn {
 		i := int(idx)
 		return func(e *execContext, w *warp, lane int) uint64 {
 			e.gs.GRFRead++
-			return w.regs[lane][i]
+			return w.regs[i][lane]
 		}
 	case OperTemp:
 		i := int(idx)
 		return func(e *execContext, w *warp, lane int) uint64 {
 			e.gs.TempAcc++
-			return w.temps[lane][i]
+			return w.temps[i][lane]
 		}
 	case OperUniform:
 		i := int(idx)
@@ -108,13 +108,13 @@ func compileWriter(o uint8) writeFn {
 		i := int(idx)
 		return func(e *execContext, w *warp, lane int, v uint64) {
 			e.gs.GRFWrite++
-			w.regs[lane][i] = v
+			w.regs[i][lane] = v
 		}
 	case OperTemp:
 		i := int(idx)
 		return func(e *execContext, w *warp, lane int, v uint64) {
 			e.gs.TempAcc++
-			w.temps[lane][i] = v
+			w.temps[i][lane] = v
 		}
 	default:
 		return func(*execContext, *warp, int, uint64) {}

@@ -10,7 +10,7 @@ import (
 // jitConfig enables the closure-JIT execution mode.
 func jitConfig() gpu.Config {
 	cfg := gpu.DefaultConfig()
-	cfg.JITClauses = true
+	cfg.Engine = gpu.EngineJIT
 	return cfg
 }
 

@@ -1,0 +1,606 @@
+package gpu
+
+import (
+	"mobilesim/internal/mem"
+	"mobilesim/internal/stats"
+)
+
+// Warp-batched shader execution — the third engine tier (DESIGN.md §9).
+// Where the closure JIT still dispatches one closure per instruction per
+// lane, this engine fuses the whole straight-line body of a clause into a
+// single closure that executes all WarpSize lanes per call over the SoA
+// register files, so per-instruction dispatch and mask checks amortise
+// across the warp. Hot operand shapes (register/register, register/
+// warp-uniform) compile to dedicated allocation-free variants; everything
+// else — lane-varying specials, accumulator forms with exotic operands,
+// unknown opcodes — falls back to a per-lane loop around the existing
+// closure-JIT accessors or the interpreter, which keeps the counter and
+// fault semantics bit-identical by construction.
+//
+// Counter contract: the interpreter bumps the class counter once per
+// instruction (scaled by the clause's active-lane count) before touching
+// lanes, and operand counters per lane access. ALU instructions cannot
+// fault, so their per-lane operand bumps are hoisted to one bulk add per
+// warp — same totals at every observable point. Memory instructions CAN
+// fault and abort the warp mid-instruction, so all their counters stay
+// per-lane, interleaved with the walker calls exactly as the interpreter
+// interleaves them.
+
+// warpFn executes a fused straight-line clause body for one whole warp.
+// act is the clause's active-lane count — constant through the body, since
+// masks only change at clause terminals and lanes only exit at RET.
+type warpFn func(e *execContext, w *warp, act uint64) error
+
+// warpClause is one compiled clause: the fused body of its straight-line
+// prefix plus the clause-terminal control-flow instruction (nil =
+// fallthrough). Slots after the first terminal are dead in every engine.
+type warpClause struct {
+	body warpFn
+	term *Instr
+}
+
+// warpProgram mirrors Program.Clauses with one warpClause each.
+type warpProgram struct {
+	clauses []warpClause
+}
+
+// warpCompile fuses every clause of a program.
+func warpCompile(p *Program) *warpProgram {
+	wp := &warpProgram{clauses: make([]warpClause, len(p.Clauses))}
+	for ci := range p.Clauses {
+		c := &p.Clauses[ci]
+		wc := &wp.clauses[ci]
+		var ops []warpFn
+		for ii := range c.Instrs {
+			in := &c.Instrs[ii]
+			if IsClauseTerminal(in.Op) {
+				wc.term = in
+				break
+			}
+			ops = append(ops, compileWarpOp(in, p))
+		}
+		wc.body = fuseWarpOps(ops)
+	}
+	return wp
+}
+
+// fuseWarpOps left-folds per-instruction warp closures into one body.
+func fuseWarpOps(ops []warpFn) warpFn {
+	switch len(ops) {
+	case 0:
+		return nil
+	case 1:
+		return ops[0]
+	}
+	f := ops[0]
+	for _, op := range ops[1:] {
+		prev, next := f, op
+		f = func(e *execContext, w *warp, act uint64) error {
+			if err := prev(e, w, act); err != nil {
+				return err
+			}
+			return next(e, w, act)
+		}
+	}
+	return f
+}
+
+// compileWarpOp compiles one non-terminal instruction into a warp closure.
+func compileWarpOp(in *Instr, p *Program) warpFn {
+	switch Classify(in.Op) {
+	case ClassNop:
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.NopInstr += act
+			return nil
+		}
+	case ClassLS:
+		return compileWarpMem(in, p)
+	}
+	if bf, ok := binFns[in.Op]; ok {
+		return compileWarpBin(bf, in, p)
+	}
+	if uf, ok := unFns[in.Op]; ok {
+		return compileWarpUn(uf, in, p)
+	}
+	switch in.Op {
+	case OpFMA:
+		return compileWarpAcc(in, p, func(acc, a, b uint64) uint64 {
+			return fbits(f32(acc) + f32(a)*f32(b))
+		})
+	case OpSEL:
+		return compileWarpAcc(in, p, func(acc, a, b uint64) uint64 {
+			if acc != 0 {
+				return a
+			}
+			return b
+		})
+	}
+	// Unknown opcode: defer to the interpreter for the exact error.
+	return warpLaneInterp(in)
+}
+
+// --- Operand shapes ---------------------------------------------------------
+
+// bumpFn adds n operand accesses to a stats counter.
+type bumpFn func(gs *stats.GPUStats, n uint64)
+
+func bumpNone(*stats.GPUStats, uint64)           {}
+func bumpGRFRead(gs *stats.GPUStats, n uint64)   { gs.GRFRead += n }
+func bumpGRFWrite(gs *stats.GPUStats, n uint64)  { gs.GRFWrite += n }
+func bumpTempAcc(gs *stats.GPUStats, n uint64)   { gs.TempAcc += n }
+func bumpConstRead(gs *stats.GPUStats, n uint64) { gs.ConstRead += n }
+func bumpROMRead(gs *stats.GPUStats, n uint64)   { gs.ROMRead += n }
+
+// vecSrc is a lane-varying register-file operand resolved to an SoA row.
+type vecSrc struct {
+	idx  int
+	temp bool
+	bump bumpFn
+}
+
+func (v vecSrc) rowOf(w *warp) *[WarpSize]uint64 {
+	if v.temp {
+		return &w.temps[v.idx]
+	}
+	return &w.regs[v.idx]
+}
+
+// compileVecSrc resolves a GRF/clause-temp source operand.
+func compileVecSrc(o uint8) (vecSrc, bool) {
+	kind, idx := OperKind(o)
+	switch kind {
+	case OperGRF:
+		return vecSrc{idx: int(idx), bump: bumpGRFRead}, true
+	case OperTemp:
+		return vecSrc{idx: int(idx), temp: true, bump: bumpTempAcc}, true
+	}
+	return vecSrc{}, false
+}
+
+// compileVecDst resolves a GRF/clause-temp destination operand.
+func compileVecDst(o uint8) (vecSrc, bool) {
+	kind, idx := OperKind(o)
+	switch kind {
+	case OperGRF:
+		return vecSrc{idx: int(idx), bump: bumpGRFWrite}, true
+	case OperTemp:
+		return vecSrc{idx: int(idx), temp: true, bump: bumpTempAcc}, true
+	}
+	return vecSrc{}, false
+}
+
+// uniSrc is a warp-uniform source: the same value for every lane of a
+// clause (immediates, ROM, uniforms, workgroup-level specials). It is read
+// once per warp, but its operand counter still counts one access per
+// active lane, as the per-lane engines do.
+type uniSrc struct {
+	val  func(e *execContext) uint64
+	bump bumpFn
+}
+
+func compileUniSrc(o uint8, imm uint32, p *Program) (uniSrc, bool) {
+	kind, idx := OperKind(o)
+	switch kind {
+	case OperGRF, OperTemp:
+		return uniSrc{}, false
+	case OperUniform:
+		i := int(idx)
+		return uniSrc{val: func(e *execContext) uint64 {
+			if i < len(e.uniforms) {
+				return e.uniforms[i]
+			}
+			return 0
+		}, bump: bumpConstRead}, true
+	}
+	switch idx {
+	case SpecImm:
+		v := uint64(imm)
+		return uniSrc{val: func(*execContext) uint64 { return v }, bump: bumpROMRead}, true
+	case SpecROM:
+		var v uint64
+		if int(imm) < len(p.ROM) {
+			v = p.ROM[imm]
+		}
+		return uniSrc{val: func(*execContext) uint64 { return v }, bump: bumpROMRead}, true
+	case SpecZero:
+		return uniSrc{val: func(*execContext) uint64 { return 0 }, bump: bumpNone}, true
+	case SpecGIDX, SpecGIDY, SpecGIDZ, SpecLIDX, SpecLIDY, SpecLIDZ:
+		// Lane-varying specials: not warp-uniform.
+		return uniSrc{}, false
+	case SpecWGIDX, SpecWGIDY, SpecWGIDZ:
+		d := int(idx - SpecWGIDX)
+		return uniSrc{val: func(e *execContext) uint64 { return uint64(e.wgid[d]) }, bump: bumpNone}, true
+	case SpecGSZX, SpecGSZY, SpecGSZZ:
+		d := int(idx - SpecGSZX)
+		return uniSrc{val: func(e *execContext) uint64 { return uint64(e.gsz[d]) }, bump: bumpNone}, true
+	case SpecLSZX, SpecLSZY, SpecLSZZ:
+		d := int(idx - SpecLSZX)
+		return uniSrc{val: func(e *execContext) uint64 { return uint64(e.lsz[d]) }, bump: bumpNone}, true
+	}
+	// Undefined dense specials read as zero with no counter, as read() does.
+	return uniSrc{val: func(*execContext) uint64 { return 0 }, bump: bumpNone}, true
+}
+
+// --- ALU --------------------------------------------------------------------
+
+func compileWarpBin(f func(a, b uint64) uint64, in *Instr, p *Program) warpFn {
+	d, dok := compileVecDst(in.Dst)
+	if !dok {
+		return warpLaneInterp(in)
+	}
+	av, aok := compileVecSrc(in.A)
+	bv, bok := compileVecSrc(in.B)
+	switch {
+	case aok && bok:
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.ArithInstr += act
+			av.bump(e.gs, act)
+			bv.bump(e.gs, act)
+			d.bump(e.gs, act)
+			ar, br, dr := av.rowOf(w), bv.rowOf(w), d.rowOf(w)
+			if int(act) == w.lanes {
+				for l := 0; l < w.lanes; l++ {
+					dr[l] = f(ar[l], br[l])
+				}
+				return nil
+			}
+			for l := 0; l < w.lanes; l++ {
+				if w.active[l] && !w.exited[l] {
+					dr[l] = f(ar[l], br[l])
+				}
+			}
+			return nil
+		}
+	case aok:
+		bu, ok := compileUniSrc(in.B, in.Imm, p)
+		if !ok {
+			return warpLaneInterp(in)
+		}
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.ArithInstr += act
+			av.bump(e.gs, act)
+			bu.bump(e.gs, act)
+			d.bump(e.gs, act)
+			b := bu.val(e)
+			ar, dr := av.rowOf(w), d.rowOf(w)
+			if int(act) == w.lanes {
+				for l := 0; l < w.lanes; l++ {
+					dr[l] = f(ar[l], b)
+				}
+				return nil
+			}
+			for l := 0; l < w.lanes; l++ {
+				if w.active[l] && !w.exited[l] {
+					dr[l] = f(ar[l], b)
+				}
+			}
+			return nil
+		}
+	case bok:
+		au, ok := compileUniSrc(in.A, in.Imm, p)
+		if !ok {
+			return warpLaneInterp(in)
+		}
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.ArithInstr += act
+			au.bump(e.gs, act)
+			bv.bump(e.gs, act)
+			d.bump(e.gs, act)
+			a := au.val(e)
+			br, dr := bv.rowOf(w), d.rowOf(w)
+			if int(act) == w.lanes {
+				for l := 0; l < w.lanes; l++ {
+					dr[l] = f(a, br[l])
+				}
+				return nil
+			}
+			for l := 0; l < w.lanes; l++ {
+				if w.active[l] && !w.exited[l] {
+					dr[l] = f(a, br[l])
+				}
+			}
+			return nil
+		}
+	default:
+		au, okA := compileUniSrc(in.A, in.Imm, p)
+		bu, okB := compileUniSrc(in.B, in.Imm, p)
+		if !okA || !okB {
+			return warpLaneInterp(in)
+		}
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.ArithInstr += act
+			au.bump(e.gs, act)
+			bu.bump(e.gs, act)
+			d.bump(e.gs, act)
+			r := f(au.val(e), bu.val(e))
+			dr := d.rowOf(w)
+			for l := 0; l < w.lanes; l++ {
+				if w.active[l] && !w.exited[l] {
+					dr[l] = r
+				}
+			}
+			return nil
+		}
+	}
+}
+
+func compileWarpUn(f func(a uint64) uint64, in *Instr, p *Program) warpFn {
+	d, dok := compileVecDst(in.Dst)
+	if !dok {
+		return warpLaneInterp(in)
+	}
+	if av, ok := compileVecSrc(in.A); ok {
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.ArithInstr += act
+			av.bump(e.gs, act)
+			d.bump(e.gs, act)
+			ar, dr := av.rowOf(w), d.rowOf(w)
+			if int(act) == w.lanes {
+				for l := 0; l < w.lanes; l++ {
+					dr[l] = f(ar[l])
+				}
+				return nil
+			}
+			for l := 0; l < w.lanes; l++ {
+				if w.active[l] && !w.exited[l] {
+					dr[l] = f(ar[l])
+				}
+			}
+			return nil
+		}
+	}
+	if au, ok := compileUniSrc(in.A, in.Imm, p); ok {
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.ArithInstr += act
+			au.bump(e.gs, act)
+			d.bump(e.gs, act)
+			r := f(au.val(e))
+			dr := d.rowOf(w)
+			for l := 0; l < w.lanes; l++ {
+				if w.active[l] && !w.exited[l] {
+					dr[l] = r
+				}
+			}
+			return nil
+		}
+	}
+	return warpLaneInterp(in)
+}
+
+// compileWarpAcc handles the accumulator forms (FMA, SEL): the destination
+// is read as a third source before being written, and the interpreter
+// counts that read with the destination operand's read counter.
+func compileWarpAcc(in *Instr, p *Program, f func(acc, a, b uint64) uint64) warpFn {
+	d, dok := compileVecDst(in.Dst)
+	acc, aok2 := compileVecSrc(in.Dst)
+	av, aok := compileVecSrc(in.A)
+	bv, bok := compileVecSrc(in.B)
+	if !dok || !aok2 {
+		return warpLaneInterp(in)
+	}
+	au, auok := compileUniSrc(in.A, in.Imm, p)
+	bu, buok := compileUniSrc(in.B, in.Imm, p)
+	if (!aok && !auok) || (!bok && !buok) {
+		return warpLaneInterp(in)
+	}
+	return func(e *execContext, w *warp, act uint64) error {
+		e.gs.ArithInstr += act
+		if aok {
+			av.bump(e.gs, act)
+		} else {
+			au.bump(e.gs, act)
+		}
+		if bok {
+			bv.bump(e.gs, act)
+		} else {
+			bu.bump(e.gs, act)
+		}
+		acc.bump(e.gs, act)
+		d.bump(e.gs, act)
+		var aRow, bRow *[WarpSize]uint64
+		var aVal, bVal uint64
+		if aok {
+			aRow = av.rowOf(w)
+		} else {
+			aVal = au.val(e)
+		}
+		if bok {
+			bRow = bv.rowOf(w)
+		} else {
+			bVal = bu.val(e)
+		}
+		dr := d.rowOf(w)
+		for l := 0; l < w.lanes; l++ {
+			if !w.active[l] || w.exited[l] {
+				continue
+			}
+			a, b := aVal, bVal
+			if aRow != nil {
+				a = aRow[l]
+			}
+			if bRow != nil {
+				b = bRow[l]
+			}
+			dr[l] = f(dr[l], a, b)
+		}
+		return nil
+	}
+}
+
+// --- Memory -----------------------------------------------------------------
+
+// compileWarpMem fuses a load/store into a per-lane loop over the walker
+// fast path. Counters and the walker call stay per-lane and in interpreter
+// order, so a faulting lane aborts with identical totals; the walker
+// itself falls back internally for MMIO, page-crossing and faulting
+// accesses, which is what keeps TLB hit/walk counts bit-identical.
+func compileWarpMem(in *Instr, p *Program) warpFn {
+	imm := uint64(int64(int32(in.Imm)))
+	switch in.Op {
+	case OpLDG, OpLDG64, OpLDGB:
+		size := 4
+		switch in.Op {
+		case OpLDG64:
+			size = 8
+		case OpLDGB:
+			size = 1
+		}
+		av, aok := compileVecSrc(in.A)
+		d, dok := compileVecDst(in.Dst)
+		if !aok || !dok {
+			return warpWrapJit(compileMem(in, p), ClassLS)
+		}
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.LSInstr += act
+			ar, dr := av.rowOf(w), d.rowOf(w)
+			for l := 0; l < w.lanes; l++ {
+				if !w.active[l] || w.exited[l] {
+					continue
+				}
+				av.bump(e.gs, 1)
+				e.gs.GlobalLS++
+				e.gs.MainMemAcc++
+				v, err := e.walker.Load(ar[l]+imm, size, mem.Read)
+				if err != nil {
+					return err
+				}
+				d.bump(e.gs, 1)
+				dr[l] = v
+			}
+			return nil
+		}
+
+	case OpSTG, OpSTG64, OpSTGB:
+		size := 4
+		switch in.Op {
+		case OpSTG64:
+			size = 8
+		case OpSTGB:
+			size = 1
+		}
+		av, aok := compileVecSrc(in.A)
+		bv, bok := compileVecSrc(in.B)
+		if !aok || !bok {
+			return warpWrapJit(compileMem(in, p), ClassLS)
+		}
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.LSInstr += act
+			ar, br := av.rowOf(w), bv.rowOf(w)
+			for l := 0; l < w.lanes; l++ {
+				if !w.active[l] || w.exited[l] {
+					continue
+				}
+				av.bump(e.gs, 1)
+				bv.bump(e.gs, 1)
+				e.gs.GlobalLS++
+				e.gs.MainMemAcc++
+				if err := e.walker.Store(ar[l]+imm, size, br[l]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+	case OpLDL:
+		av, aok := compileVecSrc(in.A)
+		d, dok := compileVecDst(in.Dst)
+		if !aok || !dok {
+			return warpWrapJit(compileMem(in, p), ClassLS)
+		}
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.LSInstr += act
+			ar, dr := av.rowOf(w), d.rowOf(w)
+			for l := 0; l < w.lanes; l++ {
+				if !w.active[l] || w.exited[l] {
+					continue
+				}
+				av.bump(e.gs, 1)
+				e.gs.LocalLS++
+				e.gs.LocalAcc++
+				v, err := e.local.load(ar[l] + imm)
+				if err != nil {
+					return err
+				}
+				d.bump(e.gs, 1)
+				dr[l] = uint64(v)
+			}
+			return nil
+		}
+
+	case OpSTL:
+		av, aok := compileVecSrc(in.A)
+		bv, bok := compileVecSrc(in.B)
+		if !aok || !bok {
+			return warpWrapJit(compileMem(in, p), ClassLS)
+		}
+		return func(e *execContext, w *warp, act uint64) error {
+			e.gs.LSInstr += act
+			ar, br := av.rowOf(w), bv.rowOf(w)
+			for l := 0; l < w.lanes; l++ {
+				if !w.active[l] || w.exited[l] {
+					continue
+				}
+				av.bump(e.gs, 1)
+				bv.bump(e.gs, 1)
+				e.gs.LocalLS++
+				e.gs.LocalAcc++
+				if err := e.local.store(ar[l]+imm, uint32(br[l])); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return warpLaneInterp(in)
+}
+
+// --- Fallbacks --------------------------------------------------------------
+
+// warpWrapJit lifts a per-lane closure-JIT op to a warp closure.
+func warpWrapJit(op jitOp, cls Class) warpFn {
+	if op == nil {
+		return nil
+	}
+	return func(e *execContext, w *warp, act uint64) error {
+		switch cls {
+		case ClassArith:
+			e.gs.ArithInstr += act
+		case ClassLS:
+			e.gs.LSInstr += act
+		case ClassNop:
+			e.gs.NopInstr += act
+		}
+		for l := 0; l < w.lanes; l++ {
+			if w.active[l] && !w.exited[l] {
+				if err := op(e, w, l); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// warpLaneInterp lifts the interpreter to a warp closure for shapes the
+// fused variants do not specialise, preserving errors and counters.
+func warpLaneInterp(in *Instr) warpFn {
+	cls := Classify(in.Op)
+	return func(e *execContext, w *warp, act uint64) error {
+		switch cls {
+		case ClassArith:
+			e.gs.ArithInstr += act
+		case ClassLS:
+			e.gs.LSInstr += act
+		case ClassNop:
+			e.gs.NopInstr += act
+		}
+		for l := 0; l < w.lanes; l++ {
+			if w.active[l] && !w.exited[l] {
+				if err := e.execLane(w, l, in); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}

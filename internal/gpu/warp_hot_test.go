@@ -1,0 +1,159 @@
+package gpu
+
+import (
+	"testing"
+
+	"mobilesim/internal/mem"
+	"mobilesim/internal/mmu"
+	"mobilesim/internal/stats"
+)
+
+// In-package pins for the fused warp hot path, mirroring the MMU's
+// TestSharedLoadHitPathZeroAllocs/BenchmarkSharedWalkerLoadHit pair: the
+// steady-state fused clause — ALU rows plus TLB-hit LDG/STG — must not
+// touch the heap, and the micro-benchmark puts a per-clause number on
+// each engine tier.
+
+// hotProgram is a straight-line two-clause kernel whose every slot takes
+// a fused warp closure: vector ALU (including the FMA/SEL accumulator
+// forms), an immediate-shift, and a TLB-hit LDG/STG pair.
+func hotProgram() *Program {
+	p := &Program{RegCount: 16, Clauses: []Clause{
+		{Instrs: []Instr{
+			{Op: OpIADD, Dst: R(8), A: R(1), B: R(2)},
+			{Op: OpIMUL, Dst: R(9), A: R(8), B: R(1)},
+			{Op: OpXOR, Dst: R(8), A: R(9), B: R(2)},
+			{Op: OpSHL, Dst: R(10), A: R(8), B: Imm, Imm: 3},
+			{Op: OpIADD, Dst: R(8), A: R(10), B: R(9)},
+			{Op: OpFMA, Dst: R(11), A: R(8), B: R(9)},
+		}},
+		{Instrs: []Instr{
+			{Op: OpLDG, Dst: R(12), A: R(4)},
+			{Op: OpSTG, A: R(5), B: R(12)},
+			{Op: OpIADD, Dst: R(8), A: R(8), B: R(12)},
+			{Op: OpSEL, Dst: R(13), A: R(8), B: R(9)},
+		}},
+	}}
+	for i := range p.Clauses {
+		p.Clauses[i].Addr = uint64(i) * 0x10
+	}
+	return p
+}
+
+// newHotContext builds a minimal execution rig — bus, identity-style
+// address space, shared walker — and a full warp with per-lane load/store
+// addresses already primed in the TLB.
+func newHotContext(tb testing.TB) (*execContext, *warp, *Program) {
+	tb.Helper()
+	bus := mem.NewBus(mem.NewRAM(0, 16<<20))
+	alloc, err := mem.NewPageAllocator(1<<20, 8<<20)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	as, err := mmu.NewAddressSpace(bus, alloc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	const va = 0x10000
+	if err := as.MapRange(va, 0x0020_0000, 2*mem.PageSize, mmu.PermR|mmu.PermW); err != nil {
+		tb.Fatal(err)
+	}
+	walker := mmu.NewSharedWalker(bus)
+	walker.SetRoot(as.Root())
+	walker.ResetTouched()
+
+	w := &warp{lanes: WarpSize}
+	for l := 0; l < WarpSize; l++ {
+		w.active[l] = true
+		w.regs[1][l] = uint64(3 + l)
+		w.regs[2][l] = uint64(17 * (l + 1))
+		w.regs[4][l] = va + uint64(l)*64
+		w.regs[5][l] = va + 4096 + uint64(l)*64
+		// Prime the walker so the measured loop stays on the TLB-hit path.
+		if _, err := walker.Load(w.regs[4][l], 4, mem.Read); err != nil {
+			tb.Fatal(err)
+		}
+		if err := walker.Store(w.regs[5][l], 4, 0); err != nil {
+			tb.Fatal(err)
+		}
+	}
+
+	p := hotProgram()
+	p.compile(EngineJIT)
+	p.compile(EngineWarp)
+	ec := &execContext{
+		prog:   p,
+		eng:    EngineWarp,
+		bus:    bus,
+		walker: walker,
+		gs:     &stats.GPUStats{},
+		gsz:    [3]uint32{WarpSize, 1, 1},
+		lsz:    [3]uint32{WarpSize, 1, 1},
+	}
+	return ec, w, p
+}
+
+// runHotClauses executes the whole program once through execClause,
+// starting from clause 0.
+func runHotClauses(tb testing.TB, ec *execContext, w *warp) {
+	w.pc = 0
+	for ci := 0; ci < len(ec.prog.Clauses); ci++ {
+		if _, err := ec.execClause(w); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// TestWarpFusedClausesZeroAllocs pins the fused warp path — ALU rows,
+// accumulator forms and TLB-hit global load/store — to zero heap
+// allocations per clause chain.
+func TestWarpFusedClausesZeroAllocs(t *testing.T) {
+	ec, w, _ := newHotContext(t)
+	runHotClauses(t, ec, w) // warm up once
+	allocs := testing.AllocsPerRun(1000, func() {
+		runHotClauses(t, ec, w)
+	})
+	if allocs != 0 {
+		t.Errorf("fused warp clause chain allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestWarpFusedClausesMatchInterp cross-checks the in-package rig itself:
+// the fused closures and the interpreter must leave identical registers
+// and statistics from identical starting state.
+func TestWarpFusedClausesMatchInterp(t *testing.T) {
+	run := func(eng Engine) ([NumGRF][WarpSize]uint64, stats.GPUStats) {
+		ec, w, _ := newHotContext(t)
+		ec.eng = eng
+		runHotClauses(t, ec, w)
+		return w.regs, *ec.gs
+	}
+	regsI, gsI := run(EngineInterp)
+	regsW, gsW := run(EngineWarp)
+	regsJ, gsJ := run(EngineJIT)
+	if regsI != regsW || gsI != gsW {
+		t.Errorf("warp engine diverges from interpreter:\ninterp regs %v stats %+v\nwarp   regs %v stats %+v",
+			regsI, gsI, regsW, gsW)
+	}
+	if regsI != regsJ || gsI != gsJ {
+		t.Errorf("jit engine diverges from interpreter")
+	}
+}
+
+// BenchmarkWarpClauseEngines measures the per-clause-chain cost of each
+// engine tier on the same fused-friendly kernel (companion to the
+// session-level AblationGPUJIT benchmark).
+func BenchmarkWarpClauseEngines(b *testing.B) {
+	for _, eng := range []Engine{EngineInterp, EngineJIT, EngineWarp} {
+		b.Run(eng.String(), func(b *testing.B) {
+			ec, w, _ := newHotContext(b)
+			ec.eng = eng
+			runHotClauses(b, ec, w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runHotClauses(b, ec, w)
+			}
+		})
+	}
+}

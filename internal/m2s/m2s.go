@@ -36,6 +36,7 @@ import (
 // the same surface the workloads need, so benchmarks can run unmodified on
 // either stack.
 type Context struct {
+	ram   *mem.RAM
 	bus   *mem.Bus
 	alloc *mem.PageAllocator
 	intc  *irq.Controller
@@ -93,7 +94,8 @@ func New(ramSize uint64, gpuCfg gpu.Config) (*Context, error) {
 	if ramSize == 0 {
 		ramSize = 512 << 20
 	}
-	bus := mem.NewBus(mem.NewRAM(ramBase, ramSize))
+	ram := mem.AcquireRAM(ramBase, ramSize)
+	bus := mem.NewBus(ram)
 	alloc, err := mem.NewPageAllocator(ramBase+(1<<20), ramSize-(1<<20))
 	if err != nil {
 		return nil, err
@@ -106,7 +108,7 @@ func New(ramSize uint64, gpuCfg gpu.Config) (*Context, error) {
 	core := cpu.NewCore(0, bus, intc)
 	core.SetEngine(cpu.EngineInterp)
 
-	c := &Context{bus: bus, alloc: alloc, intc: intc, dev: dev, core: core}
+	c := &Context{ram: ram, bus: bus, alloc: alloc, intc: intc, dev: dev, core: core}
 
 	// Load the runtime's copy loop.
 	prog, err := assembleMemcpy()
@@ -135,8 +137,18 @@ func New(ramSize uint64, gpuCfg gpu.Config) (*Context, error) {
 	return c, nil
 }
 
-// Close stops the device.
-func (c *Context) Close() { c.dev.Close() }
+// Close stops the device and recycles main memory (see mem.AcquireRAM):
+// everything the run dirtied lies below the page allocator's high
+// watermark (the memcpy routine and staging area sit below the 1 MiB
+// heap base, which is always scrubbed too).
+func (c *Context) Close() {
+	c.dev.Close()
+	dirty := uint64(1 << 20)
+	if hw := c.alloc.HighWater(); hw > dirty {
+		dirty = hw
+	}
+	c.ram.Recycle(dirty)
+}
 
 // Device exposes the underlying GPU (for statistics).
 func (c *Context) Device() *gpu.Device { return c.dev }

@@ -90,6 +90,16 @@ func TestStoreContentionOvercommit(t *testing.T) {
 func TestStoreContentionJIT(t *testing.T) {
 	cfg := gpu.DefaultConfig()
 	cfg.HostThreads = 8
-	cfg.JITClauses = true
+	cfg.Engine = gpu.EngineJIT
+	runStoreContention(t, New(t, cfg), 5)
+}
+
+// TestStoreContentionInterp pins the reference interpreter explicitly (the
+// device default is the warp engine, which the other contention tests
+// already cover).
+func TestStoreContentionInterp(t *testing.T) {
+	cfg := gpu.DefaultConfig()
+	cfg.HostThreads = 8
+	cfg.Engine = gpu.EngineInterp
 	runStoreContention(t, New(t, cfg), 5)
 }

@@ -8,6 +8,7 @@ import (
 	"mobilesim/internal/cl"
 	"mobilesim/internal/gpu"
 	"mobilesim/internal/platform"
+	"mobilesim/internal/stats"
 )
 
 // Golden statistics regression test. The paper's Table II/III counters
@@ -115,6 +116,62 @@ func collectGoldenStats(t *testing.T, name string) goldenStats {
 		Pages:      sys.PagesAccessed,
 		Jobs:       sys.ComputeJobs,
 		Threads:    gs.Threads,
+	}
+}
+
+// TestGoldenStatsEngineInvariance pins the exact-counter contract across
+// the three execution engines on real workloads: the full GPU and system
+// statistics records of the closure-JIT and warp-batched engines must be
+// bit-identical to the interpreter's at the reference HostThreads. (The
+// windowed golden table above runs under the default — warp — engine, so
+// together the two tests tie all three engines to the pinned goldens
+// without any per-engine golden files.)
+func TestGoldenStatsEngineInvariance(t *testing.T) {
+	for _, name := range []string{"SobelFilter", "Reduction", "BitonicSort"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run := func(eng gpu.Engine) (stats.GPUStats, stats.SystemStats) {
+				spec, err := ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gcfg := gpu.DefaultConfig()
+				gcfg.HostThreads = goldenHostThreads
+				gcfg.Engine = eng
+				p, err := platform.New(platform.Config{RAMSize: 256 << 20, GPU: gcfg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				c, err := cl.NewContext(p, "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := spec.Make(spec.SmallScale).Run(bg, c, name, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Verified {
+					t.Fatalf("%s under %v: not verified: %v", name, eng, res.VerifyErr)
+				}
+				gs, sys := p.GPU.Stats()
+				// Control-register traffic counts driver polling, which is
+				// host-timing dependent and engine-independent.
+				sys.CtrlRegReads, sys.CtrlRegWrites = 0, 0
+				return gs, sys
+			}
+			gsRef, sysRef := run(gpu.EngineInterp)
+			for _, eng := range []gpu.Engine{gpu.EngineJIT, gpu.EngineWarp} {
+				gs, sys := run(eng)
+				if gs != gsRef {
+					t.Errorf("GPU stats diverged under %v:\ninterp: %+v\n%v: %+v", eng, gsRef, eng, gs)
+				}
+				if sys != sysRef {
+					t.Errorf("system stats diverged under %v:\ninterp: %+v\n%v: %+v", eng, sysRef, eng, sys)
+				}
+			}
+		})
 	}
 }
 

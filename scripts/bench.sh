@@ -12,7 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 pr="${1:?usage: scripts/bench.sh <pr-number> [bench-regex]}"
-regex="${2:-^(BenchmarkFig|BenchmarkAblation|BenchmarkTable|BenchmarkColdBoot|BenchmarkSnapshotFork)}"
+regex="${2:-^(BenchmarkFig|BenchmarkAblation|BenchmarkTable|BenchmarkColdBoot|BenchmarkSnapshotFork|BenchmarkWarpClauseEngines)}"
 benchtime="${BENCHTIME:-3x}"
 
 tmp="$(mktemp)"
@@ -20,5 +20,9 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "$regex" -benchmem -benchtime "$benchtime" \
     -timeout 60m . | tee "$tmp"
+# The per-clause engine micro-benchmark lives in the GPU package; a fixed
+# high iteration count keeps the ns/op numbers comparable across PRs.
+go test -run '^$' -bench '^BenchmarkWarpClauseEngines$' -benchmem \
+    -benchtime 200000x -timeout 10m ./internal/gpu/ | tee -a "$tmp"
 go run ./cmd/benchjson < "$tmp" > "BENCH_${pr}.json"
 echo "wrote BENCH_${pr}.json"

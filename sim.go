@@ -87,8 +87,17 @@ type Config struct {
 	// divergence annotations (Fig 6), at the cost of a map update per
 	// clause execution.
 	CollectCFG bool
-	// JITClauses enables closure-JIT shader execution (the paper's
-	// future-work mode).
+	// GPUEngine selects the shader execution engine: GPUEngineWarp (the
+	// default for an empty string — warp-batched fused clauses),
+	// GPUEngineJIT (per-lane closure JIT) or GPUEngineInterp (the
+	// reference interpreter). The engines are observationally identical —
+	// bit-identical statistics and guest memory — and differ only in host
+	// speed, so the choice is a host-side knob like HostThreads.
+	GPUEngine string
+	// JITClauses enables closure-JIT shader execution.
+	//
+	// Deprecated: use GPUEngine = GPUEngineJIT. Ignored when GPUEngine is
+	// set.
 	JITClauses bool
 	// DisableDecodeCache turns off shader decode caching (§III-B3).
 	// Only useful for ablation studies.
@@ -98,6 +107,25 @@ type Config struct {
 	// Batch's default — the writer is shared too and must be safe for
 	// concurrent use.
 	ConsoleOut io.Writer
+}
+
+// GPU engine names for Config.GPUEngine.
+const (
+	GPUEngineWarp   = "warp"
+	GPUEngineJIT    = "jit"
+	GPUEngineInterp = "interp"
+)
+
+// gpuEngine resolves the effective engine selection, honouring the
+// deprecated JITClauses alias when GPUEngine is unset.
+func (c *Config) gpuEngine() gpu.Engine {
+	switch {
+	case c.GPUEngine == GPUEngineJIT || (c.GPUEngine == "" && c.JITClauses):
+		return gpu.EngineJIT
+	case c.GPUEngine == GPUEngineInterp:
+		return gpu.EngineInterp
+	}
+	return gpu.EngineWarp
 }
 
 const minRAM = 16 << 20
@@ -122,6 +150,12 @@ func (c *Config) validate() error {
 				c.CompilerVersion, strings.Join(clc.VersionNames(), ", "))
 		}
 	}
+	switch c.GPUEngine {
+	case "", GPUEngineWarp, GPUEngineJIT, GPUEngineInterp:
+	default:
+		return fmt.Errorf("mobilesim: unknown GPUEngine %q (have %s, %s, %s)",
+			c.GPUEngine, GPUEngineWarp, GPUEngineJIT, GPUEngineInterp)
+	}
 	return nil
 }
 
@@ -136,7 +170,7 @@ func (c *Config) platformConfig() platform.Config {
 	}
 	gcfg.DecodeCache = !c.DisableDecodeCache
 	gcfg.CollectCFG = c.CollectCFG
-	gcfg.JITClauses = c.JITClauses
+	gcfg.Engine = c.gpuEngine()
 	return platform.Config{
 		RAMSize:    c.RAMSize,
 		Cores:      c.CPUCores,

@@ -117,13 +117,17 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 // mirror.
 func snapshotConfig(c Config) snapshot.Config {
 	return snapshot.Config{
-		RAMSize:            c.RAMSize,
-		CPUCores:           c.CPUCores,
-		ShaderCores:        c.ShaderCores,
-		HostThreads:        c.HostThreads,
-		CompilerVersion:    c.CompilerVersion,
-		CollectCFG:         c.CollectCFG,
-		JITClauses:         c.JITClauses,
+		RAMSize:         c.RAMSize,
+		CPUCores:        c.CPUCores,
+		ShaderCores:     c.ShaderCores,
+		HostThreads:     c.HostThreads,
+		CompilerVersion: c.CompilerVersion,
+		CollectCFG:      c.CollectCFG,
+		// The wire format predates GPUEngine and carries the engine choice
+		// as the JIT boolean. The engines are observationally identical, so
+		// a restored session losing a warp/interp distinction is harmless —
+		// it degrades to the warp default.
+		JITClauses:         c.gpuEngine() == gpu.EngineJIT,
 		DisableDecodeCache: c.DisableDecodeCache,
 	}
 }
@@ -142,10 +146,13 @@ type newOptions struct {
 //
 // The session's shape is the snapshot's. cfg may supply host-side wiring
 // (ConsoleOut) and override host-side knobs: a non-zero HostThreads
-// replaces the snapshot's, and CollectCFG/JITClauses/DisableDecodeCache
-// set in cfg are enabled on top of the snapshot's. Architectural fields
-// (RAMSize, CPUCores, ShaderCores, CompilerVersion) must be zero or equal
-// to the snapshot's — the corresponding state is baked into the image.
+// replaces the snapshot's, a non-empty GPUEngine replaces the snapshot's
+// engine selection (the engines are counter-identical, so this never
+// changes observable behaviour), and CollectCFG/JITClauses/
+// DisableDecodeCache set in cfg are enabled on top of the snapshot's.
+// Architectural fields (RAMSize, CPUCores, ShaderCores, CompilerVersion)
+// must be zero or equal to the snapshot's — the corresponding state is
+// baked into the image.
 func FromSnapshot(snap *Snapshot) NewOption {
 	return func(o *newOptions) { o.snap = snap }
 }
@@ -195,6 +202,9 @@ func mergeSnapshotConfig(cfg Config, snap *Snapshot) (Config, error) {
 	}
 	eff.CollectCFG = eff.CollectCFG || cfg.CollectCFG
 	eff.JITClauses = eff.JITClauses || cfg.JITClauses
+	if cfg.GPUEngine != "" {
+		eff.GPUEngine = cfg.GPUEngine
+	}
 	eff.DisableDecodeCache = eff.DisableDecodeCache || cfg.DisableDecodeCache
 	return eff, nil
 }
