@@ -145,7 +145,44 @@ type Device struct {
 	cfgGraph     *stats.CFG
 	touchedPages map[uint64]struct{}
 
+	// warpSlabs recycles per-workgroup warp state (wgWarp slices with
+	// their SoA register backing) across jobs: each dispatch worker
+	// checks one slab out for the whole job and reuses it for every
+	// workgroup it runs, so steady-state dispatch allocates no warp
+	// state at all.
+	warpSlabs warpSlabPool
+
 	trace *traceSink
+}
+
+// warpSlabPool is a per-device free list of warp slabs. A plain mutex-
+// guarded stack (rather than sync.Pool) keeps slabs alive across idle
+// periods — a device serving a job stream reuses the same ~HostThreads
+// slabs for its lifetime.
+type warpSlabPool struct {
+	mu    sync.Mutex
+	slabs [][]wgWarp
+}
+
+func (p *warpSlabPool) get() []wgWarp {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.slabs); n > 0 {
+		s := p.slabs[n-1]
+		p.slabs[n-1] = nil
+		p.slabs = p.slabs[:n-1]
+		return s
+	}
+	return nil
+}
+
+func (p *warpSlabPool) put(s []wgWarp) {
+	if cap(s) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.slabs = append(p.slabs, s)
 }
 
 // NewDevice creates a GPU wired to the bus and interrupt line. Call Start

@@ -51,7 +51,7 @@ const diffScratchOff = 4094
 // bytes), so the kernel is data-race-free and its output
 // schedule-independent; the optional page-crossing scratch store writes
 // the same constant from every thread, so it too is deterministic.
-func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge, withMisalign, withCross bool) *gpu.Program {
+func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge, withMisalign, withCross, withStride bool) *gpu.Program {
 	// Registers: r0..r2 address setup, r3..r5 loaded inputs, r6 local
 	// offset, r7 parity, r8..r20 scratch written by the random section,
 	// r21 output fold, r22..r25 misaligned/crossing loads.
@@ -126,6 +126,26 @@ func genDifferentialProgram(rnd *rand.Rand, nALU int, withLocal, withDiverge, wi
 		}
 	}
 	flush()
+
+	if withStride {
+		// Lane-strided global loads through the warp engine's coalesced
+		// batch path and off it: stride 68 keeps a whole warp's span well
+		// inside one page (batched), stride 1020 makes some warps' spans
+		// cross a page boundary (per-lane fallback) — data and counters
+		// must be identical either way. Addresses stay inside the input
+		// allocation's page of slack (bounded by gid and by gid&7).
+		d1, d2 := dst(), dst()
+		prog.Clauses = append(prog.Clauses, gpu.Clause{Instrs: []gpu.Instr{
+			{Op: gpu.OpIMUL, Dst: gpu.T(0), A: gpu.S(gpu.SpecGIDX), B: gpu.Imm, Imm: 68},
+			{Op: gpu.OpADD64, Dst: gpu.T(0), A: gpu.C(0), B: gpu.T(0)},
+			{Op: gpu.OpLDG, Dst: d1, A: gpu.T(0)},
+			{Op: gpu.OpAND, Dst: gpu.T(1), A: gpu.S(gpu.SpecGIDX), B: gpu.Imm, Imm: 7},
+			{Op: gpu.OpIMUL, Dst: gpu.T(1), A: gpu.T(1), B: gpu.Imm, Imm: 1020},
+			{Op: gpu.OpADD64, Dst: gpu.T(1), A: gpu.C(0), B: gpu.T(1)},
+			{Op: gpu.OpLDG, Dst: d2, A: gpu.T(1)},
+		}})
+		src = append(src, d1, d2)
+	}
 
 	if withCross {
 		// Page-crossing accesses: the fixed-offset LDG64 straddles the
@@ -269,8 +289,9 @@ func runDifferential(t *testing.T, seed uint64, threadsSel, localSel, nALUSel ui
 	withDiverge := seed%2 == 0
 	withMisalign := seed%5 == 0
 	withCross := seed%4 == 0
+	withStride := seed%6 == 0
 
-	prog := genDifferentialProgram(rnd, nALU, withLocal, withDiverge, withMisalign, withCross)
+	prog := genDifferentialProgram(rnd, nALU, withLocal, withDiverge, withMisalign, withCross, withStride)
 	var localBytes uint32
 	if withLocal {
 		localBytes = 4 * lsz
@@ -301,9 +322,10 @@ func runDifferential(t *testing.T, seed uint64, threadsSel, localSel, nALUSel ui
 // kernel under all three engines. Seeds are chosen so every generator
 // feature combination — divergence inside warp-fused programs, partial
 // tail warps (lsz not a multiple of WarpSize), misaligned and
-// page-crossing LDG/STG — appears in the corpus.
+// page-crossing LDG/STG, and lane-strided batches that straddle the
+// coalescing fallback boundary — appears in the corpus.
 func FuzzDifferentialEngines(f *testing.F) {
-	for seed := uint64(0); seed < 32; seed++ {
+	for seed := uint64(0); seed < 40; seed++ {
 		f.Add(seed, uint8(seed*7), uint8(seed*3), uint8(16+seed))
 	}
 	f.Fuzz(func(t *testing.T, seed uint64, threadsSel, localSel, nALUSel uint8) {

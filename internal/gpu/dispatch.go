@@ -125,7 +125,12 @@ func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) 
 				gs:       &res.gs,
 				trace:    d.trace,
 				stop:     &d.stopReq,
+				// Check a warp slab out of the device free list for the
+				// whole job; every workgroup this worker runs reuses it
+				// (runWorkgroup grows it on demand).
+				warpSlab: d.warpSlabs.get(),
 			}
+			defer func() { d.warpSlabs.put(ec.warpSlab) }()
 			if collectCFG {
 				res.cfg = stats.NewCFG()
 				ec.cfg = res.cfg
@@ -221,6 +226,26 @@ type wgWarp struct {
 	atBarrier bool
 }
 
+// warpsFor returns a zeroed slab of n warps, reusing the context's
+// recycled slab when it is large enough. Recycled warps must come back
+// architecturally fresh — a kernel observes zero-initialised registers —
+// so each reused slot is cleared (a single memclr per warp); only the
+// divergence stack's backing array survives, with its length reset.
+func (e *execContext) warpsFor(n int) []wgWarp {
+	if cap(e.warpSlab) < n {
+		e.warpSlab = make([]wgWarp, n)
+		return e.warpSlab
+	}
+	s := e.warpSlab[:n]
+	e.warpSlab = s
+	for i := range s {
+		st := s[i].w.stack[:0]
+		s[i] = wgWarp{}
+		s[i].w.stack = st
+	}
+	return s
+}
+
 // runWorkgroup executes one workgroup: all its threads grouped into
 // quads, scheduled round-robin with barrier rendezvous. The execContext's
 // wgid/gsz/lsz must be set.
@@ -232,7 +257,7 @@ func (e *execContext) runWorkgroup() error {
 	total := int(lsz[0]) * int(lsz[1]) * int(lsz[2])
 	nWarps := (total + WarpSize - 1) / WarpSize
 
-	warps := make([]wgWarp, nWarps)
+	warps := e.warpsFor(nWarps)
 	for t := 0; t < total; t++ {
 		lx := uint32(t) % lsz[0]
 		ly := (uint32(t) / lsz[0]) % lsz[1]

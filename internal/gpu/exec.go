@@ -140,6 +140,11 @@ type execContext struct {
 	cfg   *stats.CFG   // nil when CFG collection is off
 	trace *traceSink   // nil when instruction tracing is off
 	stop  *atomic.Bool // soft-stop latch, polled at clause boundaries
+
+	// warpSlab is this worker's recycled per-workgroup warp storage,
+	// checked out of the device's free list for the duration of a job
+	// (see warpsFor). nil is valid: the first workgroup allocates.
+	warpSlab []wgWarp
 }
 
 // clauseBudget caps clauses executed per warp per job as a runaway guard
@@ -193,7 +198,13 @@ func (e *execContext) runWarp(w *warp) (warpStatus, error) {
 			continue
 		}
 
-		st, err := e.execClause(w)
+		var st warpStatus
+		var err error
+		if sc := e.superClauseAt(w.pc); sc != nil {
+			st, err = e.execSuper(w, sc)
+		} else {
+			st, err = e.execClause(w)
+		}
 		if err != nil {
 			return warpDone, err
 		}
@@ -206,6 +217,62 @@ func (e *execContext) runWarp(w *warp) (warpStatus, error) {
 			}
 		}
 	}
+}
+
+// superClauseAt returns the fused superclause headed at clause index ci,
+// or nil when the superclause fast path does not apply: a different
+// engine, instruction tracing (needs per-instruction visibility), CFG
+// collection (needs per-clause block bookkeeping), or simply no chain
+// starting here. Mid-chain clauses never satisfy this with active lanes —
+// every control-flow edge (branch targets, reconvergence points, barrier
+// resumes) lands on a chain head by construction, and the zero-active
+// stepping walk in runWarp advances pc without executing.
+func (e *execContext) superClauseAt(ci int) *superClause {
+	if e.eng != EngineWarp || e.prog.warp == nil || e.trace != nil || e.cfg != nil {
+		return nil
+	}
+	sup := e.prog.warp.super
+	if ci >= len(sup) {
+		return nil
+	}
+	return sup[ci]
+}
+
+// execSuper runs a fused chain of clauses with one dispatch. Every
+// *original* clause boundary inside the chain keeps its architectural
+// behaviour: the soft-stop latch is polled and the clause-boundary
+// acquire marker issued exactly as the per-clause loop in runWarp does,
+// and the per-clause statistics bump in the same order. The active mask
+// is constant through the chain (no BRC/RET mid-chain), so act is
+// computed once.
+func (e *execContext) execSuper(w *warp, sc *superClause) (warpStatus, error) {
+	act := uint64(w.activeCount())
+	for si := range sc.segs {
+		s := &sc.segs[si]
+		if si > 0 {
+			if e.stop != nil && e.stop.Load() {
+				return warpDone, ErrStopped
+			}
+			mem.LoadFence()
+		}
+		e.gs.ClausesExec++
+		e.gs.ClauseSizeHist[s.histIdx]++
+		e.gs.NopInstr += act * s.padNops
+		if s.body != nil {
+			if err := s.body(e, w, act); err != nil {
+				return warpDone, err
+			}
+		}
+		if s.brCF {
+			// The folded unconditional BR still counts as an executed
+			// control-flow instruction, as execTerminal would bump it.
+			e.gs.CFInstr += act
+		}
+	}
+	if sc.term != nil {
+		return e.execTerminal(w, sc.term, sc.next, nil, act)
+	}
+	return e.endFallthrough(w, sc.next, nil, act)
 }
 
 // execClause runs all slots of the current clause on all active lanes and

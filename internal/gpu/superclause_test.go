@@ -1,0 +1,200 @@
+package gpu
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// Structural tests for superclause fusion (DESIGN.md §9). The differential
+// and edge suites prove fused programs *behave* like the interpreter;
+// these pin the fusion decisions themselves — which chains form and,
+// just as important, which control-flow shapes must break them.
+
+// aluClause is a minimal fusable clause body.
+func aluClause() Clause {
+	return Clause{Instrs: []Instr{{Op: OpIADD, Dst: R(8), A: R(1), B: R(2)}}}
+}
+
+// superShape compiles the program for the warp engine and returns, per
+// clause index, the fused chain length headed there (0 = no chain).
+func superShape(t *testing.T, clauses ...Clause) []int {
+	t.Helper()
+	p := &Program{RegCount: 16, Clauses: clauses}
+	for i := range p.Clauses {
+		p.Clauses[i].Addr = uint64(i) * 0x10
+	}
+	p.compile(EngineWarp)
+	shape := make([]int, len(clauses))
+	if p.warp.super == nil {
+		return shape
+	}
+	for ci, sc := range p.warp.super {
+		if sc != nil {
+			shape[ci] = len(sc.segs)
+		}
+	}
+	return shape
+}
+
+func TestSuperClauseFusionShapes(t *testing.T) {
+	brc := func(target, rejoin int) Clause {
+		return Clause{Instrs: []Instr{{Op: OpBRC, A: R(7), Imm: BranchImm(target, rejoin)}}}
+	}
+	withTerm := func(c Clause, op Opcode) Clause {
+		c.Instrs = append(c.Instrs, Instr{Op: op})
+		return c
+	}
+
+	t.Run("straight_line_fuses_whole_program", func(t *testing.T) {
+		got := superShape(t, aluClause(), aluClause(), aluClause(), withTerm(aluClause(), OpRET))
+		if got[0] != 4 {
+			t.Errorf("shape = %v, want one 4-clause chain at 0", got)
+		}
+	})
+
+	t.Run("branch_into_mid_chain_breaks_fusion", func(t *testing.T) {
+		// c0→c1→c2 would fuse, but c3's BRC targets c1: c1 must stay an
+		// independently executable chain head, so c0 fuses with nothing
+		// and the chain restarts at c1 (absorbing c2 and the BRC clause).
+		got := superShape(t,
+			aluClause(),                  // c0
+			aluClause(),                  // c1: branch target
+			aluClause(),                  // c2
+			brc(1, 4),                    // c3
+			withTerm(aluClause(), OpRET), // c4: rejoin
+		)
+		if got[0] != 0 {
+			t.Errorf("c0 fused a chain of %d across a branch target", got[0])
+		}
+		if got[1] != 3 {
+			t.Errorf("shape = %v, want a 3-clause chain at c1", got)
+		}
+	})
+
+	t.Run("barrier_breaks_fusion_both_sides", func(t *testing.T) {
+		// The BARRIER terminal parks the warp (no fusing past it), and the
+		// resume clause is an entry (warps re-enter there after the
+		// rendezvous) — but the post-barrier straight line still fuses.
+		got := superShape(t,
+			withTerm(aluClause(), OpBARRIER), // c0
+			aluClause(),                      // c1: barrier resume
+			withTerm(aluClause(), OpRET),     // c2
+		)
+		if got[0] != 0 {
+			t.Errorf("fused across a barrier: shape = %v", got)
+		}
+		if got[1] != 2 {
+			t.Errorf("post-barrier chain missing: shape = %v", got)
+		}
+	})
+
+	t.Run("unconditional_br_fuses_single_pred_target", func(t *testing.T) {
+		p := &Program{RegCount: 16, Clauses: []Clause{
+			withTerm(aluClause(), OpBR), // c0: BR → c1 (Imm set below)
+			withTerm(aluClause(), OpRET),
+		}}
+		p.Clauses[0].Instrs[1].Imm = 1
+		for i := range p.Clauses {
+			p.Clauses[i].Addr = uint64(i) * 0x10
+		}
+		p.compile(EngineWarp)
+		sc := p.warp.super[0]
+		if sc == nil || len(sc.segs) != 2 {
+			t.Fatalf("BR into single-pred clause did not fuse")
+		}
+		// The folded BR must still be accounted as a control-flow
+		// instruction at the original clause boundary.
+		if !sc.segs[0].brCF {
+			t.Error("folded BR segment lost its CFInstr accounting")
+		}
+		if sc.segs[1].brCF {
+			t.Error("final segment must not carry a folded-BR bump (its terminal is live)")
+		}
+	})
+
+	t.Run("two_predecessors_block_fusion", func(t *testing.T) {
+		// Both c0 (BR) and c1 (fallthrough) enter c2: fusing c2 into
+		// either chain would execute it on the wrong path.
+		p := &Program{RegCount: 16, Clauses: []Clause{
+			withTerm(aluClause(), OpBR),
+			aluClause(),
+			withTerm(aluClause(), OpRET),
+		}}
+		p.Clauses[0].Instrs[1].Imm = 2
+		for i := range p.Clauses {
+			p.Clauses[i].Addr = uint64(i) * 0x10
+		}
+		p.compile(EngineWarp)
+		if p.warp.super != nil {
+			for ci, sc := range p.warp.super {
+				if sc != nil {
+					t.Errorf("clause %d fused a %d-chain into a two-pred join", ci, len(sc.segs))
+				}
+			}
+		}
+	})
+}
+
+// TestSuperClauseSoftStopAtSegBoundary pins the soft-stop contract inside
+// a fused chain: the latch is polled at every *original* clause boundary,
+// so a stop raised before execution aborts after exactly the first
+// segment — its clause-entry statistics committed, the second segment's
+// not, and no memory traffic from the second clause issued.
+func TestSuperClauseSoftStopAtSegBoundary(t *testing.T) {
+	ec, w, p := newHotContext(t)
+	sc := p.warp.super[0]
+	if sc == nil || len(sc.segs) != 2 {
+		t.Fatalf("hot program did not fuse into a 2-clause chain")
+	}
+	var stop atomic.Bool
+	stop.Store(true)
+	ec.stop = &stop
+
+	hits, walks := ec.walker.Hits, ec.walker.Walks
+	st, err := ec.execSuper(w, sc)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("execSuper under stop: status %v, err %v; want ErrStopped", st, err)
+	}
+	if ec.gs.ClausesExec != 1 {
+		t.Errorf("clauses executed before stop = %d, want exactly 1", ec.gs.ClausesExec)
+	}
+	if ec.gs.GlobalLS != 0 || ec.walker.Hits != hits || ec.walker.Walks != walks {
+		t.Errorf("second segment's memory traffic leaked past the stop: GlobalLS=%d", ec.gs.GlobalLS)
+	}
+}
+
+// TestSuperClauseFaultMatchesInterp makes one lane's global load fault in
+// the *second* clause of a fused chain and requires the warp engine to
+// leave behind exactly the interpreter's state: same error, same
+// registers (the abort prefix of the faulting instruction included), same
+// GPU statistics, same TLB accounting.
+func TestSuperClauseFaultMatchesInterp(t *testing.T) {
+	mk := func(eng Engine) (*execContext, *warp) {
+		ec, w, _ := newHotContext(t)
+		ec.eng = eng
+		w.regs[4][WarpSize-1] = 0xdead_0000 // unmapped: faults mid-warp, mid-chain
+		return ec, w
+	}
+	ecW, wW := mk(EngineWarp)
+	ecI, wI := mk(EngineInterp)
+
+	_, errW := ecW.runWarp(wW)
+	_, errI := ecI.runWarp(wI)
+	if errW == nil || errI == nil {
+		t.Fatalf("expected a fault from both engines; warp=%v interp=%v", errW, errI)
+	}
+	if errW.Error() != errI.Error() {
+		t.Errorf("fault mismatch:\nwarp:   %v\ninterp: %v", errW, errI)
+	}
+	if wW.regs != wI.regs {
+		t.Errorf("registers diverged after mid-chain fault")
+	}
+	if *ecW.gs != *ecI.gs {
+		t.Errorf("stats diverged after mid-chain fault:\nwarp:   %+v\ninterp: %+v", *ecW.gs, *ecI.gs)
+	}
+	if ecW.walker.Hits != ecI.walker.Hits || ecW.walker.Walks != ecI.walker.Walks {
+		t.Errorf("TLB accounting diverged: warp %d/%d, interp %d/%d",
+			ecW.walker.Hits, ecW.walker.Walks, ecI.walker.Hits, ecI.walker.Walks)
+	}
+}

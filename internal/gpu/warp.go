@@ -1,6 +1,8 @@
 package gpu
 
 import (
+	"math"
+
 	"mobilesim/internal/mem"
 	"mobilesim/internal/stats"
 )
@@ -39,62 +41,266 @@ type warpClause struct {
 	term *Instr
 }
 
-// warpProgram mirrors Program.Clauses with one warpClause each.
+// warpProgram mirrors Program.Clauses with one warpClause each, plus the
+// superclause chains built over them (super[ci] is non-nil exactly when a
+// fused multi-clause chain is headed at clause ci).
 type warpProgram struct {
 	clauses []warpClause
+	super   []*superClause
 }
 
-// warpCompile fuses every clause of a program.
+// superSeg is one original clause inside a fused superclause. The per-
+// clause statistics the interpreter would bump on clause entry (clause
+// count, size histogram, issue-slot padding NOPs) are precomputed here so
+// the fused body still advances them at every original clause boundary.
+type superSeg struct {
+	body    warpFn
+	histIdx int
+	padNops uint64
+	// brCF marks a segment whose original terminal was an unconditional
+	// BR folded into the chain: the jump itself disappears, but the
+	// interpreter counts it as a control-flow instruction, so the fused
+	// runner bumps CFInstr after the segment body exactly as execTerminal
+	// would have.
+	brCF bool
+}
+
+// superClause is a chain of clauses fused across clause boundaries
+// (DESIGN.md §9): each non-final clause ends in a fallthrough or an
+// unconditional BR, and each non-head clause has exactly one control-flow
+// predecessor and is never a branch, reconvergence or barrier-resume
+// target, so the whole chain executes with one closure dispatch and one
+// terminal round-trip. The active mask is provably constant through the
+// chain — masks only change at BRC/RET terminals, which never appear
+// mid-chain.
+type superClause struct {
+	segs []superSeg // ≥ 2 segments
+	term *Instr     // terminal of the final clause; nil = fallthrough
+	next int        // final clause index + 1 (the terminal's "next")
+}
+
+// warpCompile fuses every clause of a program, then chains fusable
+// clause sequences into superclauses.
 func warpCompile(p *Program) *warpProgram {
 	wp := &warpProgram{clauses: make([]warpClause, len(p.Clauses))}
 	for ci := range p.Clauses {
 		c := &p.Clauses[ci]
 		wc := &wp.clauses[ci]
 		var ops []warpFn
+		var sts []*opStats
 		for ii := range c.Instrs {
 			in := &c.Instrs[ii]
 			if IsClauseTerminal(in.Op) {
 				wc.term = in
 				break
 			}
-			ops = append(ops, compileWarpOp(in, p))
+			fn, st := compileWarpOp(in, p)
+			ops = append(ops, fn)
+			sts = append(sts, st)
 		}
-		wc.body = fuseWarpOps(ops)
+		wc.body = assembleBody(ops, sts)
 	}
+	wp.super = buildSuperClauses(p, wp)
 	return wp
 }
 
-// fuseWarpOps left-folds per-instruction warp closures into one body.
-func fuseWarpOps(ops []warpFn) warpFn {
-	switch len(ops) {
+// buildSuperClauses computes the fusion chains. A clause is an *entry* if
+// control flow can land on it from anywhere other than a unique
+// fallthrough/BR predecessor: clause 0, BRC targets, BRC fallthrough
+// successors, BRC reconvergence points (the runWarp loop re-enters there
+// via the divergence stack), barrier successors (warps resume there after
+// the rendezvous), and RET successors (conservatively — the zero-active
+// stepping walk parks there). Entries must stay independently executable
+// chain heads. A clause B fuses into its predecessor's chain iff B is not
+// an entry and has exactly one fallthrough/BR predecessor.
+func buildSuperClauses(p *Program, wp *warpProgram) []*superClause {
+	n := len(p.Clauses)
+	if n < 2 {
+		return nil
+	}
+	entry := make([]bool, n)
+	entry[0] = true
+	markEntry := func(i int) {
+		if i >= 0 && i < n {
+			entry[i] = true
+		}
+	}
+	// succ[ci] is ci's fusable successor (-1 if its terminal ends the
+	// straight-line region).
+	succ := make([]int, n)
+	for ci := range p.Clauses {
+		succ[ci] = -1
+		t := wp.clauses[ci].term
+		switch {
+		case t == nil:
+			if ci+1 < n {
+				succ[ci] = ci + 1
+			}
+		case t.Op == OpBR:
+			succ[ci] = t.BranchTarget() // target range checked by ParseBinary
+		case t.Op == OpBRC:
+			markEntry(t.BranchTarget())
+			markEntry(t.Reconverge())
+			markEntry(ci + 1)
+		case t.Op == OpBARRIER:
+			markEntry(ci + 1)
+		case t.Op == OpRET:
+			markEntry(ci + 1)
+		}
+	}
+	preds := make([]int, n)
+	for ci := range p.Clauses {
+		if s := succ[ci]; s >= 0 {
+			preds[s]++
+		}
+	}
+	absorbable := func(i int) bool { return !entry[i] && preds[i] == 1 }
+
+	super := make([]*superClause, n)
+	inChain := make([]bool, n)
+	any := false
+	for head := 0; head < n; head++ {
+		if absorbable(head) {
+			// Reached (if ever) only through its unique predecessor's
+			// chain; never a chain head of its own.
+			continue
+		}
+		chain := []int{head}
+		for cur := head; ; {
+			s := succ[cur]
+			// inChain doubles as the cycle guard: an unreachable BR loop
+			// of absorbable clauses terminates the walk instead of
+			// spinning (head itself is !absorbable, so s != head).
+			if s < 0 || !absorbable(s) || inChain[s] {
+				break
+			}
+			inChain[s] = true
+			chain = append(chain, s)
+			cur = s
+		}
+		if len(chain) < 2 {
+			continue
+		}
+		sc := &superClause{segs: make([]superSeg, len(chain))}
+		for i, ci := range chain {
+			c := &p.Clauses[ci]
+			slots := c.Slots()
+			if slots > stats.MaxClauseSlots {
+				slots = stats.MaxClauseSlots
+			}
+			sc.segs[i] = superSeg{
+				body:    wp.clauses[ci].body,
+				histIdx: slots,
+				padNops: uint64(c.Tuples()*2 - c.Slots()),
+				brCF:    i < len(chain)-1 && wp.clauses[ci].term != nil,
+			}
+		}
+		last := chain[len(chain)-1]
+		sc.term = wp.clauses[last].term
+		sc.next = last + 1
+		super[head] = sc
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return super
+}
+
+// opStats is the compile-time aggregate of the statistics a run of
+// fault-free instructions bumps per active lane: the instruction-class
+// counters plus the operand-access breakdown. Because none of the ops in
+// the run can fault or abort, the per-op bumps may be summed at compile
+// time and applied in one step at the head of the run — totals at every
+// observable point (fault aborts, soft-stops, completion) are unchanged,
+// which is all the exact-counter contract (DESIGN.md §9) requires.
+type opStats struct {
+	arith, nop                                     uint64
+	grfRead, grfWrite, tempAcc, constRead, romRead uint64
+}
+
+func (s *opStats) apply(gs *stats.GPUStats, act uint64) {
+	gs.ArithInstr += s.arith * act
+	gs.NopInstr += s.nop * act
+	gs.GRFRead += s.grfRead * act
+	gs.GRFWrite += s.grfWrite * act
+	gs.TempAcc += s.tempAcc * act
+	gs.ConstRead += s.constRead * act
+	gs.ROMRead += s.romRead * act
+}
+
+func (s *opStats) merge(o *opStats) {
+	s.arith += o.arith
+	s.nop += o.nop
+	s.grfRead += o.grfRead
+	s.grfWrite += o.grfWrite
+	s.tempAcc += o.tempAcc
+	s.constRead += o.constRead
+	s.romRead += o.romRead
+}
+
+// assembleBody turns a clause's compiled instruction stream into one
+// closure. Consecutive aggregatable ops (pure ALU / NOP with known
+// operand shapes — their stat deltas precomputed, their closures bare)
+// collapse into a single opStats application followed by the bare
+// compute closures; non-aggregatable ops (memory ops, fallback shapes)
+// self-account and stay interleaved in interpreter order. The resulting
+// step list is executed with a flat loop rather than nested wrappers, so
+// dispatch costs one indirect call per step.
+func assembleBody(ops []warpFn, sts []*opStats) warpFn {
+	var steps []warpFn
+	for i := 0; i < len(ops); {
+		if sts[i] == nil {
+			steps = append(steps, ops[i])
+			i++
+			continue
+		}
+		agg := &opStats{}
+		var run []warpFn
+		for i < len(ops) && sts[i] != nil {
+			agg.merge(sts[i])
+			if ops[i] != nil {
+				run = append(run, ops[i])
+			}
+			i++
+		}
+		steps = append(steps, func(e *execContext, w *warp, act uint64) error {
+			agg.apply(e.gs, act)
+			for _, op := range run {
+				if err := op(e, w, act); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	switch len(steps) {
 	case 0:
 		return nil
 	case 1:
-		return ops[0]
+		return steps[0]
 	}
-	f := ops[0]
-	for _, op := range ops[1:] {
-		prev, next := f, op
-		f = func(e *execContext, w *warp, act uint64) error {
-			if err := prev(e, w, act); err != nil {
+	return func(e *execContext, w *warp, act uint64) error {
+		for _, op := range steps {
+			if err := op(e, w, act); err != nil {
 				return err
 			}
-			return next(e, w, act)
 		}
+		return nil
 	}
-	return f
 }
 
 // compileWarpOp compiles one non-terminal instruction into a warp closure.
-func compileWarpOp(in *Instr, p *Program) warpFn {
+// A non-nil opStats marks the op aggregatable: it cannot fault, the
+// returned closure does no stat accounting itself, and the deltas it
+// would have bumped per active lane are described by the opStats (the
+// closure may be nil when the op is pure accounting, e.g. NOP).
+func compileWarpOp(in *Instr, p *Program) (warpFn, *opStats) {
 	switch Classify(in.Op) {
 	case ClassNop:
-		return func(e *execContext, w *warp, act uint64) error {
-			e.gs.NopInstr += act
-			return nil
-		}
+		return nil, &opStats{nop: 1}
 	case ClassLS:
-		return compileWarpMem(in, p)
+		return compileWarpMem(in, p), nil
 	}
 	if bf, ok := binFns[in.Op]; ok {
 		return compileWarpBin(bf, in, p)
@@ -116,7 +322,7 @@ func compileWarpOp(in *Instr, p *Program) warpFn {
 		})
 	}
 	// Unknown opcode: defer to the interpreter for the exact error.
-	return warpLaneInterp(in)
+	return warpLaneInterp(in), nil
 }
 
 // --- Operand shapes ---------------------------------------------------------
@@ -131,11 +337,43 @@ func bumpTempAcc(gs *stats.GPUStats, n uint64)   { gs.TempAcc += n }
 func bumpConstRead(gs *stats.GPUStats, n uint64) { gs.ConstRead += n }
 func bumpROMRead(gs *stats.GPUStats, n uint64)   { gs.ROMRead += n }
 
+// ctrKind names the operand counter an operand access bumps, so the ALU
+// compilers can fold operand accounting into a compile-time opStats
+// instead of calling the bumpFn at run time (memory ops, whose counters
+// must stay per-lane in fault order, keep using the bumpFn).
+type ctrKind uint8
+
+const (
+	ctrNone ctrKind = iota
+	ctrGRFRead
+	ctrGRFWrite
+	ctrTempAcc
+	ctrConstRead
+	ctrROMRead
+)
+
+// count adds n accesses of counter kind c to the aggregate.
+func (s *opStats) count(c ctrKind, n uint64) {
+	switch c {
+	case ctrGRFRead:
+		s.grfRead += n
+	case ctrGRFWrite:
+		s.grfWrite += n
+	case ctrTempAcc:
+		s.tempAcc += n
+	case ctrConstRead:
+		s.constRead += n
+	case ctrROMRead:
+		s.romRead += n
+	}
+}
+
 // vecSrc is a lane-varying register-file operand resolved to an SoA row.
 type vecSrc struct {
 	idx  int
 	temp bool
 	bump bumpFn
+	ctr  ctrKind
 }
 
 func (v vecSrc) rowOf(w *warp) *[WarpSize]uint64 {
@@ -150,9 +388,9 @@ func compileVecSrc(o uint8) (vecSrc, bool) {
 	kind, idx := OperKind(o)
 	switch kind {
 	case OperGRF:
-		return vecSrc{idx: int(idx), bump: bumpGRFRead}, true
+		return vecSrc{idx: int(idx), bump: bumpGRFRead, ctr: ctrGRFRead}, true
 	case OperTemp:
-		return vecSrc{idx: int(idx), temp: true, bump: bumpTempAcc}, true
+		return vecSrc{idx: int(idx), temp: true, bump: bumpTempAcc, ctr: ctrTempAcc}, true
 	}
 	return vecSrc{}, false
 }
@@ -162,9 +400,9 @@ func compileVecDst(o uint8) (vecSrc, bool) {
 	kind, idx := OperKind(o)
 	switch kind {
 	case OperGRF:
-		return vecSrc{idx: int(idx), bump: bumpGRFWrite}, true
+		return vecSrc{idx: int(idx), bump: bumpGRFWrite, ctr: ctrGRFWrite}, true
 	case OperTemp:
-		return vecSrc{idx: int(idx), temp: true, bump: bumpTempAcc}, true
+		return vecSrc{idx: int(idx), temp: true, bump: bumpTempAcc, ctr: ctrTempAcc}, true
 	}
 	return vecSrc{}, false
 }
@@ -176,6 +414,7 @@ func compileVecDst(o uint8) (vecSrc, bool) {
 type uniSrc struct {
 	val  func(e *execContext) uint64
 	bump bumpFn
+	ctr  ctrKind
 }
 
 func compileUniSrc(o uint8, imm uint32, p *Program) (uniSrc, bool) {
@@ -190,18 +429,18 @@ func compileUniSrc(o uint8, imm uint32, p *Program) (uniSrc, bool) {
 				return e.uniforms[i]
 			}
 			return 0
-		}, bump: bumpConstRead}, true
+		}, bump: bumpConstRead, ctr: ctrConstRead}, true
 	}
 	switch idx {
 	case SpecImm:
 		v := uint64(imm)
-		return uniSrc{val: func(*execContext) uint64 { return v }, bump: bumpROMRead}, true
+		return uniSrc{val: func(*execContext) uint64 { return v }, bump: bumpROMRead, ctr: ctrROMRead}, true
 	case SpecROM:
 		var v uint64
 		if int(imm) < len(p.ROM) {
 			v = p.ROM[imm]
 		}
-		return uniSrc{val: func(*execContext) uint64 { return v }, bump: bumpROMRead}, true
+		return uniSrc{val: func(*execContext) uint64 { return v }, bump: bumpROMRead, ctr: ctrROMRead}, true
 	case SpecZero:
 		return uniSrc{val: func(*execContext) uint64 { return 0 }, bump: bumpNone}, true
 	case SpecGIDX, SpecGIDY, SpecGIDZ, SpecLIDX, SpecLIDY, SpecLIDZ:
@@ -223,20 +462,469 @@ func compileUniSrc(o uint8, imm uint32, p *Program) (uniSrc, bool) {
 
 // --- ALU --------------------------------------------------------------------
 
-func compileWarpBin(f func(a, b uint64) uint64, in *Instr, p *Program) warpFn {
+// binStats builds the aggregatable stat deltas of a two-source ALU op.
+func binStats(ctrs ...ctrKind) *opStats {
+	st := &opStats{arith: 1}
+	for _, c := range ctrs {
+		st.count(c, 1)
+	}
+	return st
+}
+
+// --- Vector ALU kernels -------------------------------------------------------
+//
+// One top-level function per (opcode, operand shape), with the lane loop
+// written directly into the body: a fully-active warp pays one indirect
+// call per *instruction* instead of one per lane (Go cannot inline through
+// the func values in binFns/unFns, and generics share a gcshape dictionary
+// for zero-size operator types, so explicit kernels are the only way to
+// get the op inlined into its loop). Opcodes without a kernel — the rare
+// multi-branch ones like IDIV — keep the per-lane func-value loop. The
+// masked (divergent) path always stays per-lane.
+
+type soaRow = [WarpSize]uint64
+
+// vvKernels: dst[l] = op(a[l], b[l]).
+var vvKernels = map[Opcode]func(d, a, b *soaRow){
+	OpIADD: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) + uint32(b[l]))
+		}
+	},
+	OpISUB: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) - uint32(b[l]))
+		}
+	},
+	OpIMUL: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) * uint32(b[l]))
+		}
+	},
+	OpSHL: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) << (uint32(b[l]) & 31))
+		}
+	},
+	OpSHR: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) >> (uint32(b[l]) & 31))
+		}
+	},
+	OpSAR: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(int32(a[l]) >> (uint32(b[l]) & 31)))
+		}
+	},
+	OpAND: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = a[l] & b[l]
+		}
+	},
+	OpOR: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = a[l] | b[l]
+		}
+	},
+	OpXOR: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = a[l] ^ b[l]
+		}
+	},
+	OpADD64: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = a[l] + b[l]
+		}
+	},
+	OpMUL64: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = a[l] * b[l]
+		}
+	},
+	OpFADD: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = fbits(f32(a[l]) + f32(b[l]))
+		}
+	},
+	OpFSUB: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = fbits(f32(a[l]) - f32(b[l]))
+		}
+	},
+	OpFMUL: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = fbits(f32(a[l]) * f32(b[l]))
+		}
+	},
+	OpFDIV: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = fbits(f32(a[l]) / f32(b[l]))
+		}
+	},
+	OpICMPEQ: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(uint32(a[l]) == uint32(b[l]))
+		}
+	},
+	OpICMPNE: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(uint32(a[l]) != uint32(b[l]))
+		}
+	},
+	OpICMPLT: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(int32(a[l]) < int32(b[l]))
+		}
+	},
+	OpICMPLE: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(int32(a[l]) <= int32(b[l]))
+		}
+	},
+	OpUCMPLT: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(uint32(a[l]) < uint32(b[l]))
+		}
+	},
+	OpFCMPEQ: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(f32(a[l]) == f32(b[l]))
+		}
+	},
+	OpFCMPLT: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(f32(a[l]) < f32(b[l]))
+		}
+	},
+	OpFCMPLE: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(f32(a[l]) <= f32(b[l]))
+		}
+	},
+}
+
+// vuKernels: dst[l] = op(a[l], b) with warp-uniform b.
+var vuKernels = map[Opcode]func(d, a *soaRow, b uint64){
+	OpIADD: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) + uint32(b))
+		}
+	},
+	OpISUB: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) - uint32(b))
+		}
+	},
+	OpIMUL: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) * uint32(b))
+		}
+	},
+	OpSHL: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) << (uint32(b) & 31))
+		}
+	},
+	OpSHR: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = uint64(uint32(a[l]) >> (uint32(b) & 31))
+		}
+	},
+	OpSAR: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = uint64(uint32(int32(a[l]) >> (uint32(b) & 31)))
+		}
+	},
+	OpAND: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = a[l] & b
+		}
+	},
+	OpOR: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = a[l] | b
+		}
+	},
+	OpXOR: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = a[l] ^ b
+		}
+	},
+	OpADD64: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = a[l] + b
+		}
+	},
+	OpMUL64: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = a[l] * b
+		}
+	},
+	OpFADD: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = fbits(f32(a[l]) + f32(b))
+		}
+	},
+	OpFSUB: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = fbits(f32(a[l]) - f32(b))
+		}
+	},
+	OpFMUL: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = fbits(f32(a[l]) * f32(b))
+		}
+	},
+	OpFDIV: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = fbits(f32(a[l]) / f32(b))
+		}
+	},
+	OpICMPEQ: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = b2u(uint32(a[l]) == uint32(b))
+		}
+	},
+	OpICMPNE: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = b2u(uint32(a[l]) != uint32(b))
+		}
+	},
+	OpICMPLT: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = b2u(int32(a[l]) < int32(b))
+		}
+	},
+	OpICMPLE: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = b2u(int32(a[l]) <= int32(b))
+		}
+	},
+	OpUCMPLT: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = b2u(uint32(a[l]) < uint32(b))
+		}
+	},
+	OpFCMPEQ: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = b2u(f32(a[l]) == f32(b))
+		}
+	},
+	OpFCMPLT: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = b2u(f32(a[l]) < f32(b))
+		}
+	},
+	OpFCMPLE: func(d, a *soaRow, b uint64) {
+		for l := range d {
+			d[l] = b2u(f32(a[l]) <= f32(b))
+		}
+	},
+}
+
+// uvKernels: dst[l] = op(a, b[l]) with warp-uniform a (the non-commutative
+// shapes matter: constant-minus-register, constant-divided-by-register).
+var uvKernels = map[Opcode]func(d *soaRow, a uint64, b *soaRow){
+	OpIADD: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a) + uint32(b[l]))
+		}
+	},
+	OpISUB: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a) - uint32(b[l]))
+		}
+	},
+	OpIMUL: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a) * uint32(b[l]))
+		}
+	},
+	OpSHL: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a) << (uint32(b[l]) & 31))
+		}
+	},
+	OpSHR: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(a) >> (uint32(b[l]) & 31))
+		}
+	},
+	OpSAR: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(int32(a) >> (uint32(b[l]) & 31)))
+		}
+	},
+	OpAND: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = a & b[l]
+		}
+	},
+	OpOR: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = a | b[l]
+		}
+	},
+	OpXOR: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = a ^ b[l]
+		}
+	},
+	OpADD64: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = a + b[l]
+		}
+	},
+	OpMUL64: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = a * b[l]
+		}
+	},
+	OpFADD: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = fbits(f32(a) + f32(b[l]))
+		}
+	},
+	OpFSUB: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = fbits(f32(a) - f32(b[l]))
+		}
+	},
+	OpFMUL: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = fbits(f32(a) * f32(b[l]))
+		}
+	},
+	OpFDIV: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = fbits(f32(a) / f32(b[l]))
+		}
+	},
+	OpICMPEQ: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(uint32(a) == uint32(b[l]))
+		}
+	},
+	OpICMPNE: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(uint32(a) != uint32(b[l]))
+		}
+	},
+	OpICMPLT: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(int32(a) < int32(b[l]))
+		}
+	},
+	OpICMPLE: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(int32(a) <= int32(b[l]))
+		}
+	},
+	OpUCMPLT: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(uint32(a) < uint32(b[l]))
+		}
+	},
+	OpFCMPEQ: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(f32(a) == f32(b[l]))
+		}
+	},
+	OpFCMPLT: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(f32(a) < f32(b[l]))
+		}
+	},
+	OpFCMPLE: func(d *soaRow, a uint64, b *soaRow) {
+		for l := range d {
+			d[l] = b2u(f32(a) <= f32(b[l]))
+		}
+	},
+}
+
+// unKernels: dst[l] = op(a[l]).
+var unKernels = map[Opcode]func(d, a *soaRow){
+	OpMOV: func(d, a *soaRow) { *d = *a },
+	OpI2F: func(d, a *soaRow) {
+		for l := range d {
+			d[l] = fbits(float32(int32(a[l])))
+		}
+	},
+	OpF2I: func(d, a *soaRow) {
+		for l := range d {
+			d[l] = uint64(uint32(int32(f32(a[l]))))
+		}
+	},
+	OpFABS: func(d, a *soaRow) {
+		for l := range d {
+			d[l] = fbits(float32(math.Abs(float64(f32(a[l])))))
+		}
+	},
+	OpFNEG: func(d, a *soaRow) {
+		for l := range d {
+			d[l] = fbits(-f32(a[l]))
+		}
+	},
+	OpFSQRT: func(d, a *soaRow) {
+		for l := range d {
+			d[l] = fbits(float32(math.Sqrt(float64(f32(a[l])))))
+		}
+	},
+	OpFFLOOR: func(d, a *soaRow) {
+		for l := range d {
+			d[l] = fbits(float32(math.Floor(float64(f32(a[l])))))
+		}
+	},
+}
+
+// accKernels: dst[l] = op(dst[l], a[l], b[l]) — the accumulator forms.
+var accKernels = map[Opcode]func(d, a, b *soaRow){
+	OpFMA: func(d, a, b *soaRow) {
+		for l := range d {
+			d[l] = fbits(f32(d[l]) + f32(a[l])*f32(b[l]))
+		}
+	},
+	OpSEL: func(d, a, b *soaRow) {
+		for l := range d {
+			if d[l] != 0 {
+				d[l] = a[l]
+			} else {
+				d[l] = b[l]
+			}
+		}
+	},
+}
+
+func compileWarpBin(f func(a, b uint64) uint64, in *Instr, p *Program) (warpFn, *opStats) {
 	d, dok := compileVecDst(in.Dst)
 	if !dok {
-		return warpLaneInterp(in)
+		return warpLaneInterp(in), nil
 	}
 	av, aok := compileVecSrc(in.A)
 	bv, bok := compileVecSrc(in.B)
 	switch {
 	case aok && bok:
+		// The vector kernel writes every slot of the SoA row, including
+		// lanes beyond w.lanes: those are architecturally dead (never
+		// active, never stored back, zeroed when the slab is recycled), and
+		// the constant trip count is what lets the compiler keep the op
+		// inline and unrolled.
+		if k := vvKernels[in.Op]; k != nil {
+			return func(e *execContext, w *warp, act uint64) error {
+				ar, br, dr := av.rowOf(w), bv.rowOf(w), d.rowOf(w)
+				if int(act) == w.lanes {
+					k(dr, ar, br)
+					return nil
+				}
+				for l := 0; l < w.lanes; l++ {
+					if w.active[l] && !w.exited[l] {
+						dr[l] = f(ar[l], br[l])
+					}
+				}
+				return nil
+			}, binStats(av.ctr, bv.ctr, d.ctr)
+		}
 		return func(e *execContext, w *warp, act uint64) error {
-			e.gs.ArithInstr += act
-			av.bump(e.gs, act)
-			bv.bump(e.gs, act)
-			d.bump(e.gs, act)
 			ar, br, dr := av.rowOf(w), bv.rowOf(w), d.rowOf(w)
 			if int(act) == w.lanes {
 				for l := 0; l < w.lanes; l++ {
@@ -250,17 +938,29 @@ func compileWarpBin(f func(a, b uint64) uint64, in *Instr, p *Program) warpFn {
 				}
 			}
 			return nil
-		}
+		}, binStats(av.ctr, bv.ctr, d.ctr)
 	case aok:
 		bu, ok := compileUniSrc(in.B, in.Imm, p)
 		if !ok {
-			return warpLaneInterp(in)
+			return warpLaneInterp(in), nil
+		}
+		if k := vuKernels[in.Op]; k != nil {
+			return func(e *execContext, w *warp, act uint64) error {
+				b := bu.val(e)
+				ar, dr := av.rowOf(w), d.rowOf(w)
+				if int(act) == w.lanes {
+					k(dr, ar, b)
+					return nil
+				}
+				for l := 0; l < w.lanes; l++ {
+					if w.active[l] && !w.exited[l] {
+						dr[l] = f(ar[l], b)
+					}
+				}
+				return nil
+			}, binStats(av.ctr, bu.ctr, d.ctr)
 		}
 		return func(e *execContext, w *warp, act uint64) error {
-			e.gs.ArithInstr += act
-			av.bump(e.gs, act)
-			bu.bump(e.gs, act)
-			d.bump(e.gs, act)
 			b := bu.val(e)
 			ar, dr := av.rowOf(w), d.rowOf(w)
 			if int(act) == w.lanes {
@@ -275,17 +975,29 @@ func compileWarpBin(f func(a, b uint64) uint64, in *Instr, p *Program) warpFn {
 				}
 			}
 			return nil
-		}
+		}, binStats(av.ctr, bu.ctr, d.ctr)
 	case bok:
 		au, ok := compileUniSrc(in.A, in.Imm, p)
 		if !ok {
-			return warpLaneInterp(in)
+			return warpLaneInterp(in), nil
+		}
+		if k := uvKernels[in.Op]; k != nil {
+			return func(e *execContext, w *warp, act uint64) error {
+				a := au.val(e)
+				br, dr := bv.rowOf(w), d.rowOf(w)
+				if int(act) == w.lanes {
+					k(dr, a, br)
+					return nil
+				}
+				for l := 0; l < w.lanes; l++ {
+					if w.active[l] && !w.exited[l] {
+						dr[l] = f(a, br[l])
+					}
+				}
+				return nil
+			}, binStats(au.ctr, bv.ctr, d.ctr)
 		}
 		return func(e *execContext, w *warp, act uint64) error {
-			e.gs.ArithInstr += act
-			au.bump(e.gs, act)
-			bv.bump(e.gs, act)
-			d.bump(e.gs, act)
 			a := au.val(e)
 			br, dr := bv.rowOf(w), d.rowOf(w)
 			if int(act) == w.lanes {
@@ -300,18 +1012,14 @@ func compileWarpBin(f func(a, b uint64) uint64, in *Instr, p *Program) warpFn {
 				}
 			}
 			return nil
-		}
+		}, binStats(au.ctr, bv.ctr, d.ctr)
 	default:
 		au, okA := compileUniSrc(in.A, in.Imm, p)
 		bu, okB := compileUniSrc(in.B, in.Imm, p)
 		if !okA || !okB {
-			return warpLaneInterp(in)
+			return warpLaneInterp(in), nil
 		}
 		return func(e *execContext, w *warp, act uint64) error {
-			e.gs.ArithInstr += act
-			au.bump(e.gs, act)
-			bu.bump(e.gs, act)
-			d.bump(e.gs, act)
 			r := f(au.val(e), bu.val(e))
 			dr := d.rowOf(w)
 			for l := 0; l < w.lanes; l++ {
@@ -320,20 +1028,32 @@ func compileWarpBin(f func(a, b uint64) uint64, in *Instr, p *Program) warpFn {
 				}
 			}
 			return nil
-		}
+		}, binStats(au.ctr, bu.ctr, d.ctr)
 	}
 }
 
-func compileWarpUn(f func(a uint64) uint64, in *Instr, p *Program) warpFn {
+func compileWarpUn(f func(a uint64) uint64, in *Instr, p *Program) (warpFn, *opStats) {
 	d, dok := compileVecDst(in.Dst)
 	if !dok {
-		return warpLaneInterp(in)
+		return warpLaneInterp(in), nil
 	}
 	if av, ok := compileVecSrc(in.A); ok {
+		if k := unKernels[in.Op]; k != nil {
+			return func(e *execContext, w *warp, act uint64) error {
+				ar, dr := av.rowOf(w), d.rowOf(w)
+				if int(act) == w.lanes {
+					k(dr, ar)
+					return nil
+				}
+				for l := 0; l < w.lanes; l++ {
+					if w.active[l] && !w.exited[l] {
+						dr[l] = f(ar[l])
+					}
+				}
+				return nil
+			}, binStats(av.ctr, d.ctr)
+		}
 		return func(e *execContext, w *warp, act uint64) error {
-			e.gs.ArithInstr += act
-			av.bump(e.gs, act)
-			d.bump(e.gs, act)
 			ar, dr := av.rowOf(w), d.rowOf(w)
 			if int(act) == w.lanes {
 				for l := 0; l < w.lanes; l++ {
@@ -347,13 +1067,10 @@ func compileWarpUn(f func(a uint64) uint64, in *Instr, p *Program) warpFn {
 				}
 			}
 			return nil
-		}
+		}, binStats(av.ctr, d.ctr)
 	}
 	if au, ok := compileUniSrc(in.A, in.Imm, p); ok {
 		return func(e *execContext, w *warp, act uint64) error {
-			e.gs.ArithInstr += act
-			au.bump(e.gs, act)
-			d.bump(e.gs, act)
 			r := f(au.val(e))
 			dr := d.rowOf(w)
 			for l := 0; l < w.lanes; l++ {
@@ -362,41 +1079,58 @@ func compileWarpUn(f func(a uint64) uint64, in *Instr, p *Program) warpFn {
 				}
 			}
 			return nil
-		}
+		}, binStats(au.ctr, d.ctr)
 	}
-	return warpLaneInterp(in)
+	return warpLaneInterp(in), nil
 }
 
 // compileWarpAcc handles the accumulator forms (FMA, SEL): the destination
 // is read as a third source before being written, and the interpreter
 // counts that read with the destination operand's read counter.
-func compileWarpAcc(in *Instr, p *Program, f func(acc, a, b uint64) uint64) warpFn {
+func compileWarpAcc(in *Instr, p *Program, f func(acc, a, b uint64) uint64) (warpFn, *opStats) {
 	d, dok := compileVecDst(in.Dst)
 	acc, aok2 := compileVecSrc(in.Dst)
 	av, aok := compileVecSrc(in.A)
 	bv, bok := compileVecSrc(in.B)
 	if !dok || !aok2 {
-		return warpLaneInterp(in)
+		return warpLaneInterp(in), nil
 	}
 	au, auok := compileUniSrc(in.A, in.Imm, p)
 	bu, buok := compileUniSrc(in.B, in.Imm, p)
 	if (!aok && !auok) || (!bok && !buok) {
-		return warpLaneInterp(in)
+		return warpLaneInterp(in), nil
+	}
+	st := &opStats{arith: 1}
+	if aok {
+		st.count(av.ctr, 1)
+	} else {
+		st.count(au.ctr, 1)
+	}
+	if bok {
+		st.count(bv.ctr, 1)
+	} else {
+		st.count(bu.ctr, 1)
+	}
+	st.count(acc.ctr, 1)
+	st.count(d.ctr, 1)
+	if aok && bok {
+		if k := accKernels[in.Op]; k != nil {
+			return func(e *execContext, w *warp, act uint64) error {
+				ar, br, dr := av.rowOf(w), bv.rowOf(w), d.rowOf(w)
+				if int(act) == w.lanes {
+					k(dr, ar, br)
+					return nil
+				}
+				for l := 0; l < w.lanes; l++ {
+					if w.active[l] && !w.exited[l] {
+						dr[l] = f(dr[l], ar[l], br[l])
+					}
+				}
+				return nil
+			}, st
+		}
 	}
 	return func(e *execContext, w *warp, act uint64) error {
-		e.gs.ArithInstr += act
-		if aok {
-			av.bump(e.gs, act)
-		} else {
-			au.bump(e.gs, act)
-		}
-		if bok {
-			bv.bump(e.gs, act)
-		} else {
-			bu.bump(e.gs, act)
-		}
-		acc.bump(e.gs, act)
-		d.bump(e.gs, act)
 		var aRow, bRow *[WarpSize]uint64
 		var aVal, bVal uint64
 		if aok {
@@ -424,16 +1158,41 @@ func compileWarpAcc(in *Instr, p *Program, f func(acc, a, b uint64) uint64) warp
 			dr[l] = f(dr[l], a, b)
 		}
 		return nil
-	}
+	}, st
 }
 
 // --- Memory -----------------------------------------------------------------
 
+// batchSpan reports whether all lanes of a fully-active warp touch one
+// virtual page, returning the lowest lane address. addrs is the SoA base
+// row; every lane accesses addrs[l]+imm for size bytes.
+func batchSpan(addrs *[WarpSize]uint64, lanes int, imm uint64, size int) (lo uint64, ok bool) {
+	lo = addrs[0] + imm
+	hi := lo
+	for l := 1; l < lanes; l++ {
+		a := addrs[l] + imm
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	return lo, lo&^uint64(mem.PageMask) == (hi+uint64(size)-1)&^uint64(mem.PageMask)
+}
+
 // compileWarpMem fuses a load/store into a per-lane loop over the walker
-// fast path. Counters and the walker call stay per-lane and in interpreter
-// order, so a faulting lane aborts with identical totals; the walker
-// itself falls back internally for MMIO, page-crossing and faulting
-// accesses, which is what keeps TLB hit/walk counts bit-identical.
+// fast path, with a coalesced batch path in front: when the whole warp is
+// active and every lane's access lands inside one virtual page (the
+// uniform-base + lane-stride shape of well-behaved kernels), the page is
+// translated once through Walker.BatchPage — which accounts TLB hits/
+// walks, touched pages and the dirty watermark bit-identically to the
+// per-lane sequence — and the lanes copy straight between the host page
+// view and the SoA register row. The batch cannot fault (BatchPage
+// declines rather than faults), so its counters may bump in bulk.
+// Divergent warps, page-crossing spans, MMIO frames and faulting accesses
+// fall back to the per-lane loop, where counters and walker calls stay in
+// interpreter order so a faulting lane aborts with identical totals.
 func compileWarpMem(in *Instr, p *Program) warpFn {
 	imm := uint64(int64(int32(in.Imm)))
 	switch in.Op {
@@ -453,6 +1212,32 @@ func compileWarpMem(in *Instr, p *Program) warpFn {
 		return func(e *execContext, w *warp, act uint64) error {
 			e.gs.LSInstr += act
 			ar, dr := av.rowOf(w), d.rowOf(w)
+			if int(act) == w.lanes {
+				if lo, ok := batchSpan(ar, w.lanes, imm, size); ok {
+					if page, ok := e.walker.BatchPage(lo, mem.Read, act); ok {
+						av.bump(e.gs, act)
+						e.gs.GlobalLS += act
+						e.gs.MainMemAcc += act
+						d.bump(e.gs, act)
+						if e.walker.Shared() {
+							for l := 0; l < w.lanes; l++ {
+								off := (ar[l] + imm) & mem.PageMask
+								if size == 4 && off&3 == 0 {
+									dr[l] = mem.AtomicLoad32(page, off)
+								} else {
+									dr[l] = mem.AtomicLoadLE(page, off, size)
+								}
+							}
+						} else {
+							for l := 0; l < w.lanes; l++ {
+								off := (ar[l] + imm) & mem.PageMask
+								dr[l] = mem.LoadLE(page[off : off+uint64(size)])
+							}
+						}
+						return nil
+					}
+				}
+			}
 			for l := 0; l < w.lanes; l++ {
 				if !w.active[l] || w.exited[l] {
 					continue
@@ -486,6 +1271,34 @@ func compileWarpMem(in *Instr, p *Program) warpFn {
 		return func(e *execContext, w *warp, act uint64) error {
 			e.gs.LSInstr += act
 			ar, br := av.rowOf(w), bv.rowOf(w)
+			if int(act) == w.lanes {
+				if lo, ok := batchSpan(ar, w.lanes, imm, size); ok {
+					if page, ok := e.walker.BatchPage(lo, mem.Write, act); ok {
+						av.bump(e.gs, act)
+						bv.bump(e.gs, act)
+						e.gs.GlobalLS += act
+						e.gs.MainMemAcc += act
+						// Lane order is preserved: overlapping lane stores
+						// resolve low-lane-first, as the per-lane loop does.
+						if e.walker.Shared() {
+							for l := 0; l < w.lanes; l++ {
+								off := (ar[l] + imm) & mem.PageMask
+								if size == 4 && off&3 == 0 {
+									mem.AtomicStore32(page, off, uint32(br[l]))
+								} else {
+									mem.AtomicStoreLE(page, off, size, br[l])
+								}
+							}
+						} else {
+							for l := 0; l < w.lanes; l++ {
+								off := (ar[l] + imm) & mem.PageMask
+								mem.StoreLE(page[off:off+uint64(size)], size, br[l])
+							}
+						}
+						return nil
+					}
+				}
+			}
 			for l := 0; l < w.lanes; l++ {
 				if !w.active[l] || w.exited[l] {
 					continue

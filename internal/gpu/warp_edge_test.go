@@ -264,6 +264,95 @@ var warpEdgeCases = []warpEdgeCase{
 			)
 		},
 	},
+	// A BRC whose target is the clause a fallthrough chain would otherwise
+	// absorb: taken lanes enter c3 directly with r8 still zero, fall lanes
+	// flow through c2 into c3 — fusing c2→c3 would run c2 on taken lanes.
+	{
+		name: "brc_into_mid_chain", global: [3]uint32{8, 1, 1}, local: [3]uint32{4, 1, 1},
+		prog: func() *gpu.Program {
+			return edgeProgram(
+				gpu.Clause{Instrs: []gpu.Instr{
+					{Op: gpu.OpBRC, A: gpu.R(7), Imm: gpu.BranchImm(3, 4)},
+				}},
+				gpu.Clause{Instrs: []gpu.Instr{ // c2: fall path, falls through into c3
+					{Op: gpu.OpIADD, Dst: gpu.R(8), A: gpu.R(3), B: gpu.Imm, Imm: 0x11},
+				}},
+				gpu.Clause{Instrs: []gpu.Instr{ // c3: also the branch target
+					{Op: gpu.OpIADD, Dst: gpu.R(8), A: gpu.R(8), B: gpu.Imm, Imm: 0x2200},
+				}},
+				edgeStore(), // c4: rejoin
+			)
+		},
+		check: func(t *testing.T, gs stats.GPUStats) {
+			if gs.DivergentBranches == 0 {
+				t.Error("expected divergent branches")
+			}
+		},
+	},
+	// Fusable ALU chains on both sides of a barrier: the chain before it
+	// must end at the BARRIER terminal, the resume clause heads a new one.
+	{
+		name: "barrier_between_fused_chains", global: [3]uint32{8, 1, 1}, local: [3]uint32{4, 1, 1},
+		prog: func() *gpu.Program {
+			return edgeProgram(
+				gpu.Clause{Instrs: []gpu.Instr{
+					{Op: gpu.OpIADD, Dst: gpu.R(8), A: gpu.R(3), B: gpu.Imm, Imm: 1},
+				}},
+				gpu.Clause{Instrs: []gpu.Instr{
+					{Op: gpu.OpIADD, Dst: gpu.R(8), A: gpu.R(8), B: gpu.Imm, Imm: 0x30},
+					{Op: gpu.OpBARRIER},
+				}},
+				gpu.Clause{Instrs: []gpu.Instr{
+					{Op: gpu.OpSHL, Dst: gpu.R(10), A: gpu.R(8), B: gpu.Imm, Imm: 1},
+				}},
+				gpu.Clause{Instrs: []gpu.Instr{
+					{Op: gpu.OpIADD, Dst: gpu.R(8), A: gpu.R(8), B: gpu.R(10)},
+				}},
+				edgeStore(),
+			)
+		},
+	},
+	// Lane stride 1020: warp 0's span (3064 B) fits one page and takes the
+	// batched LDG path, warp 1's span crosses the page boundary and must
+	// fall back per lane — identical data and counters either way.
+	{
+		name: "strided_ldg_page_cross_fallback", global: [3]uint32{8, 1, 1}, local: [3]uint32{4, 1, 1},
+		prog: func() *gpu.Program {
+			return edgeProgram(
+				gpu.Clause{Instrs: []gpu.Instr{
+					{Op: gpu.OpIMUL, Dst: gpu.R(10), A: gpu.S(gpu.SpecGIDX), B: gpu.Imm, Imm: 1020},
+					{Op: gpu.OpADD64, Dst: gpu.R(10), A: gpu.C(0), B: gpu.R(10)},
+					{Op: gpu.OpLDG, Dst: gpu.R(11), A: gpu.R(10)},
+					{Op: gpu.OpIADD, Dst: gpu.R(8), A: gpu.R(11), B: gpu.R(3)},
+				}},
+				edgeStore(),
+			)
+		},
+	},
+	// Batched stores with lane-permuted (descending within each quad)
+	// addresses, read back by the straight order: batchSpan must handle
+	// non-monotonic lanes, and the bulk copies must preserve per-lane
+	// values exactly (each scratch slot is written by exactly one thread).
+	{
+		name: "permuted_batched_stg", global: [3]uint32{8, 1, 1}, local: [3]uint32{4, 1, 1},
+		prog: func() *gpu.Program {
+			return edgeProgram(
+				gpu.Clause{Instrs: []gpu.Instr{
+					{Op: gpu.OpXOR, Dst: gpu.R(10), A: gpu.S(gpu.SpecGIDX), B: gpu.Imm, Imm: 3},
+					{Op: gpu.OpSHL, Dst: gpu.R(10), A: gpu.R(10), B: gpu.Imm, Imm: 3},
+					{Op: gpu.OpADD64, Dst: gpu.R(10), A: gpu.C(3), B: gpu.R(10)},
+					{Op: gpu.OpSTG64, A: gpu.R(10), B: gpu.R(3)},
+				}},
+				gpu.Clause{Instrs: []gpu.Instr{
+					{Op: gpu.OpSHL, Dst: gpu.R(11), A: gpu.S(gpu.SpecGIDX), B: gpu.Imm, Imm: 3},
+					{Op: gpu.OpADD64, Dst: gpu.R(11), A: gpu.C(3), B: gpu.R(11)},
+					{Op: gpu.OpLDG64, Dst: gpu.R(12), A: gpu.R(11)},
+					{Op: gpu.OpIADD, Dst: gpu.R(8), A: gpu.R(12), B: gpu.Imm, Imm: 5},
+				}},
+				edgeStore(),
+			)
+		},
+	},
 	// Clause temporaries threaded through fused ALU closures, plus the
 	// accumulator forms (FMA reads its destination, SEL selects on it).
 	{

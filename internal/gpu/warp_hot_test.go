@@ -157,3 +157,62 @@ func BenchmarkWarpClauseEngines(b *testing.B) {
 		})
 	}
 }
+
+// TestWarpClauseEnginesBenchAllocs pins BenchmarkWarpClauseEngines/warp's
+// -benchmem reading to zero: the benchmark's own allocation accounting —
+// not just AllocsPerRun — must show an allocation-free steady state, so a
+// regression shows up in CI and not only in a manually-read benchmark log.
+func TestWarpClauseEnginesBenchAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness run skipped in -short")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		ec, w, _ := newHotContext(b)
+		runHotClauses(b, ec, w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runHotClauses(b, ec, w)
+		}
+	})
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Errorf("BenchmarkWarpClauseEngines/warp allocates %d/op (%d B/op), want 0", a, res.AllocedBytesPerOp())
+	}
+}
+
+// TestWarpSlabPoolRecycles pins the per-device warp free list: a slab
+// returned to the pool comes back with the same backing array, recycled
+// warps are architecturally fresh (zero registers, empty-but-capacitated
+// divergence stack), and undersized slabs are replaced rather than sliced
+// beyond capacity.
+func TestWarpSlabPoolRecycles(t *testing.T) {
+	var pool warpSlabPool
+	ec := &execContext{warpSlab: pool.get()} // empty pool → nil slab is valid
+	first := ec.warpsFor(4)
+	if len(first) != 4 {
+		t.Fatalf("warpsFor(4) returned %d warps", len(first))
+	}
+	// Dirty a warp the way a kernel would: registers, mask, divergence.
+	first[2].w.regs[3][1] = 0xdeadbeef
+	first[2].w.active[0] = true
+	first[2].w.stack = append(first[2].w.stack, divFrame{rejoin: 7})
+	first[2].done = true
+	stackCap := cap(first[2].w.stack)
+
+	pool.put(ec.warpSlab)
+	ec2 := &execContext{warpSlab: pool.get()}
+	reused := ec2.warpsFor(3)
+	if &reused[0] != &first[0] {
+		t.Fatalf("pool.get returned a different backing array")
+	}
+	if w := &reused[2]; w.w.regs[3][1] != 0 || w.w.active[0] || w.done || len(w.w.stack) != 0 {
+		t.Errorf("recycled warp not architecturally fresh: regs=%#x active=%v done=%v stack=%d",
+			w.w.regs[3][1], w.w.active[0], w.done, len(w.w.stack))
+	}
+	if cap(reused[2].w.stack) != stackCap {
+		t.Errorf("divergence stack capacity not preserved: got %d, want %d", cap(reused[2].w.stack), stackCap)
+	}
+	if grown := ec2.warpsFor(16); len(grown) != 16 {
+		t.Errorf("warpsFor(16) on a 4-cap slab returned %d warps", len(grown))
+	}
+}

@@ -283,6 +283,66 @@ func (w *Walker) hitPage(va uint64, kind mem.AccessKind) []byte {
 	return e.page
 }
 
+// BatchPage translates one virtual page for a warp-coalesced access of n
+// lanes that all land inside that page, returning the host page view to
+// copy through. On success the TLB counters advance exactly as n
+// independent per-lane accesses would: a resident entry costs n hits; a
+// miss costs one walk — with the same touched-page and dirty-watermark
+// bookkeeping as Translate — followed by n-1 hits. It returns (nil,
+// false) with NO counters or TLB state touched when the batch cannot be
+// served wholesale: translation off, MMIO frame (device accesses have
+// side effects and must stay per-lane through the bus), translation or
+// permission fault (the faulting lane's counter prefix matters), or a
+// store through a copy-on-write view that failed to privatize. The
+// caller then falls back to the per-lane path, which reproduces the
+// interpreter's exact counter and fault sequence.
+func (w *Walker) BatchPage(va uint64, kind mem.AccessKind, n uint64) ([]byte, bool) {
+	if w.root == 0 || n == 0 {
+		return nil, false
+	}
+	vpn := va >> 12
+	e := &w.tlb[vpn&(tlbSize-1)]
+	if e.vpn == vpn+1 {
+		if e.page == nil || !permOK(e.perms, kind) {
+			return nil, false
+		}
+		if e.ro && kind == mem.Write {
+			// First store through a shared copy-on-write view: privatize
+			// and upgrade in place, as Translate does on the hit path.
+			page, ro, ok := w.bus.PageView(e.pfn, true)
+			if !ok || page == nil || ro {
+				return nil, false
+			}
+			e.page, e.ro = page, ro
+		}
+		w.Hits += n
+		return e.page, true
+	}
+	// TLB miss: probe the walk without committing any counter, so a
+	// fallback after a fault or MMIO frame replays lane 0's miss
+	// accounting (Walks++ inclusive) through Translate untouched.
+	pfn, perms, fault := w.walk(va, kind)
+	if fault != nil || !permOK(perms, kind) {
+		return nil, false
+	}
+	page, ro, _ := w.bus.PageView(pfn, kind == mem.Write)
+	if page == nil || (ro && kind == mem.Write) {
+		return nil, false
+	}
+	// The batch is serviceable: account lane 0's walk exactly as
+	// Translate would, then the remaining n-1 lanes as hits.
+	w.Walks++
+	if w.touched != nil {
+		w.touched[vpn>>6] |= 1 << (vpn & 63)
+	}
+	if !ro && perms&PermW != 0 {
+		w.bus.MarkDirty(pfn, mem.PageSize)
+	}
+	*e = tlbEntry{vpn: vpn + 1, pfn: pfn, perms: perms, page: page, ro: ro}
+	w.Hits += n - 1
+	return page, true
+}
+
 // Load translates va and loads size little-endian bytes in one step. On a
 // TLB hit to a RAM-backed page it reads the cached host view directly,
 // touching neither the bus nor any lock and allocating nothing; otherwise

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# bench_compare.sh — diff two bench-trajectory snapshots (BENCH_<pr>.json,
+# see EXPERIMENTS.md) and report per-benchmark ns/op movement. Usage:
+#
+#   scripts/bench_compare.sh                      # newest two BENCH_*.json
+#   scripts/bench_compare.sh BENCH_6.json BENCH_7.json
+#   THRESHOLD_PCT=15 scripts/bench_compare.sh     # custom regression gate
+#
+# Exit status: 0 when no benchmark regressed beyond THRESHOLD_PCT (default
+# 10%), 1 on a threshold breach. CI runs this report-only (the threshold
+# breach is printed but not enforced): shared-runner timing is too noisy
+# to gate merges on, but the report in the log is where a perf regression
+# is first visible. Keys present in only one snapshot are listed but never
+# fail the comparison — benchmarks are added and renamed between PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+old="${1:-}"
+new="${2:-}"
+if [ -z "$old" ] || [ -z "$new" ]; then
+    # Default: the two newest snapshots by PR number.
+    mapfile -t snaps < <(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)
+    if [ "${#snaps[@]}" -lt 2 ]; then
+        echo "bench_compare: need two BENCH_*.json snapshots (found ${#snaps[@]})" >&2
+        exit 0
+    fi
+    old="${snaps[-2]}"
+    new="${snaps[-1]}"
+fi
+
+THRESHOLD_PCT="${THRESHOLD_PCT:-10}" old="$old" new="$new" python3 - <<'EOF'
+import json, os, sys
+
+old_path, new_path = os.environ["old"], os.environ["new"]
+threshold = float(os.environ["THRESHOLD_PCT"])
+with open(old_path) as f:
+    old = json.load(f)["benchmarks"]
+with open(new_path) as f:
+    new = json.load(f)["benchmarks"]
+
+rows, regressed = [], []
+for name in sorted(set(old) | set(new)):
+    o, n = old.get(name), new.get(name)
+    if o is None:
+        rows.append((name, None, n["ns_per_op"], "new"))
+        continue
+    if n is None:
+        rows.append((name, o["ns_per_op"], None, "gone"))
+        continue
+    delta = (n["ns_per_op"] - o["ns_per_op"]) / o["ns_per_op"] * 100
+    mark = ""
+    if delta > threshold:
+        mark = "REGRESSED"
+        regressed.append((name, delta))
+    elif delta < -threshold:
+        mark = "improved"
+    rows.append((name, o["ns_per_op"], n["ns_per_op"], f"{delta:+.1f}% {mark}".strip()))
+
+def fmt(ns):
+    if ns is None:
+        return "-"
+    if ns >= 1e6:
+        return f"{ns/1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns/1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+width = max(len(r[0]) for r in rows)
+print(f"bench_compare: {old_path} -> {new_path} (threshold {threshold:.0f}%)")
+for name, o, n, note in rows:
+    print(f"  {name:<{width}}  {fmt(o):>10}  {fmt(n):>10}  {note}")
+
+if regressed:
+    print(f"\n{len(regressed)} benchmark(s) regressed beyond {threshold:.0f}%:")
+    for name, delta in regressed:
+        print(f"  {name}: {delta:+.1f}%")
+    sys.exit(1)
+print("\nno regressions beyond threshold")
+EOF
