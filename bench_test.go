@@ -70,7 +70,7 @@ func BenchmarkFig01CompilerVersions(b *testing.B) {
 
 func BenchmarkFig06DivergenceCFG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(io.Discard, smallOpt); err != nil {
+		if _, err := experiments.Fig6(bg, io.Discard, smallOpt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,12 +105,12 @@ func BenchmarkFig09DriverScaling(b *testing.B) {
 	// comparator acquires a fresh GiB-scale backing store per context
 	// otherwise), so the timed iterations measure the steady state the
 	// sweep actually runs in.
-	if _, err := experiments.Fig9(io.Discard, smallOpt); err != nil {
+	if _, err := experiments.Fig9(bg, io.Discard, smallOpt); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9(io.Discard, smallOpt); err != nil {
+		if _, err := experiments.Fig9(bg, io.Discard, smallOpt); err != nil {
 			b.Fatal(err)
 		}
 	}

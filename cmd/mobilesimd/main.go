@@ -262,7 +262,9 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	resp.SimMS = float64(res.SimDuration) / float64(time.Millisecond)
 	resp.NativeMS = float64(res.NativeDuration) / float64(time.Millisecond)
 	resp.WallMS = float64(res.Wall) / float64(time.Millisecond)
+	//simlint:allow statscommit -- serialization copy into the RPC response, not live bookkeeping
 	resp.Stats.GPU = res.Stats.GPU
+	//simlint:allow statscommit -- serialization copy into the RPC response, not live bookkeeping
 	resp.Stats.System = res.Stats.System
 	resp.Stats.DriverCPUMS = float64(res.Stats.DriverCPUTime) / float64(time.Millisecond)
 	resp.Stats.GuestInstructions = res.Stats.GuestInstructions

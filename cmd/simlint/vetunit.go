@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+
+	"mobilesim/internal/analysis"
+)
+
+// vetConfig mirrors the unit-checker configuration file the go vet
+// driver writes for -vettool tools (one JSON file per package unit).
+// Only the fields simlint consumes are declared.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one vet unit described by a .cfg file and returns
+// the process exit code: 0 clean, 2 findings, 1 operational error. The
+// AST analyzers run with dependencies resolved from the export data
+// the driver supplies; the hotalloc gate (a whole-build check) only
+// runs in standalone mode.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// simlint exports no facts, but the driver expects the output file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	p := &analysis.Package{Dir: cfg.Dir, ImportPath: cfg.ImportPath}
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+		p.Files = append(p.Files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if c, ok := cfg.ImportMap[path]; ok {
+			path = c
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	diags, err := analysis.CheckPackage(fset, imp, p, analysis.Analyzers())
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	exit := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d)
+		exit = 2
+	}
+	return exit
+}

@@ -34,7 +34,7 @@ type ExperimentOptions struct {
 	CompilerVersion string
 }
 
-func (o ExperimentOptions) lower(ctx context.Context) experiments.Options {
+func (o ExperimentOptions) lower() experiments.Options {
 	scale := o.Scale
 	if scale == "" {
 		scale = ExperimentScaleDefault
@@ -43,7 +43,6 @@ func (o ExperimentOptions) lower(ctx context.Context) experiments.Options {
 		Scale:           experiments.ScaleKind(scale),
 		HostThreads:     o.HostThreads,
 		CompilerVersion: o.CompilerVersion,
-		Ctx:             ctx,
 	}
 }
 
@@ -53,22 +52,58 @@ func (o ExperimentOptions) lower(ctx context.Context) experiments.Options {
 var experimentRunners = []struct {
 	name string
 	desc string
-	run  func(io.Writer, experiments.Options) error
+	run  func(context.Context, io.Writer, experiments.Options) error
 }{
-	{"fig1", "compiler-version instruction counts", func(w io.Writer, _ experiments.Options) error { _, err := experiments.Fig1(w); return err }},
-	{"fig6", "BFS divergence CFG", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig6(w, o); return err }},
-	{"fig7", "full-stack slowdown vs native", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig7(w, o); return err }},
-	{"fig8", "host-thread scaling", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig8(w, o); return err }},
-	{"fig9", "driver runtime vs input size", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig9(w, o); return err }},
-	{"fig10", "simulation-rate comparison", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig10(w, o); return err }},
-	{"fig11", "instruction mixes", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig11(w, o); return err }},
-	{"fig12", "data-access breakdowns", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig12(w, o); return err }},
-	{"fig13", "clause-size distributions", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig13(w, o); return err }},
-	{"fig14", "SLAMBench configuration study", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig14(w, o); return err }},
-	{"fig15", "SGEMM tuning-ladder study", func(w io.Writer, o experiments.Options) error { _, err := experiments.Fig15(w, o); return err }},
-	{"table2", "benchmark suite inventory", func(w io.Writer, _ experiments.Options) error { return experiments.Table2(w) }},
-	{"table3", "system-interaction statistics", func(w io.Writer, o experiments.Options) error { _, err := experiments.Table3(w, o); return err }},
-	{"table4", "simulator feature comparison", func(w io.Writer, _ experiments.Options) error { return experiments.Table4(w) }},
+	{"fig1", "compiler-version instruction counts", func(_ context.Context, w io.Writer, _ experiments.Options) error {
+		_, err := experiments.Fig1(w)
+		return err
+	}},
+	{"fig6", "BFS divergence CFG", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig6(ctx, w, o)
+		return err
+	}},
+	{"fig7", "full-stack slowdown vs native", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig7(ctx, w, o)
+		return err
+	}},
+	{"fig8", "host-thread scaling", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig8(ctx, w, o)
+		return err
+	}},
+	{"fig9", "driver runtime vs input size", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig9(ctx, w, o)
+		return err
+	}},
+	{"fig10", "simulation-rate comparison", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig10(ctx, w, o)
+		return err
+	}},
+	{"fig11", "instruction mixes", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig11(ctx, w, o)
+		return err
+	}},
+	{"fig12", "data-access breakdowns", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig12(ctx, w, o)
+		return err
+	}},
+	{"fig13", "clause-size distributions", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig13(ctx, w, o)
+		return err
+	}},
+	{"fig14", "SLAMBench configuration study", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig14(ctx, w, o)
+		return err
+	}},
+	{"fig15", "SGEMM tuning-ladder study", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Fig15(ctx, w, o)
+		return err
+	}},
+	{"table2", "benchmark suite inventory", func(_ context.Context, w io.Writer, _ experiments.Options) error { return experiments.Table2(w) }},
+	{"table3", "system-interaction statistics", func(ctx context.Context, w io.Writer, o experiments.Options) error {
+		_, err := experiments.Table3(ctx, w, o)
+		return err
+	}},
+	{"table4", "simulator feature comparison", func(_ context.Context, w io.Writer, _ experiments.Options) error { return experiments.Table4(w) }},
 }
 
 func init() {
@@ -84,7 +119,7 @@ func init() {
 type experimentWorkload struct {
 	name string
 	desc string
-	run  func(io.Writer, experiments.Options) error
+	run  func(context.Context, io.Writer, experiments.Options) error
 }
 
 func (e experimentWorkload) Info() WorkloadInfo {
@@ -99,7 +134,6 @@ func (e experimentWorkload) Execute(ctx context.Context, s *Session, opt *RunOpt
 		Scale:           experiments.ScaleKind(opt.ExperimentScale),
 		HostThreads:     s.Config().HostThreads,
 		CompilerVersion: s.Config().CompilerVersion,
-		Ctx:             ctx,
 	}
 	w := opt.Output
 	var captured strings.Builder
@@ -107,7 +141,7 @@ func (e experimentWorkload) Execute(ctx context.Context, s *Session, opt *RunOpt
 		w = &captured
 	}
 	t0 := time.Now()
-	if err := e.run(w, eopt); err != nil {
+	if err := e.run(ctx, w, eopt); err != nil {
 		return nil, err
 	}
 	return &RunResult{
@@ -138,7 +172,7 @@ func Experiments() []string {
 func RunExperiment(w io.Writer, name string, opt ExperimentOptions) error {
 	for _, e := range experimentRunners {
 		if e.name == name {
-			return e.run(w, opt.lower(context.Background()))
+			return e.run(context.Background(), w, opt.lower())
 		}
 	}
 	return fmt.Errorf("mobilesim: unknown experiment %q (have %s)",

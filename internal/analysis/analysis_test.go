@@ -1,0 +1,65 @@
+package analysis_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"mobilesim/internal/analysis"
+	"mobilesim/internal/analysis/analysistest"
+)
+
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, elem...)...)
+}
+
+func TestSharedMemFixture(t *testing.T) {
+	// The fixture's import path is placed in the enforced set, standing in
+	// for the concurrent-guest packages of the production configuration.
+	analysistest.Run(t, fixture("sharedmem"), "fixture/sharedmem",
+		analysis.NewSharedMem("fixture/sharedmem"))
+}
+
+func TestSharedMemNotEnforced(t *testing.T) {
+	// Same call mix, package outside the enforced set: zero findings.
+	analysistest.Run(t, fixture("sharedmem_clean"), "fixture/sharedmem_clean",
+		analysis.SharedMemAnalyzer)
+}
+
+func TestStatsCommitFixture(t *testing.T) {
+	analysistest.Run(t, fixture("statscommit"), "fixture/statscommit",
+		analysis.StatsCommitAnalyzer)
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	analysistest.Run(t, fixture("ctxflow"), "fixture/ctxflow",
+		analysis.CtxFlowAnalyzer)
+}
+
+func TestAnnotationGrammarFixture(t *testing.T) {
+	analysistest.Run(t, fixture("annotations"), "fixture/annotations",
+		analysis.CtxFlowAnalyzer)
+}
+
+// TestTreeIsClean is the self-lint: the production tree must carry zero
+// unsuppressed findings, so a contract regression fails go test even
+// before CI's dedicated simlint job runs.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree type-check is not short")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := analysis.LoadPatterns(fset, filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Check(fset, pkgs, analysis.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !d.Suppressed {
+			t.Errorf("unsuppressed finding: %s", d)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package analysistest runs simlint analyzers over fixture packages and
+// compares the diagnostics against expectations embedded in the fixture
+// source, in the spirit of golang.org/x/tools/go/analysis/analysistest:
+//
+//	bad()  // want "regexp matching the finding message"
+//	ok()   // want-suppressed "regexp" — an annotated (suppressed) finding
+//
+// Every unsuppressed finding must be matched by a want comment on its
+// line, every suppressed finding by a want-suppressed comment, and every
+// expectation must be met — extra and missing findings both fail.
+//
+// Fixtures live under testdata/src/<analyzer>/, so the go command never
+// sees them as packages of the module; they may still import real
+// module packages (mobilesim/internal/mem, ...), which the source
+// importer resolves as long as the test process runs inside the module
+// (the default for go test).
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mobilesim/internal/analysis"
+)
+
+// expectation is one want/want-suppressed comment.
+type expectation struct {
+	file       string
+	line       int
+	re         *regexp.Regexp
+	suppressed bool
+	met        bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*(want(?:-suppressed)?)\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run analyzes the fixture package rooted at dir (its .go files, no
+// recursion) under the given import path and reports mismatches on t.
+func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	p := &analysis.Package{Dir: dir, ImportPath: importPath}
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		p.Files = append(p.Files, f)
+		exp, err := parseWants(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expects = append(expects, exp...)
+	}
+	if len(p.Files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	imp := importer.ForCompiler(fset, "source", nil)
+	diags, err := analysis.CheckPackage(fset, imp, p, analyzers)
+	if err != nil {
+		t.Fatalf("checking fixture %s: %v", importPath, err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.file == d.Pos.Filename && e.line == d.Pos.Line &&
+				e.suppressed == d.Suppressed && e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+			}
+		}
+		if !matched {
+			kind := "finding"
+			if d.Suppressed {
+				kind = "suppressed finding"
+			}
+			t.Errorf("unexpected %s: %s", kind, d)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			kind := "want"
+			if e.suppressed {
+				kind = "want-suppressed"
+			}
+			t.Errorf("%s:%d: %s %q: no matching finding", e.file, e.line, kind, e.re)
+		}
+	}
+}
+
+// parseWants scans a fixture file's source for want comments. It works
+// on raw lines rather than the AST so expectations inside commented-out
+// regions are impossible and column details are irrelevant.
+func parseWants(path string) ([]*expectation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+			unq, err := unquote(m[2])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want string %q: %v", path, i+1, m[2], err)
+			}
+			re, err := regexp.Compile(unq)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp: %v", path, i+1, err)
+			}
+			out = append(out, &expectation{
+				file:       path,
+				line:       i + 1,
+				re:         re,
+				suppressed: m[1] == "want-suppressed",
+			})
+		}
+	}
+	return out, nil
+}
+
+// unquote resolves backslash escapes inside a want string (\" and \\).
+func unquote(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			if i >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression annotation:
+//
+//	//simlint:allow <analyzer> -- <reason>
+//
+// The annotation covers findings of the named analyzer on its own line
+// and, when the comment stands alone on a line, on the next source line.
+const allowPrefix = "//simlint:allow"
+
+// commitPrefix designates a stats-commit site (see statscommit.go):
+//
+//	//simlint:commit -- <reason>
+//
+// placed in the doc comment of a function or method declaration.
+const commitPrefix = "//simlint:commit"
+
+// allowAnnotation is one parsed simlint:allow comment.
+type allowAnnotation struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	// line the annotation applies to: its own line, or the next line
+	// when the comment stands alone.
+	targetLine int
+	used       bool
+	malformed  string // non-empty: parse problem, reported as a finding
+}
+
+// parseAllows extracts every simlint:allow annotation from a file,
+// validating the grammar against the known analyzer names.
+func parseAllows(fset *token.FileSet, f *ast.File, known map[string]bool) []*allowAnnotation {
+	var out []*allowAnnotation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			a := &allowAnnotation{pos: pos, targetLine: pos.Line}
+			if pos.Column == 1 || standsAlone(fset, f, c) {
+				a.targetLine = pos.Line + 1
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+				a.malformed = "malformed annotation: want //simlint:allow <analyzer> -- <reason>"
+				out = append(out, a)
+				continue
+			}
+			name, reason, ok := strings.Cut(strings.TrimSpace(rest), "--")
+			a.analyzer = strings.TrimSpace(name)
+			a.reason = strings.TrimSpace(reason)
+			switch {
+			case !ok || a.reason == "":
+				a.malformed = "annotation is missing a reason: want //simlint:allow <analyzer> -- <reason>"
+			case !known[a.analyzer]:
+				a.malformed = "annotation names unknown analyzer " + strings.TrimSpace(name)
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// standsAlone reports whether comment c occupies its line by itself (no
+// code before it), in which case the annotation targets the next line.
+func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		// Any non-comment node ending on the comment's line before the
+		// comment means the annotation trails code.
+		if fset.Position(n.End()).Line == line && n.End() <= c.Pos() {
+			switch n.(type) {
+			case *ast.File, *ast.Comment, *ast.CommentGroup:
+			default:
+				alone = false
+			}
+		}
+		return true
+	})
+	return alone
+}
+
+// applyAnnotations matches diagnostics against the annotations of their
+// package, marking covered findings suppressed, and appends findings for
+// malformed or unused annotations. Only annotations naming an analyzer
+// in ran are checked for use, so a partial run (tests, a single-analyzer
+// invocation) does not misreport another analyzer's annotations.
+func applyAnnotations(diags []Diagnostic, allows []*allowAnnotation, ran map[string]bool) []Diagnostic {
+	byLine := make(map[int][]*allowAnnotation)
+	for _, a := range allows {
+		if a.malformed == "" {
+			byLine[a.targetLine] = append(byLine[a.targetLine], a)
+		}
+	}
+	for i := range diags {
+		d := &diags[i]
+		for _, a := range byLine[d.Pos.Line] {
+			if a.analyzer == d.Analyzer {
+				d.Suppressed = true
+				d.Reason = a.reason
+				a.used = true
+			}
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.malformed != "":
+			diags = append(diags, Diagnostic{
+				Analyzer: "simlint",
+				Pos:      a.pos,
+				Message:  a.malformed,
+			})
+		case !a.used && ran[a.analyzer]:
+			diags = append(diags, Diagnostic{
+				Analyzer: "simlint",
+				Pos:      a.pos,
+				Message:  "unused simlint:allow annotation for " + a.analyzer + " (no finding on the annotated line)",
+			})
+		}
+	}
+	return diags
+}
+
+// hasCommitDirective reports whether a function declaration's doc
+// comment designates it a stats-commit site, and returns the reason.
+func hasCommitDirective(doc *ast.CommentGroup) (bool, string) {
+	if doc == nil {
+		return false, ""
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, commitPrefix) {
+			_, reason, _ := strings.Cut(c.Text, "--")
+			return true, strings.TrimSpace(reason)
+		}
+	}
+	return false, ""
+}

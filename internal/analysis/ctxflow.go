@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer flags functions that receive a context.Context — as a
+// parameter, or through a receiver/parameter struct that carries a
+// context field — yet mint a fresh context.Background()/context.TODO()
+// instead of threading the caller's context through. That silently
+// severs cancellation: the callee looks context-aware but never
+// observes the caller's deadline (the internal/experiments fallback
+// fixed in this PR was exactly this shape).
+//
+// Exemption: the documented nil-means-Background convention. A
+// Background()/TODO() call inside an if-statement guarded by a nil
+// check on a context parameter of the same (or an enclosing) function
+// is a deliberate default, not a discard, and is not flagged.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions receiving a context.Context must not discard it via context.Background()/context.TODO()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cw := &ctxWalker{pass: pass, fname: fd.Name.Name}
+			carries := cw.enter(fd.Recv, fd.Type)
+			if carries {
+				cw.walk(fd.Body)
+			} else {
+				// The declaration itself doesn't carry a context, but a
+				// closure inside it may declare its own ctx parameter.
+				cw.walkForLits(fd.Body)
+			}
+		}
+	}
+}
+
+// ctxWalker tracks, down a lexical function-literal chain, whether any
+// enclosing function carries a context and which identifiers are
+// context parameters (for the nil-guard exemption).
+type ctxWalker struct {
+	pass      *Pass
+	fname     string
+	ctxParams map[*ast.Object]bool
+	// guard depth: >0 while inside an if-block whose condition
+	// nil-checks a context parameter.
+	guarded int
+}
+
+// enter registers the receiver/parameters of a function (declaration or
+// literal) and reports whether it carries a context.
+func (w *ctxWalker) enter(recv *ast.FieldList, ft *ast.FuncType) bool {
+	if w.ctxParams == nil {
+		w.ctxParams = make(map[*ast.Object]bool)
+	}
+	carries := false
+	consider := func(fl *ast.FieldList, paramPos bool) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := w.pass.TypesInfo.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if isContextType(t) {
+				carries = true
+				if paramPos {
+					for _, name := range field.Names {
+						w.ctxParams[name.Obj] = true
+					}
+				}
+				continue
+			}
+			if structCarriesContext(t) {
+				carries = true
+			}
+		}
+	}
+	consider(recv, false)
+	consider(ft.Params, true)
+	return carries
+}
+
+// walk inspects a context-carrying function body, flagging
+// Background()/TODO() calls outside nil-guard exemptions.
+func (w *ctxWalker) walk(n ast.Node) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.IfStmt:
+		if n.Init != nil {
+			w.walk(n.Init)
+		}
+		w.walk(n.Cond)
+		if w.isNilGuard(n.Cond) {
+			w.guarded++
+			w.walk(n.Body)
+			w.guarded--
+		} else {
+			w.walk(n.Body)
+		}
+		w.walk(n.Else)
+		return
+	case *ast.FuncLit:
+		// A literal inherits the enclosing context obligation; its own
+		// ctx parameters additionally feed the nil-guard exemption.
+		w.enter(nil, n.Type)
+		w.walk(n.Body)
+		return
+	case *ast.CallExpr:
+		if name := backgroundOrTODO(w.pass, n); name != "" && w.guarded == 0 {
+			w.pass.Reportf(n.Pos(),
+				"context.%s() discards the context %s already carries; thread the caller's context through (or annotate a deliberate detachment)",
+				name, w.fname)
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		switch c.(type) {
+		case *ast.IfStmt, *ast.FuncLit, *ast.CallExpr:
+			w.walk(c)
+			return false
+		}
+		return true
+	})
+}
+
+// walkForLits scans a non-carrying body for function literals that
+// declare their own context parameter.
+func (w *ctxWalker) walkForLits(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		inner := &ctxWalker{pass: w.pass, fname: w.fname}
+		if inner.enter(nil, lit.Type) {
+			inner.walk(lit.Body)
+		} else {
+			inner.walkForLits(lit.Body)
+		}
+		return false
+	})
+}
+
+// isNilGuard reports whether cond contains a nil comparison against a
+// context parameter ident (ctx == nil, ctx != nil, possibly inside a
+// larger boolean expression).
+func (w *ctxWalker) isNilGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		var id *ast.Ident
+		if i, ok := be.X.(*ast.Ident); ok && isNilIdent(be.Y) {
+			id = i
+		} else if i, ok := be.Y.(*ast.Ident); ok && isNilIdent(be.X) {
+			id = i
+		}
+		if id != nil && id.Obj != nil && w.ctxParams[id.Obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// backgroundOrTODO returns "Background"/"TODO" when call is
+// context.Background() or context.TODO(), else "".
+func backgroundOrTODO(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// structCarriesContext reports whether t (pointer-stripped) is a named
+// struct type with a direct context.Context field.
+func structCarriesContext(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+package hotalloc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with one package whose
+// functions cover every gate behaviour: clean, escaping, panic-exempt,
+// and closure tables with clean and dirty literals.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module hotfix\n\ngo 1.21\n",
+		"hot/hot.go": `package hot
+
+import "fmt"
+
+type T struct{ A, B int }
+
+var sink *T
+
+func clean(x, y int) int {
+	return x*y + 1
+}
+
+func dirty() *T {
+	return &T{1, 2}
+}
+
+func panicky(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	return n + 1
+}
+
+var kernels = map[int]func(int) int{
+	0: func(x int) int { return x + 1 },
+	1: func(x int) int { sink = &T{A: x, B: x}; return x },
+}
+
+func compileHot() func() *T {
+	return func() *T { return &T{A: 3, B: 4} }
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func check(t *testing.T, dir string, entries ...Entry) []Violation {
+	t.Helper()
+	v, err := Check(dir, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCleanFunctionPasses(t *testing.T) {
+	dir := writeModule(t)
+	if v := check(t, dir, Entry{Pkg: "hotfix/hot", Decl: "clean"}); len(v) != 0 {
+		t.Errorf("clean pinned function reported violations: %v", v)
+	}
+}
+
+func TestEscapeIsViolation(t *testing.T) {
+	dir := writeModule(t)
+	v := check(t, dir, Entry{Pkg: "hotfix/hot", Decl: "dirty"})
+	if len(v) != 1 || !strings.Contains(v[0].Msg, "escapes to heap") {
+		t.Fatalf("want one escape violation in dirty, got %v", v)
+	}
+}
+
+func TestPanicArgumentsExempt(t *testing.T) {
+	dir := writeModule(t)
+	if v := check(t, dir, Entry{Pkg: "hotfix/hot", Decl: "panicky"}); len(v) != 0 {
+		t.Errorf("panic-argument escapes must be exempt, got %v", v)
+	}
+}
+
+func TestClosureModeChecksLiteralBodies(t *testing.T) {
+	dir := writeModule(t)
+	// kernels[1]'s body allocates; kernels[0] is clean; the closure
+	// objects' own open-line escapes are exempt.
+	v := check(t, dir, Entry{Pkg: "hotfix/hot", Decl: "kernels", Closures: true})
+	if len(v) != 1 || !strings.Contains(v[0].Msg, "escapes to heap") {
+		t.Fatalf("want exactly the dirty kernel body, got %v", v)
+	}
+}
+
+func TestDefaultModeSkipsLiteralInteriors(t *testing.T) {
+	dir := writeModule(t)
+	// compileHot's own body only builds the closure (compile-time cost);
+	// the allocation is inside the literal, so the default mode passes...
+	if v := check(t, dir, Entry{Pkg: "hotfix/hot", Decl: "compileHot"}); len(v) != 0 {
+		t.Errorf("default mode must skip literal interiors, got %v", v)
+	}
+	// ...and +closures pins exactly that interior.
+	v := check(t, dir, Entry{Pkg: "hotfix/hot", Decl: "compileHot", Closures: true})
+	if len(v) != 1 {
+		t.Fatalf("+closures must flag the returned closure body, got %v", v)
+	}
+}
+
+func TestStaleEntryIsError(t *testing.T) {
+	dir := writeModule(t)
+	_, err := Check(dir, []Entry{{Pkg: "hotfix/hot", Decl: "vanished"}})
+	if err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale manifest entry must error, got %v", err)
+	}
+}
+
+func TestParseManifest(t *testing.T) {
+	src := `# comment
+
+hotfix/hot clean
+hotfix/hot Walker.Load
+hotfix/hot kernels +closures
+`
+	entries, err := ParseManifest(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		{Pkg: "hotfix/hot", Decl: "clean"},
+		{Pkg: "hotfix/hot", Decl: "Walker.Load"},
+		{Pkg: "hotfix/hot", Decl: "kernels", Closures: true},
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("got %v", entries)
+	}
+	for i := range want {
+		if entries[i] != want[i] {
+			t.Errorf("entry %d: got %+v want %+v", i, entries[i], want[i])
+		}
+	}
+	for _, bad := range []string{
+		"hotfix/hot",
+		"hotfix/hot clean +sideways",
+		"hotfix/hot clean +closures extra",
+	} {
+		if _, err := ParseManifest(strings.NewReader(bad)); err == nil {
+			t.Errorf("manifest %q must be rejected", bad)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed (and, after Check, type-checked) package.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Files      []*ast.File
+
+	typesPkg *types.Package
+	info     *types.Info
+}
+
+type listJSON struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// LoadPatterns resolves package patterns (./..., specific import paths)
+// through the go command, rooted at moduleDir, and parses every
+// non-test source file. Test files are deliberately out of scope: the
+// contracts guard production code, and fixtures under testdata never
+// appear (the go command prunes them from patterns).
+func LoadPatterns(fset *token.FileSet, moduleDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, patterns...)...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listJSON
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		p := &Package{Dir: lp.Dir, ImportPath: lp.ImportPath}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			p.Files = append(p.Files, f)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Check type-checks every package (through the toolchain's source
+// importer, so dependencies resolve from source with no export data or
+// network) and runs the analyzers over each, returning all diagnostics
+// with annotations applied, sorted by position. The process working
+// directory must be inside the module so the source importer can
+// resolve module-local import paths.
+func Check(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	imp := importer.ForCompiler(fset, "source", nil)
+	var all []Diagnostic
+	for _, p := range pkgs {
+		diags, err := CheckPackage(fset, imp, p, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return all, nil
+}
+
+// CheckPackage type-checks one package through the given importer and
+// runs the analyzers over it, returning its diagnostics with
+// annotations applied. Drivers that bring their own importer (the vet
+// unit-checker mode, which resolves dependencies from export data the
+// vet driver hands it) call this directly; Check wraps it with the
+// source importer for standalone runs.
+func CheckPackage(fset *token.FileSet, imp types.Importer, p *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if err := typeCheck(fset, imp, p); err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, name := range AnalyzerNames() {
+		known[name] = true
+	}
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     p.Files,
+			Pkg:       p.typesPkg,
+			TypesInfo: p.info,
+			diags:     &diags,
+		}
+		a.Run(pass)
+	}
+	var allows []*allowAnnotation
+	for _, f := range p.Files {
+		allows = append(allows, parseAllows(fset, f, known)...)
+	}
+	return applyAnnotations(diags, allows, ran), nil
+}
+
+// typeCheck populates p.typesPkg and p.info.
+func typeCheck(fset *token.FileSet, imp types.Importer, p *Package) error {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(p.ImportPath, fset, p.Files, info)
+	if err != nil {
+		if len(errs) > 0 {
+			err = errs[0]
+		}
+		return fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	p.typesPkg, p.info = pkg, info
+	return nil
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// statsPkg is the instrumentation data-model package whose counters the
+// exact-counter contract (DESIGN.md §9) pins across engines.
+const statsPkg = "mobilesim/internal/stats"
+
+// statsCounterTypes are the counter records: any mutation of their
+// fields outside a designated commit site breaks the bit-identical
+// counters guarantee the differential/golden-test pyramid rests on.
+var statsCounterTypes = map[string]bool{
+	"GPUStats":    true,
+	"SystemStats": true,
+}
+
+// StatsCommitAnalyzer flags mutations of internal/stats counter fields
+// outside designated commit sites. A commit site is a function or
+// method whose doc comment carries
+//
+//	//simlint:commit -- <reason>
+//
+// mutations lexically inside it (closures included — the engines
+// compile counter bookkeeping into clause closures) are legal, as is
+// everything inside package internal/stats itself (Merge/Sub are the
+// canonical commit helpers).
+var StatsCommitAnalyzer = &Analyzer{
+	Name: "statscommit",
+	Doc:  "internal/stats counter fields may only be mutated inside designated //simlint:commit functions",
+	Run:  runStatsCommit,
+}
+
+func runStatsCommit(pass *Pass) {
+	if pass.Pkg.Path() == statsPkg {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if ok, _ := hasCommitDirective(fd.Doc); ok {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if field, typ := statsMutationTarget(pass, lhs); field != "" {
+							pass.Reportf(lhs.Pos(),
+								"stats counter %s.%s mutated outside a commit site: mark %s with //simlint:commit or move the bookkeeping into one (DESIGN.md §9)",
+								typ, field, name)
+						}
+					}
+				case *ast.IncDecStmt:
+					if field, typ := statsMutationTarget(pass, st.X); field != "" {
+						pass.Reportf(st.X.Pos(),
+							"stats counter %s.%s mutated outside a commit site: mark %s with //simlint:commit or move the bookkeeping into one (DESIGN.md §9)",
+							typ, field, name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// statsMutationTarget reports whether expr denotes a mutable reference
+// into a stats counter record: a selector for a field of
+// stats.GPUStats/stats.SystemStats (possibly through indexing, for
+// ClauseSizeHist[i]), or a struct field whose own type is one of the
+// counter records (whole-record overwrites like a ResetStats). It
+// returns the field name and owning type name, or "", "".
+func statsMutationTarget(pass *Pass, expr ast.Expr) (string, string) {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+			continue
+		case *ast.ParenExpr:
+			expr = e.X
+			continue
+		case *ast.StarExpr:
+			expr = e.X
+			continue
+		}
+		break
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", ""
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return "", ""
+	}
+	// Case 1: the field belongs to one of the counter records.
+	if name := counterTypeName(s.Recv()); name != "" {
+		return field.Name(), name
+	}
+	// Case 2: the field's own type is a counter record (whole-record
+	// assignment resets every counter at once).
+	if name := counterTypeName(field.Type()); name != "" {
+		return field.Name(), name
+	}
+	return "", ""
+}
+
+// counterTypeName returns the type name when t (pointer-stripped) is a
+// stats counter record, else "".
+func counterTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != statsPkg || !statsCounterTypes[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}

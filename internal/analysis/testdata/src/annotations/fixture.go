@@ -1,0 +1,17 @@
+// Package fixture exercises the annotation grammar itself: malformed,
+// unknown-analyzer and unused annotations are findings in the shared
+// "simlint" namespace.
+package fixture
+
+import "context"
+
+func unusedAnnotation(ctx context.Context) context.Context {
+	//simlint:allow ctxflow -- nothing on the next line triggers // want "unused simlint:allow annotation for ctxflow"
+	return ctx
+}
+
+//simlint:allow bogus -- analyzer does not exist // want "annotation names unknown analyzer bogus"
+var placeholder = 1
+
+//simlint:allow ctxflow // want "annotation is missing a reason"
+var placeholder2 = 2

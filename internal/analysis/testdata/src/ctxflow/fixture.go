@@ -1,0 +1,76 @@
+// Package fixture exercises the ctxflow contract: a function that
+// receives a context — directly or through a context-carrying struct —
+// must not mint context.Background()/context.TODO(), except under the
+// documented nil-parameter-guard convention.
+package fixture
+
+import "context"
+
+type carrier struct {
+	ctx context.Context
+}
+
+func discardsParam(ctx context.Context) context.Context {
+	return context.Background() // want "context.Background\\(\\) discards the context discardsParam already carries"
+}
+
+func discardsViaTODO(ctx context.Context) context.Context {
+	return context.TODO() // want "context.TODO\\(\\) discards"
+}
+
+func nilGuardExempt(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background() // nil-means-Background convention: no finding
+	}
+	return ctx
+}
+
+func (c *carrier) discardsReceiver() context.Context {
+	return context.Background() // want "context.Background\\(\\) discards the context discardsReceiver already carries"
+}
+
+func discardsParamStruct(c carrier) context.Context {
+	return context.TODO() // want "context.TODO\\(\\) discards"
+}
+
+func fieldGuardStillFlagged(c *carrier) context.Context {
+	// A nil guard on a FIELD is the silent-fallback bug, not the
+	// documented nil-parameter convention — still a finding.
+	if c.ctx == nil {
+		return context.Background() // want "context.Background\\(\\) discards"
+	}
+	return c.ctx
+}
+
+func noContextAtAll() context.Context {
+	return context.Background() // carries nothing: no finding
+}
+
+func closureInheritsObligation(ctx context.Context) {
+	f := func() context.Context {
+		return context.Background() // want "context.Background\\(\\) discards"
+	}
+	f()
+}
+
+func closureOwnParam() {
+	f := func(ctx context.Context) context.Context {
+		return context.TODO() // want "context.TODO\\(\\) discards"
+	}
+	f(nil)
+}
+
+func closureNilGuard() {
+	f := func(ctx context.Context) context.Context {
+		if ctx == nil {
+			return context.Background() // guarded inside the literal: no finding
+		}
+		return ctx
+	}
+	f(nil)
+}
+
+func annotatedDetachment(ctx context.Context) context.Context {
+	//simlint:allow ctxflow -- fixture: deliberate detachment for a background task
+	return context.Background() // want-suppressed "context.Background\\(\\) discards"
+}

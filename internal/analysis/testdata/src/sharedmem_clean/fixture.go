@@ -1,0 +1,17 @@
+// Package fixture is the sharedmem negative control: an identical call
+// mix in a package that is NOT in the enforced set produces no findings
+// at all — the contract binds concurrent-guest packages only.
+package fixture
+
+import (
+	"mobilesim/internal/mem"
+	"mobilesim/internal/mmu"
+)
+
+func plainAccessOutsideEnforcedSet(b *mem.Bus, r *mem.RAM, page []byte) {
+	b.Read(0x1000, 4)
+	b.Write(0x1000, 4, 7)
+	r.Slice(0x1000, 64)
+	mem.LoadLE(page[:8])
+	mmu.NewWalker(b)
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises the statscommit contract: internal/stats
+// counter fields may only be mutated inside functions carrying the
+// //simlint:commit doc directive.
+package fixture
+
+import "mobilesim/internal/stats"
+
+type dev struct {
+	gs  stats.GPUStats
+	sys stats.SystemStats
+}
+
+func mutateOutsideCommit(d *dev) {
+	d.gs.ArithInstr++           // want "stats counter GPUStats.ArithInstr mutated outside a commit site"
+	d.gs.NopInstr += 3          // want "stats counter GPUStats.NopInstr mutated"
+	d.gs.ClauseSizeHist[3] += 2 // want "stats counter GPUStats.ClauseSizeHist mutated"
+	d.sys.TLBHits = 9           // want "stats counter SystemStats.TLBHits mutated"
+	var local stats.GPUStats
+	local.Workgroups++ // want "stats counter GPUStats.Workgroups mutated"
+	_ = local
+}
+
+func wholeRecordReset(d *dev) {
+	d.gs = stats.GPUStats{}     // want "stats counter GPUStats.gs mutated"
+	d.sys = stats.SystemStats{} // want "stats counter SystemStats.sys mutated"
+}
+
+// commitSite is a designated commit function; everything inside it,
+// closures included, is legal.
+//
+//simlint:commit -- fixture: designated commit site
+func commitSite(d *dev) {
+	d.gs.ArithInstr++
+	d.sys.TLBWalks += 4
+	bump := func() { d.gs.NopInstr++ } // closures inherit the marker
+	bump()
+	d.gs = stats.GPUStats{}
+}
+
+func reads(d *dev) uint64 {
+	// Reads are always fine; only mutations are findings.
+	return d.gs.ArithInstr + d.sys.TLBHits
+}
+
+func annotated(d *dev) {
+	//simlint:allow statscommit -- fixture: one-off mutation under test
+	d.gs.Threads++ // want-suppressed "stats counter GPUStats.Threads mutated"
+}
+
+// lookalike proves type-based matching: same field names on an
+// unrelated struct are not findings.
+type lookalike struct {
+	ArithInstr uint64
+	TLBHits    uint64
+}
+
+func notCounters(l *lookalike) {
+	l.ArithInstr++
+	l.TLBHits = 7
+}

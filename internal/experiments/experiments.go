@@ -31,24 +31,18 @@ const (
 	ScalePaper   ScaleKind = "paper"   // Table II sizes (can take hours)
 )
 
-// Options configures a run.
+// Options configures a run. Cancellation is not an option: every
+// experiment entry point takes the caller's context.Context explicitly
+// (between workload runs it cancels immediately, inside a run at kernel
+// clause-boundary granularity), so it cannot be forgotten and silently
+// replaced with context.Background — exactly the bug the ctxflow lint
+// (DESIGN.md §10) guards against.
 type Options struct {
 	Scale ScaleKind
 	// HostThreads overrides the GPU worker count (0 = default 8).
 	HostThreads int
 	// CompilerVersion overrides the JIT version (empty = default).
 	CompilerVersion string
-	// Ctx cancels the experiment: between workload runs immediately, and
-	// inside a run at kernel clause-boundary granularity. Nil means
-	// context.Background().
-	Ctx context.Context
-}
-
-func (o Options) ctx() context.Context {
-	if o.Ctx != nil {
-		return o.Ctx
-	}
-	return context.Background()
 }
 
 func (o Options) scaleOf(s *workloads.Spec) int {
@@ -80,7 +74,7 @@ type runOutcome struct {
 }
 
 // runOne executes a named workload on a fresh platform.
-func runOne(spec *workloads.Spec, opt Options, mutate func(*platform.Platform)) (*runOutcome, error) {
+func runOne(ctx context.Context, spec *workloads.Spec, opt Options, mutate func(*platform.Platform)) (*runOutcome, error) {
 	p, err := platform.New(platform.Config{RAMSize: 1 << 30, GPU: opt.gpuConfig()})
 	if err != nil {
 		return nil, err
@@ -96,7 +90,7 @@ func runOne(spec *workloads.Spec, opt Options, mutate func(*platform.Platform)) 
 	t0 := time.Now()
 	inst := spec.Make(opt.scaleOf(spec))
 	setup := time.Since(t0)
-	res, err := inst.Run(opt.ctx(), c, spec.Name, true)
+	res, err := inst.Run(ctx, c, spec.Name, true)
 	if err != nil {
 		return nil, err
 	}

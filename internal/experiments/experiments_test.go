@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -41,7 +42,7 @@ func TestFig1CompilerVersionsDiffer(t *testing.T) {
 
 func TestFig6DivergenceCFG(t *testing.T) {
 	var buf bytes.Buffer
-	rendered, err := Fig6(&buf, small)
+	rendered, err := Fig6(context.Background(), &buf, small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFig6DivergenceCFG(t *testing.T) {
 
 func TestFig7SlowdownShape(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Fig7(&buf, small)
+	rows, err := Fig7(context.Background(), &buf, small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFig7SlowdownShape(t *testing.T) {
 
 func TestFig9BaselineScalesWorse(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Fig9(&buf, small)
+	rows, err := Fig9(context.Background(), &buf, small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestFig9BaselineScalesWorse(t *testing.T) {
 
 func TestTable3SystemStatsShape(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Table3(&buf, small)
+	rows, err := Table3(context.Background(), &buf, small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestTables2And4Print(t *testing.T) {
 
 func TestFig14RelativeMetrics(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Fig14(&buf, small)
+	rows, err := Fig14(context.Background(), &buf, small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFig14RelativeMetrics(t *testing.T) {
 
 func TestFig15Shape(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Fig15(&buf, small)
+	rows, err := Fig15(context.Background(), &buf, small)
 	if err != nil {
 		t.Fatal(err)
 	}

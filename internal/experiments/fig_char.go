@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,14 +29,14 @@ type CharRow struct {
 
 // runCharacterisation executes the benchmark set once, reusing results
 // across Figs 11-13.
-func runCharacterisation(opt Options) ([]CharRow, error) {
+func runCharacterisation(ctx context.Context, opt Options) ([]CharRow, error) {
 	var rows []CharRow
 	for _, name := range charBenchmarks {
 		spec, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		out, err := runOne(spec, opt, nil)
+		out, err := runOne(ctx, spec, opt, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -46,8 +47,8 @@ func runCharacterisation(opt Options) ([]CharRow, error) {
 
 // Fig11 prints the instruction-mix breakdown (arithmetic / load-store /
 // empty slots / control flow) per benchmark.
-func Fig11(w io.Writer, opt Options) ([]CharRow, error) {
-	rows, err := runCharacterisation(opt)
+func Fig11(ctx context.Context, w io.Writer, opt Options) ([]CharRow, error) {
+	rows, err := runCharacterisation(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -69,8 +70,8 @@ func PrintFig11(w io.Writer, rows []CharRow) {
 }
 
 // Fig12 prints the data-access breakdown per benchmark.
-func Fig12(w io.Writer, opt Options) ([]CharRow, error) {
-	rows, err := runCharacterisation(opt)
+func Fig12(ctx context.Context, w io.Writer, opt Options) ([]CharRow, error) {
+	rows, err := runCharacterisation(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +93,8 @@ func PrintFig12(w io.Writer, rows []CharRow) {
 }
 
 // Fig13 prints clause-size distribution statistics per benchmark.
-func Fig13(w io.Writer, opt Options) ([]CharRow, error) {
-	rows, err := runCharacterisation(opt)
+func Fig13(ctx context.Context, w io.Writer, opt Options) ([]CharRow, error) {
+	rows, err := runCharacterisation(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +139,7 @@ type Fig14Row struct {
 
 // Fig14 runs the KFusion pipeline in the three SLAMBench configurations
 // and reports each metric relative to the standard configuration.
-func Fig14(w io.Writer, opt Options) ([]Fig14Row, error) {
+func Fig14(ctx context.Context, w io.Writer, opt Options) ([]Fig14Row, error) {
 	header(w, "Fig 14: SLAMBench metrics relative to standard configuration")
 	scale := 1
 	if opt.Scale == ScalePaper {
@@ -159,7 +160,7 @@ func Fig14(w io.Writer, opt Options) ([]Fig14Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := slam.Run(opt.ctx(), c, cfg); err != nil {
+		if _, err := slam.Run(ctx, c, cfg); err != nil {
 			return nil, err
 		}
 		gs, sys := p.GPU.Stats()
@@ -252,7 +253,7 @@ type Fig15Row struct {
 
 // Fig15 runs the six SGEMM variants and reports statistics normalised to
 // variant 6 plus the analytical Mali and NVIDIA runtime estimates.
-func Fig15(w io.Writer, opt Options) ([]Fig15Row, error) {
+func Fig15(ctx context.Context, w io.Writer, opt Options) ([]Fig15Row, error) {
 	header(w, "Fig 15: SGEMM optimisation ladder (stats normalised to variant 6)")
 	dim := 64
 	switch opt.Scale {
@@ -281,7 +282,7 @@ func Fig15(w io.Writer, opt Options) ([]Fig15Row, error) {
 			p.Close()
 			return nil, err
 		}
-		got, err := workloads.RunSgemmVariant(opt.ctx(), c, v, a, b, dim, dim, dim)
+		got, err := workloads.RunSgemmVariant(ctx, c, v, a, b, dim, dim, dim)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("variant %s: %w", v.Name, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -91,7 +92,7 @@ func Fig1(w io.Writer) ([]Fig1Row, error) {
 
 // Fig6 runs BFS with CFG collection and renders the divergence-annotated
 // control-flow graph of the BFS step kernel.
-func Fig6(w io.Writer, opt Options) (string, error) {
+func Fig6(ctx context.Context, w io.Writer, opt Options) (string, error) {
 	header(w, "Fig 6: BFS divergence control-flow graph")
 	spec, err := workloads.ByName("BFS")
 	if err != nil {
@@ -109,7 +110,7 @@ func Fig6(w io.Writer, opt Options) (string, error) {
 		return "", err
 	}
 	inst := spec.Make(opt.scaleOf(spec))
-	res, err := inst.Run(opt.ctx(), c, spec.Name, true)
+	res, err := inst.Run(ctx, c, spec.Name, true)
 	if err != nil {
 		return "", err
 	}

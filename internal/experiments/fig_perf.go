@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -31,7 +32,7 @@ type Fig7Row struct {
 
 // Fig7 measures simulation slowdown relative to native execution, GPU-only
 // and full-system, as Fig 7 does against the HiKey960.
-func Fig7(w io.Writer, opt Options) ([]Fig7Row, error) {
+func Fig7(ctx context.Context, w io.Writer, opt Options) ([]Fig7Row, error) {
 	header(w, "Fig 7: simulation slowdown vs native execution")
 	var rows []Fig7Row
 	for _, name := range fig7Benchmarks {
@@ -39,7 +40,7 @@ func Fig7(w io.Writer, opt Options) ([]Fig7Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := runOne(spec, opt, nil)
+		out, err := runOne(ctx, spec, opt, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +96,7 @@ type Fig8Row struct {
 // Fig8 compares full-system simulation speed against the Multi2Sim-style
 // baseline mode (per-instruction CPU dispatch, flat GPU address space),
 // with and without CFG instrumentation.
-func Fig8(w io.Writer, opt Options) ([]Fig8Row, error) {
+func Fig8(ctx context.Context, w io.Writer, opt Options) ([]Fig8Row, error) {
 	header(w, "Fig 8: speed relative to Multi2Sim-style functional baseline (=1.0)")
 	var rows []Fig8Row
 	for _, name := range fig8Benchmarks {
@@ -104,7 +105,7 @@ func Fig8(w io.Writer, opt Options) ([]Fig8Row, error) {
 			return nil, err
 		}
 		// Baseline mode: interpreter CPU (per-instruction dispatch).
-		base, err := runOne(spec, opt, func(p *platform.Platform) {
+		base, err := runOne(ctx, spec, opt, func(p *platform.Platform) {
 			for _, c := range p.CPUs {
 				c.SetEngine(cpu.EngineInterp)
 			}
@@ -112,12 +113,12 @@ func Fig8(w io.Writer, opt Options) ([]Fig8Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ours, err := runOne(spec, opt, nil)
+		ours, err := runOne(ctx, spec, opt, nil)
 		if err != nil {
 			return nil, err
 		}
 		instrOpt := opt
-		oursInstr, err := runOneCFG(spec, instrOpt)
+		oursInstr, err := runOneCFG(ctx, spec, instrOpt)
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +136,7 @@ func Fig8(w io.Writer, opt Options) ([]Fig8Row, error) {
 	return rows, tw.Flush()
 }
 
-func runOneCFG(spec *workloads.Spec, opt Options) (*runOutcome, error) {
+func runOneCFG(ctx context.Context, spec *workloads.Spec, opt Options) (*runOutcome, error) {
 	cfg := opt.gpuConfig()
 	cfg.CollectCFG = true
 	p, err := platform.New(platform.Config{RAMSize: 1 << 30, GPU: cfg})
@@ -148,7 +149,7 @@ func runOneCFG(spec *workloads.Spec, opt Options) (*runOutcome, error) {
 		return nil, err
 	}
 	inst := spec.Make(opt.scaleOf(spec))
-	res, err := inst.Run(opt.ctx(), c, spec.Name, true)
+	res, err := inst.Run(ctx, c, spec.Name, true)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +167,7 @@ type Fig9Row struct {
 // Fig9 sweeps SobelFilter input sizes and reports the CPU-side software-
 // stack simulation time on our DBT-based stack vs the Multi2Sim-style
 // interpreted runtime.
-func Fig9(w io.Writer, opt Options) ([]Fig9Row, error) {
+func Fig9(ctx context.Context, w io.Writer, opt Options) ([]Fig9Row, error) {
 	header(w, "Fig 9: CPU-side driver runtime vs input size (SobelFilter)")
 	dims := []int{256, 384, 512, 640, 768}
 	if opt.Scale == ScalePaper {
@@ -176,7 +177,7 @@ func Fig9(w io.Writer, opt Options) ([]Fig9Row, error) {
 	}
 	var rows []Fig9Row
 	for _, dim := range dims {
-		ours, err := sobelDriverTime(dim, opt)
+		ours, err := sobelDriverTime(ctx, dim, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +196,7 @@ func Fig9(w io.Writer, opt Options) ([]Fig9Row, error) {
 	return rows, tw.Flush()
 }
 
-func sobelDriverTime(dim int, opt Options) (time.Duration, error) {
+func sobelDriverTime(ctx context.Context, dim int, opt Options) (time.Duration, error) {
 	p, err := platform.New(platform.Config{RAMSize: 1 << 30, GPU: opt.gpuConfig()})
 	if err != nil {
 		return 0, err
@@ -206,7 +207,7 @@ func sobelDriverTime(dim int, opt Options) (time.Duration, error) {
 		return 0, err
 	}
 	inst := workloads.MakeSobelInstance(dim)
-	if _, err := inst.Sim(opt.ctx(), c); err != nil {
+	if _, err := inst.Sim(ctx, c); err != nil {
 		return 0, err
 	}
 	return c.Drv.CPUTime, nil
@@ -286,7 +287,7 @@ type Fig10Row struct {
 // Fig10 maps shader cores onto increasing host-thread counts and reports
 // the speedup for the best case (SobelFilter) and worst case
 // (BinarySearch).
-func Fig10(w io.Writer, opt Options) ([]Fig10Row, error) {
+func Fig10(ctx context.Context, w io.Writer, opt Options) ([]Fig10Row, error) {
 	header(w, "Fig 10: host-thread scaling (speedup over 1 thread)")
 	fmt.Fprintf(w, "(host machine exposes %d CPU core(s) to the simulator; the paper's\n"+
 		" scaling host was a 32-core Xeon — speedups saturate at the core count)\n",
@@ -302,7 +303,7 @@ func Fig10(w io.Writer, opt Options) ([]Fig10Row, error) {
 		}
 		o := opt
 		o.HostThreads = ht
-		out, err := runOne(spec, o, nil)
+		out, err := runOne(ctx, spec, o, nil)
 		if err != nil {
 			return 0, err
 		}

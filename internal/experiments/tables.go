@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -31,7 +32,7 @@ type Table3Row struct {
 }
 
 // Table3 reports the CPU-GPU system interaction statistics.
-func Table3(w io.Writer, opt Options) ([]Table3Row, error) {
+func Table3(ctx context.Context, w io.Writer, opt Options) ([]Table3Row, error) {
 	header(w, "Table III: system statistics (CPU-GPU interaction)")
 	var rows []Table3Row
 	for _, name := range table3Benchmarks {
@@ -39,7 +40,7 @@ func Table3(w io.Writer, opt Options) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := runOne(spec, opt, nil)
+		out, err := runOne(ctx, spec, opt, nil)
 		if err != nil {
 			return nil, err
 		}

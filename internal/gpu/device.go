@@ -246,6 +246,8 @@ func (d *Device) Close() {
 
 // ReadReg implements the CPU-visible register file. Every access is a
 // CPU→GPU control transaction and is counted for Table III.
+//
+//simlint:commit -- counts CPU-GPU control-register reads (Table III)
 func (d *Device) ReadReg(off uint64, size int) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -276,6 +278,8 @@ func (d *Device) ReadReg(off uint64, size int) (uint64, error) {
 }
 
 // WriteReg implements driver-side register writes.
+//
+//simlint:commit -- counts CPU-GPU control-register writes (Table III)
 func (d *Device) WriteReg(off uint64, size int, val uint64) error {
 	d.mu.Lock()
 	d.sysStats.CtrlRegWrites++
@@ -353,6 +357,8 @@ func (d *Device) translationRoot() uint64 {
 
 // raiseIRQ latches rawstat bits and asserts the interrupt line when
 // unmasked.
+//
+//simlint:commit -- counts asserted interrupts
 func (d *Device) raiseIRQ(bits uint32) {
 	d.mu.Lock()
 	d.irqRawstat |= bits
@@ -425,6 +431,8 @@ func asFault(err error, out **mmu.Fault) bool {
 // runChain walks a job descriptor chain. Its walker runs in shared mode:
 // descriptor, shader and uniform reads may overlap guest stores from a
 // previous chain's tail or a racy guest, and must stay word-atomic.
+//
+//simlint:commit -- merges per-chain TLB and compute-job counters
 func (d *Device) runChain(head uint64) error {
 	walker := mmu.NewSharedWalker(d.bus)
 	walker.SetRoot(d.translationRoot())
@@ -585,6 +593,8 @@ func hashBytes(b []byte) uint64 {
 
 // Stats returns a snapshot of the accumulated program-execution and
 // system statistics.
+//
+//simlint:commit -- folds the page-tracker total into the snapshot
 func (d *Device) Stats() (stats.GPUStats, stats.SystemStats) {
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
@@ -604,6 +614,8 @@ func (d *Device) CFGGraph() *stats.CFG {
 }
 
 // ResetStats clears all accumulated statistics (between benchmark phases).
+//
+//simlint:commit -- wholesale counter reset between benchmark phases
 func (d *Device) ResetStats() {
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
@@ -615,6 +627,8 @@ func (d *Device) ResetStats() {
 
 // NoteKernelLaunch lets the runtime record kernel enqueues (a runtime-
 // level statistic surfaced alongside hardware counters in Fig 14).
+//
+//simlint:commit -- counts runtime kernel enqueues (Fig 14)
 func (d *Device) NoteKernelLaunch() {
 	d.statsMu.Lock()
 	d.sysStats.KernelLaunch++

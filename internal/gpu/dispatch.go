@@ -77,6 +77,8 @@ type workerResult struct {
 // make the Table III TLB statistics a function of host scheduling. Static
 // striding keeps them — and every other counter of a data-race-free
 // kernel — exactly reproducible for a fixed HostThreads count.
+//
+//simlint:commit -- commits per-job register-usage and TLB counters
 func (d *Device) execJob(desc *JobDescriptor, prog *Program, uniforms []uint64) error {
 	totalWG, err := desc.Workgroups()
 	if err != nil {
@@ -249,6 +251,8 @@ func (e *execContext) warpsFor(n int) []wgWarp {
 // runWorkgroup executes one workgroup: all its threads grouped into
 // quads, scheduled round-robin with barrier rendezvous. The execContext's
 // wgid/gsz/lsz must be set.
+//
+//simlint:commit -- counts dispatched workgroups, threads and warps
 func (e *execContext) runWorkgroup() error {
 	if e.local == nil {
 		e.local = unusableLocal{}

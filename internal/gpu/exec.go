@@ -245,6 +245,8 @@ func (e *execContext) superClauseAt(ci int) *superClause {
 // and the per-clause statistics bump in the same order. The active mask
 // is constant through the chain (no BRC/RET mid-chain), so act is
 // computed once.
+//
+//simlint:commit -- commits the fused superclause instruction mix
 func (e *execContext) execSuper(w *warp, sc *superClause) (warpStatus, error) {
 	act := uint64(w.activeCount())
 	for si := range sc.segs {
@@ -278,6 +280,8 @@ func (e *execContext) execSuper(w *warp, sc *superClause) (warpStatus, error) {
 // execClause runs all slots of the current clause on all active lanes and
 // applies the clause-terminal control flow. Clause temporaries are
 // (semantically) dead across clause boundaries.
+//
+//simlint:commit -- commits the per-clause instruction mix
 func (e *execContext) execClause(w *warp) (warpStatus, error) {
 	ci := w.pc
 	c := &e.prog.Clauses[ci]
@@ -375,6 +379,8 @@ func (e *execContext) endFallthrough(w *warp, next int, blk *stats.CFGBlock, act
 // execTerminal applies a clause-terminal control-flow instruction. Both
 // the per-instruction engines and the fused warp path end clauses here, so
 // divergence, reconvergence-stack and CFG bookkeeping are engine-agnostic.
+//
+//simlint:commit -- commits control-flow and divergence counters
 func (e *execContext) execTerminal(w *warp, in *Instr, next int, blk *stats.CFGBlock, act uint64) (warpStatus, error) {
 	e.gs.CFInstr += act
 
@@ -481,6 +487,8 @@ func fbits(f float32) uint64 { return uint64(math.Float32bits(f)) }
 
 // read evaluates a source operand for one lane, recording the data-access
 // breakdown (Fig 12).
+//
+//simlint:commit -- commits the operand-read breakdown (Fig 12)
 func (e *execContext) read(w *warp, lane int, o uint8, in *Instr) uint64 {
 	kind, idx := OperKind(o)
 	switch kind {
@@ -525,6 +533,8 @@ func (e *execContext) read(w *warp, lane int, o uint8, in *Instr) uint64 {
 }
 
 // write stores a result operand for one lane.
+//
+//simlint:commit -- commits the operand-write breakdown (Fig 12)
 func (e *execContext) write(w *warp, lane int, o uint8, v uint64) {
 	kind, idx := OperKind(o)
 	switch kind {
@@ -538,6 +548,8 @@ func (e *execContext) write(w *warp, lane int, o uint8, v uint64) {
 }
 
 // execLane executes a non-control, non-barrier instruction for one lane.
+//
+//simlint:commit -- commits per-lane load/store counters
 func (e *execContext) execLane(w *warp, lane int, in *Instr) error {
 	switch in.Op {
 	case OpLDG, OpLDG64, OpLDGB:
@@ -586,6 +598,7 @@ func (e *execContext) execLane(w *warp, lane int, in *Instr) error {
 			if e.walker.Shared() {
 				return e.bus.AtomicWrite(pa, size, v)
 			}
+			//simlint:allow sharedmem -- plain-mode MMIO fallback: walker is unshared, so this core owns the access policy
 			return e.bus.Write(pa, size, v)
 		}
 		return e.walker.Store(addr, size, v)

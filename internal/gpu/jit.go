@@ -33,6 +33,7 @@ type jitProgram struct {
 // counters exactly as the interpreter does.
 type readFn func(e *execContext, w *warp, lane int) uint64
 
+//simlint:commit -- compiled closures carry the interpreter's read counters
 func compileReader(o uint8, imm uint32, prog *Program) readFn {
 	kind, idx := OperKind(o)
 	switch kind {
@@ -101,6 +102,7 @@ func compileReader(o uint8, imm uint32, prog *Program) readFn {
 // writeFn stores a result operand for a lane.
 type writeFn func(e *execContext, w *warp, lane int, v uint64)
 
+//simlint:commit -- compiled closures carry the interpreter's write counters
 func compileWriter(o uint8) writeFn {
 	kind, idx := OperKind(o)
 	switch kind {
@@ -199,6 +201,8 @@ var unFns = map[Opcode]func(a uint64) uint64{
 // compileMem specialises a load/store instruction into a closure over the
 // walker fast path, or returns nil for non-memory opcodes. The closures
 // bump the same Fig 12 counters as the interpreter path in exec.go.
+//
+//simlint:commit -- compiled closures carry the interpreter's memory counters
 func compileMem(in *Instr, p *Program) jitOp {
 	imm := uint64(int64(int32(in.Imm)))
 	switch in.Op {

@@ -33,6 +33,8 @@ type State struct {
 
 // CaptureState snapshots the device. The caller must ensure no job chain
 // is executing (the facade serialises capture on the session queue).
+//
+//simlint:commit -- snapshot copies the counter records wholesale
 func (d *Device) CaptureState() State {
 	d.mu.Lock()
 	st := State{
@@ -68,6 +70,8 @@ func (d *Device) CaptureState() State {
 // The interrupt line is re-asserted when the restored rawstat has an
 // unmasked bit pending, so a restored platform observes the same
 // level-sensitive interrupt picture the captured one did.
+//
+//simlint:commit -- restore overwrites the counter records wholesale
 func (d *Device) RestoreState(st State) {
 	d.mu.Lock()
 	d.irqRawstat = st.IRQRawstat

@@ -219,6 +219,7 @@ type opStats struct {
 	grfRead, grfWrite, tempAcc, constRead, romRead uint64
 }
 
+//simlint:commit -- batched per-warp commit of pre-aggregated op counters
 func (s *opStats) apply(gs *stats.GPUStats, act uint64) {
 	gs.ArithInstr += s.arith * act
 	gs.NopInstr += s.nop * act
@@ -330,12 +331,22 @@ func compileWarpOp(in *Instr, p *Program) (warpFn, *opStats) {
 // bumpFn adds n operand accesses to a stats counter.
 type bumpFn func(gs *stats.GPUStats, n uint64)
 
-func bumpNone(*stats.GPUStats, uint64)           {}
-func bumpGRFRead(gs *stats.GPUStats, n uint64)   { gs.GRFRead += n }
-func bumpGRFWrite(gs *stats.GPUStats, n uint64)  { gs.GRFWrite += n }
-func bumpTempAcc(gs *stats.GPUStats, n uint64)   { gs.TempAcc += n }
+func bumpNone(*stats.GPUStats, uint64) {}
+
+//simlint:commit -- designated operand-counter bump helper
+func bumpGRFRead(gs *stats.GPUStats, n uint64) { gs.GRFRead += n }
+
+//simlint:commit -- designated operand-counter bump helper
+func bumpGRFWrite(gs *stats.GPUStats, n uint64) { gs.GRFWrite += n }
+
+//simlint:commit -- designated operand-counter bump helper
+func bumpTempAcc(gs *stats.GPUStats, n uint64) { gs.TempAcc += n }
+
+//simlint:commit -- designated operand-counter bump helper
 func bumpConstRead(gs *stats.GPUStats, n uint64) { gs.ConstRead += n }
-func bumpROMRead(gs *stats.GPUStats, n uint64)   { gs.ROMRead += n }
+
+//simlint:commit -- designated operand-counter bump helper
+func bumpROMRead(gs *stats.GPUStats, n uint64) { gs.ROMRead += n }
 
 // ctrKind names the operand counter an operand access bumps, so the ALU
 // compilers can fold operand accounting into a compile-time opStats
@@ -1193,6 +1204,8 @@ func batchSpan(addrs *[WarpSize]uint64, lanes int, imm uint64, size int) (lo uin
 // Divergent warps, page-crossing spans, MMIO frames and faulting accesses
 // fall back to the per-lane loop, where counters and walker calls stay in
 // interpreter order so a faulting lane aborts with identical totals.
+//
+//simlint:commit -- warp memory kernels keep interpreter-identical counters
 func compileWarpMem(in *Instr, p *Program) warpFn {
 	imm := uint64(int64(int32(in.Imm)))
 	switch in.Op {
@@ -1231,6 +1244,7 @@ func compileWarpMem(in *Instr, p *Program) warpFn {
 						} else {
 							for l := 0; l < w.lanes; l++ {
 								off := (ar[l] + imm) & mem.PageMask
+								//simlint:allow sharedmem -- plain-mode BatchPage span: the walker already resolved an unshared page
 								dr[l] = mem.LoadLE(page[off : off+uint64(size)])
 							}
 						}
@@ -1292,6 +1306,7 @@ func compileWarpMem(in *Instr, p *Program) warpFn {
 						} else {
 							for l := 0; l < w.lanes; l++ {
 								off := (ar[l] + imm) & mem.PageMask
+								//simlint:allow sharedmem -- plain-mode BatchPage span: the walker already resolved an unshared page
 								mem.StoreLE(page[off:off+uint64(size)], size, br[l])
 							}
 						}
@@ -1370,6 +1385,8 @@ func compileWarpMem(in *Instr, p *Program) warpFn {
 // --- Fallbacks --------------------------------------------------------------
 
 // warpWrapJit lifts a per-lane closure-JIT op to a warp closure.
+//
+//simlint:commit -- lifted JIT ops commit the instruction-mix counters
 func warpWrapJit(op jitOp, cls Class) warpFn {
 	if op == nil {
 		return nil
@@ -1396,6 +1413,8 @@ func warpWrapJit(op jitOp, cls Class) warpFn {
 
 // warpLaneInterp lifts the interpreter to a warp closure for shapes the
 // fused variants do not specialise, preserving errors and counters.
+//
+//simlint:commit -- interpreter fallback commits the instruction-mix counters
 func warpLaneInterp(in *Instr) warpFn {
 	cls := Classify(in.Op)
 	return func(e *execContext, w *warp, act uint64) error {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Local lint entry point — mirrors what CI enforces, in the same order.
+#
+#   scripts/lint.sh            # gofmt + go vet + simlint (all analyzers)
+#   scripts/lint.sh -run ctxflow ./internal/experiments/...
+#
+# Extra arguments are passed straight to simlint (see cmd/simlint).
+# staticcheck and govulncheck run opportunistically when they are on
+# PATH; CI installs them pinned (see .github/workflows/ci.yml), but the
+# offline development loop must not depend on network installs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== simlint"
+go build -o "${TMPDIR:-/tmp}/simlint" ./cmd/simlint
+"${TMPDIR:-/tmp}/simlint" "$@"
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck"
+  staticcheck ./...
+else
+  echo "== staticcheck: not installed, skipping (CI runs it pinned)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck"
+  govulncheck ./...
+else
+  echo "== govulncheck: not installed, skipping (CI runs it pinned)"
+fi
+
+echo "lint OK"

@@ -447,6 +447,7 @@ type Kernel struct {
 func (s *Session) LoadKernel(src, name string) (*Kernel, error) {
 	var kern *Kernel
 	err := s.locked(func() error {
+		//simlint:allow ctxflow -- LoadKernel predates ctx plumbing; compilation is bounded by the session lifetime, not a call deadline
 		prog, err := s.rt.BuildProgram(context.Background(), src)
 		if err != nil {
 			return err

@@ -369,6 +369,7 @@ func SLAMExpress(scale int) SLAMConfig { return slam.Express(scale) }
 // presets) for the unified path; RunSLAM remains for custom SLAMConfig
 // values.
 func (s *Session) RunSLAM(cfg SLAMConfig) (*SLAMMetrics, error) {
+	//simlint:allow ctxflow -- deprecated pre-ctx shim kept for compatibility; use Session.Run(ctx, ...)
 	res, err := s.RunWorkload(context.Background(), configSLAMWorkload{cfg: cfg})
 	if err != nil {
 		return nil, err
@@ -411,6 +412,7 @@ func SgemmNative(a, b []float32, m, n, k int) []float32 {
 func (s *Session) RunSgemm(v SgemmVariant, a, b []float32, m, n, k int) ([]float32, error) {
 	var out []float32
 	err := s.withCL(func(c *cl.Context) (e error) {
+		//simlint:allow ctxflow -- deprecated pre-ctx shim kept for compatibility; use Session.Run(ctx, ...)
 		out, e = workloads.RunSgemmVariant(context.Background(), c, v, a, b, m, n, k)
 		return
 	})
