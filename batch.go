@@ -77,6 +77,16 @@ type Batch struct {
 	// ColdBoot disables the shared warm snapshot: every job boots its own
 	// platform from scratch, as in the pre-snapshot Batch.
 	ColdBoot bool
+	// Hosts switches the batch to cluster execution: the batch Config is
+	// booted and captured once locally, the encoded snapshot is shipped
+	// to every listed mobilesimd base URL, and jobs fan out over HTTP
+	// with work-stealing, bounded retries on host loss and optional
+	// hedging (see ClusterConfig). Per-run statistics deltas merge into
+	// the same BatchResult shape — bit-identically to a local run of the
+	// same jobs. Jobs with a per-job Config are rejected in cluster mode.
+	Hosts []string
+	// Cluster tunes cluster execution; ignored unless Hosts is set.
+	Cluster ClusterConfig
 }
 
 // Run executes the batch, blocking until every job has finished or the
@@ -88,6 +98,9 @@ type Batch struct {
 func (b *Batch) Run(ctx context.Context) (*BatchResult, error) {
 	if len(b.Jobs) == 0 {
 		return &BatchResult{}, nil
+	}
+	if len(b.Hosts) > 0 {
+		return b.runCluster(ctx)
 	}
 	// Validate every job's config up front: one bad job should fail
 	// fast, not waste a pool slot.
@@ -136,6 +149,16 @@ func (b *Batch) Run(ctx context.Context) (*BatchResult, error) {
 	close(idxCh)
 	wg.Wait()
 
+	res.tally(ctx)
+	res.Wall = time.Since(t0)
+	return res, ctx.Err()
+}
+
+// tally folds per-job outcomes into the counts and the aggregate. Jobs
+// are merged in index order; the statistics are integer counters, so the
+// aggregate is identical however the jobs were actually scheduled —
+// locally or across a cluster.
+func (res *BatchResult) tally(ctx context.Context) {
 	for i := range res.Jobs {
 		jr := &res.Jobs[i]
 		switch {
@@ -154,8 +177,6 @@ func (b *Batch) Run(ctx context.Context) (*BatchResult, error) {
 			res.Failed++
 		}
 	}
-	res.Wall = time.Since(t0)
-	return res, ctx.Err()
 }
 
 // jobConfig resolves the effective config for job i.

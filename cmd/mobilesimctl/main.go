@@ -1,0 +1,236 @@
+// Command mobilesimctl fans a batch of simulations out over a cluster of
+// mobilesimd hosts. It boots the configured platform once locally,
+// captures the warm snapshot, ships it to every host, then dispatches the
+// jobs with work-stealing, bounded retries on host loss and optional
+// hedged requests — and merges the per-run statistics deltas into one
+// verified aggregate, bit-identical to running the same jobs in a local
+// Batch (see DESIGN.md §11).
+//
+// Usage:
+//
+//	mobilesimctl -hosts http://a:8900,http://b:8900 BFS:4 SpMV FFT:2
+//	mobilesimctl -hosts ... -suite            # the full Table II suite
+//	mobilesimctl -hosts ... -suite -check-local
+//
+// Jobs are workload names with an optional :scale suffix. -check-local
+// additionally runs the same jobs in-process and exits non-zero unless
+// the cluster aggregate matches the local one counter-for-counter.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"mobilesim"
+)
+
+func main() {
+	hosts := flag.String("hosts", "", "comma-separated mobilesimd base URLs (required)")
+	suite := flag.Bool("suite", false, "run the full Table II benchmark suite")
+	scale := flag.Int("scale", 0, "input scale for -suite jobs (0 = workload default)")
+	small := flag.Bool("small", false, "use each workload's small test scale for -suite jobs (overrides -scale)")
+	ram := flag.Int("ram", 512, "guest RAM in MiB")
+	cores := flag.Int("cores", 8, "simulated shader cores")
+	threads := flag.Int("threads", 8, "GPU simulation host threads")
+	compiler := flag.String("compiler", "", "JIT compiler version (5.6..6.2, default 6.1)")
+	engine := flag.String("engine", "", "shader execution engine: warp (default), jit or interp")
+	streams := flag.Int("streams", 0, "concurrent jobs per host (0 = default)")
+	retries := flag.Int("retries", 0, "max attempts per job, hedges included (0 = default)")
+	backoff := flag.Duration("backoff", 0, "initial retry backoff (0 = default)")
+	hedge := flag.Duration("hedge", 0, "hedge a still-running job on a second host after this delay (0 = off)")
+	checkLocal := flag.Bool("check-local", false, "also run the jobs locally and require a bit-identical aggregate")
+	jsonOut := flag.Bool("json", false, "emit the merged result as JSON")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	flag.Parse()
+
+	if *hosts == "" {
+		fmt.Fprintln(os.Stderr, "mobilesimctl: -hosts is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var hostList []string
+	for _, h := range strings.Split(*hosts, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hostList = append(hostList, h)
+		}
+	}
+
+	var jobs []mobilesim.BatchJob
+	if *suite {
+		for _, w := range mobilesim.Benchmarks() {
+			s := *scale
+			if *small {
+				s = w.SmallScale
+			}
+			jobs = append(jobs, mobilesim.BatchJob{Benchmark: w.Name, Scale: s})
+		}
+	}
+	for _, arg := range flag.Args() {
+		job, err := parseJob(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobilesimctl:", err)
+			os.Exit(2)
+		}
+		jobs = append(jobs, job)
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(os.Stderr, "mobilesimctl: no jobs: pass workload[:scale] args or -suite")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	batch := &mobilesim.Batch{
+		Jobs: jobs,
+		Config: mobilesim.Config{
+			RAMSize:         uint64(*ram) << 20,
+			ShaderCores:     *cores,
+			HostThreads:     *threads,
+			CompilerVersion: *compiler,
+			GPUEngine:       *engine,
+		},
+		Hosts: hostList,
+		Cluster: mobilesim.ClusterConfig{
+			PerHostStreams: *streams,
+			MaxAttempts:    *retries,
+			RetryBackoff:   *backoff,
+			HedgeAfter:     *hedge,
+		},
+	}
+
+	t0 := time.Now()
+	res, err := batch.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilesimctl:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		printJSON(res, len(hostList))
+	} else {
+		printText(res, len(hostList), time.Since(t0))
+	}
+	if res.Failed > 0 || res.Skipped > 0 || res.Interrupted > 0 {
+		os.Exit(1)
+	}
+
+	if *checkLocal {
+		local := &mobilesim.Batch{Jobs: jobs, Config: batch.Config}
+		lres, err := local.Run(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobilesimctl: local check:", err)
+			os.Exit(1)
+		}
+		if err := compareAggregates(res, lres); err != nil {
+			fmt.Fprintln(os.Stderr, "mobilesimctl: local check FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("local check: cluster aggregate is bit-identical to the local run")
+	}
+}
+
+// parseJob parses a workload[:scale] argument.
+func parseJob(arg string) (mobilesim.BatchJob, error) {
+	name, scaleStr, ok := strings.Cut(arg, ":")
+	job := mobilesim.BatchJob{Benchmark: name}
+	if ok {
+		n, err := strconv.Atoi(scaleStr)
+		if err != nil || n < 0 {
+			return job, fmt.Errorf("bad job %q: scale must be a non-negative integer", arg)
+		}
+		job.Scale = n
+	}
+	if _, err := mobilesim.Lookup(name); err != nil {
+		return job, err
+	}
+	return job, nil
+}
+
+// compareAggregates requires the deterministic counter fields of the two
+// aggregates to match exactly. Wall-clock fields (DriverCPUTime, the
+// duration fields) measure host time, not simulated work, and are
+// excluded.
+func compareAggregates(remote, local *mobilesim.BatchResult) error {
+	if remote.Aggregate.GPU != local.Aggregate.GPU {
+		return fmt.Errorf("GPU counters differ:\n  cluster: %+v\n  local:   %+v", remote.Aggregate.GPU, local.Aggregate.GPU)
+	}
+	if remote.Aggregate.System != local.Aggregate.System {
+		return fmt.Errorf("system counters differ:\n  cluster: %+v\n  local:   %+v", remote.Aggregate.System, local.Aggregate.System)
+	}
+	if remote.Aggregate.GuestInstructions != local.Aggregate.GuestInstructions {
+		return fmt.Errorf("guest instruction counts differ: cluster %d, local %d",
+			remote.Aggregate.GuestInstructions, local.Aggregate.GuestInstructions)
+	}
+	return nil
+}
+
+func printText(res *mobilesim.BatchResult, hosts int, wall time.Duration) {
+	for i := range res.Jobs {
+		jr := &res.Jobs[i]
+		switch {
+		case jr.Err != nil:
+			fmt.Printf("  %-14s FAILED: %v\n", jr.Job.Benchmark, jr.Err)
+		case jr.Result != nil:
+			fmt.Printf("  %-14s ok  verified=%-5v sim=%8.2fms  insns=%d\n",
+				jr.Job.Benchmark, jr.Result.Verified,
+				float64(jr.Result.SimDuration)/float64(time.Millisecond),
+				jr.Result.Stats.GuestInstructions)
+		}
+	}
+	a := &res.Aggregate
+	fmt.Printf("cluster: %d hosts  %d completed  %d failed  %d skipped  wall %.2fs\n",
+		hosts, res.Completed, res.Failed, res.Skipped, wall.Seconds())
+	fmt.Printf("merged:  kernels=%d compute_jobs=%d gpu_insns=%d mem_acc=%d guest_insns=%d\n",
+		a.System.KernelLaunch, a.System.ComputeJobs, a.GPU.TotalInstr(), a.GPU.MainMemAcc, a.GuestInstructions)
+}
+
+func printJSON(res *mobilesim.BatchResult, hosts int) {
+	type jobOut struct {
+		Workload string  `json:"workload"`
+		Scale    int     `json:"scale"`
+		Verified bool    `json:"verified,omitempty"`
+		SimMS    float64 `json:"sim_ms,omitempty"`
+		Error    string  `json:"error,omitempty"`
+	}
+	out := struct {
+		Hosts     int              `json:"hosts"`
+		Completed int              `json:"completed"`
+		Failed    int              `json:"failed"`
+		Skipped   int              `json:"skipped"`
+		WallMS    float64          `json:"wall_ms"`
+		Jobs      []jobOut         `json:"jobs"`
+		Aggregate *mobilesim.Stats `json:"aggregate"`
+	}{
+		Hosts: hosts, Completed: res.Completed, Failed: res.Failed, Skipped: res.Skipped,
+		WallMS:    float64(res.Wall) / float64(time.Millisecond),
+		Aggregate: &res.Aggregate,
+	}
+	for i := range res.Jobs {
+		jr := &res.Jobs[i]
+		jo := jobOut{Workload: jr.Job.Benchmark, Scale: jr.Job.Scale}
+		if jr.Result != nil {
+			jo.Verified = jr.Result.Verified
+			jo.SimMS = float64(jr.Result.SimDuration) / float64(time.Millisecond)
+		}
+		if jr.Err != nil {
+			jo.Error = jr.Err.Error()
+		}
+		out.Jobs = append(out.Jobs, jo)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&out)
+}

@@ -1,8 +1,10 @@
 // Command mobilesimd serves the simulator over HTTP: it boots one
 // platform, captures a warm snapshot, and executes registered workloads
-// on copy-on-write forked sessions drawn from a warm pool — so each
+// on copy-on-write forked sessions drawn from warm pools — so each
 // request gets a private, fully booted guest in microseconds instead of a
-// cold boot.
+// cold boot. It is also the per-host executor of the cluster protocol
+// (DESIGN.md §11): a coordinator (cmd/mobilesimctl, or Batch.Hosts)
+// installs snapshots and fans jobs out over many mobilesimd processes.
 //
 // Usage:
 //
@@ -12,19 +14,23 @@
 //
 //	GET  /healthz          — liveness + pool state
 //	GET  /api/v1/workloads — the workload registry
+//	POST /api/v1/snapshot  — install an encoded snapshot into a warm pool
+//	                         (content-addressed; idempotent)
 //	POST /api/v1/run       — run one workload, e.g.
-//	                         {"workload": "BFS", "scale": 4}
-//	GET  /api/v1/stats     — server counters
+//	                         {"workload": "BFS", "scale": 4}; optional
+//	                         "snapshot" ref and "idempotency_key"
+//	GET  /api/v1/stats     — server counters: pool hits/inline forks,
+//	                         per-workload run counts, dedup hits
 //
 // A run executes through the session command queue with the request's
 // context: closing the connection (or exceeding timeout_ms) soft-stops
 // the kernel at a clause boundary and the fork is discarded. Responses
-// carry the per-run statistics delta as JSON.
+// carry the per-run statistics delta as JSON. The serving logic lives in
+// internal/hostd; this wrapper only parses flags.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,39 +38,44 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync/atomic"
 	"time"
 
 	"mobilesim"
+	"mobilesim/internal/hostd"
 )
 
 func main() {
 	addr := flag.String("addr", ":8900", "HTTP listen address")
-	pool := flag.Int("pool", 4, "warm forked sessions kept ready")
+	pool := flag.Int("pool", 4, "warm forked sessions kept ready per pool")
 	ram := flag.Int("ram", 512, "guest RAM in MiB")
 	cores := flag.Int("cores", 8, "simulated shader cores")
 	threads := flag.Int("threads", 8, "GPU simulation host threads")
 	compiler := flag.String("compiler", "", "JIT compiler version (5.6..6.2, default 6.1)")
 	engine := flag.String("engine", "", "shader execution engine: warp (default), jit or interp")
 	jit := flag.Bool("jit", false, "use closure-JIT shader execution (shorthand for -engine jit)")
+	maxSnaps := flag.Int("max-snapshots", 8, "installed snapshots kept before FIFO eviction")
 	flag.Parse()
 
-	cfg := mobilesim.Config{
-		RAMSize:         uint64(*ram) << 20,
-		ShaderCores:     *cores,
-		HostThreads:     *threads,
-		CompilerVersion: *compiler,
-		GPUEngine:       *engine,
-		JITClauses:      *jit,
+	cfg := hostd.Config{
+		Sim: mobilesim.Config{
+			RAMSize:         uint64(*ram) << 20,
+			ShaderCores:     *cores,
+			HostThreads:     *threads,
+			CompilerVersion: *compiler,
+			GPUEngine:       *engine,
+			JITClauses:      *jit,
+		},
+		PoolSize:     *pool,
+		MaxSnapshots: *maxSnaps,
 	}
-	srv, err := newServer(cfg, *pool)
+	srv, err := hostd.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mobilesimd:", err)
 		os.Exit(1)
 	}
-	defer srv.pool.Close()
+	defer srv.Close()
 
-	hs := &http.Server{Addr: *addr, Handler: srv.mux()}
+	hs := &http.Server{Addr: *addr, Handler: srv.Mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {
@@ -80,205 +91,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mobilesimd:", err)
 		os.Exit(1)
 	}
-}
-
-// server holds the warm pool and the request counters.
-type server struct {
-	cfg   mobilesim.Config
-	pool  *mobilesim.SessionPool
-	start time.Time
-
-	requests atomic.Uint64
-	failures atomic.Uint64
-}
-
-// newServer boots the reference platform once, captures the warm
-// snapshot and builds the session pool.
-func newServer(cfg mobilesim.Config, poolSize int) (*server, error) {
-	warm, err := mobilesim.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("boot: %w", err)
-	}
-	snap, err := warm.Snapshot()
-	warm.Close()
-	if err != nil {
-		return nil, fmt.Errorf("snapshot: %w", err)
-	}
-	pool, err := mobilesim.NewSessionPool(snap, poolSize, mobilesim.Config{})
-	if err != nil {
-		return nil, fmt.Errorf("pool: %w", err)
-	}
-	return &server{cfg: cfg, pool: pool, start: time.Now()}, nil
-}
-
-func (s *server) mux() *http.ServeMux {
-	m := http.NewServeMux()
-	m.HandleFunc("/healthz", s.handleHealth)
-	m.HandleFunc("/api/v1/workloads", s.handleWorkloads)
-	m.HandleFunc("/api/v1/run", s.handleRun)
-	m.HandleFunc("/api/v1/stats", s.handleStats)
-	return m
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"warm":   s.pool.Warm(),
-		"forked": s.pool.Forked(),
-	})
-}
-
-// workloadInfo is the registry entry shape served to clients.
-type workloadInfo struct {
-	Name         string `json:"name"`
-	Kind         string `json:"kind"`
-	Suite        string `json:"suite,omitempty"`
-	Description  string `json:"description,omitempty"`
-	SmallScale   int    `json:"small_scale,omitempty"`
-	DefaultScale int    `json:"default_scale,omitempty"`
-	PaperScale   int    `json:"paper_scale,omitempty"`
-}
-
-func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	var out []workloadInfo
-	for _, wi := range mobilesim.Workloads() {
-		out = append(out, workloadInfo{
-			Name: wi.Name, Kind: string(wi.Kind), Suite: wi.Suite, Description: wi.Description,
-			SmallScale: wi.SmallScale, DefaultScale: wi.DefaultScale, PaperScale: wi.PaperScale,
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
-}
-
-// runRequest is the POST /api/v1/run body.
-type runRequest struct {
-	Workload string `json:"workload"`
-	Scale    int    `json:"scale"`
-	// Verify checks the simulated output against the host-native
-	// reference (default true; explicitly false to skip).
-	Verify *bool `json:"verify"`
-	// TimeoutMS bounds the run; an expired timeout soft-stops the kernel
-	// at a clause boundary.
-	TimeoutMS int `json:"timeout_ms"`
-}
-
-// runResponse is the result of one run: outcome, timings and the per-run
-// statistics delta.
-type runResponse struct {
-	Workload    string `json:"workload"`
-	Kind        string `json:"kind"`
-	Scale       int    `json:"scale"`
-	Verified    bool   `json:"verified"`
-	VerifyError string `json:"verify_error,omitempty"`
-
-	SimMS    float64 `json:"sim_ms"`
-	NativeMS float64 `json:"native_ms,omitempty"`
-	WallMS   float64 `json:"wall_ms"`
-
-	Stats struct {
-		GPU               mobilesim.GPUStats    `json:"gpu"`
-		System            mobilesim.SystemStats `json:"system"`
-		DriverCPUMS       float64               `json:"driver_cpu_ms"`
-		GuestInstructions uint64                `json:"guest_instructions"`
-	} `json:"stats"`
-}
-
-func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
-		return
-	}
-	var req runRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	if req.Workload == "" {
-		writeError(w, http.StatusBadRequest, errors.New(`missing "workload"`))
-		return
-	}
-	// Resolve the name before taking a fork from the pool: a typo should
-	// cost a map lookup and a 404 with suggestions, not a session.
-	if _, err := mobilesim.Lookup(req.Workload); err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	s.requests.Add(1)
-
-	ctx := r.Context()
-	if req.TimeoutMS > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
-		defer cancel()
-	}
-
-	sess, err := s.pool.Get(ctx)
-	if err != nil {
-		s.failures.Add(1)
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	// Forks are single-use: the request's writes stay in its private
-	// copy, which is discarded here, and the next request gets a pristine
-	// fork of the same snapshot.
-	defer sess.Close()
-
-	opts := []mobilesim.RunOption{mobilesim.WithScale(req.Scale)}
-	if req.Verify != nil {
-		opts = append(opts, mobilesim.WithVerify(*req.Verify))
-	}
-	res, err := sess.Run(ctx, req.Workload, opts...)
-	if err != nil {
-		s.failures.Add(1)
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusRequestTimeout
-		}
-		writeError(w, status, err)
-		return
-	}
-
-	var resp runResponse
-	resp.Workload = res.Workload
-	resp.Kind = string(res.Kind)
-	resp.Scale = res.Scale
-	resp.Verified = res.Verified
-	if res.VerifyErr != nil {
-		resp.VerifyError = res.VerifyErr.Error()
-	}
-	resp.SimMS = float64(res.SimDuration) / float64(time.Millisecond)
-	resp.NativeMS = float64(res.NativeDuration) / float64(time.Millisecond)
-	resp.WallMS = float64(res.Wall) / float64(time.Millisecond)
-	//simlint:allow statscommit -- serialization copy into the RPC response, not live bookkeeping
-	resp.Stats.GPU = res.Stats.GPU
-	//simlint:allow statscommit -- serialization copy into the RPC response, not live bookkeeping
-	resp.Stats.System = res.Stats.System
-	resp.Stats.DriverCPUMS = float64(res.Stats.DriverCPUTime) / float64(time.Millisecond)
-	resp.Stats.GuestInstructions = res.Stats.GuestInstructions
-	writeJSON(w, http.StatusOK, &resp)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_s":      time.Since(s.start).Seconds(),
-		"requests":      s.requests.Load(),
-		"failures":      s.failures.Load(),
-		"pool_warm":     s.pool.Warm(),
-		"pool_forked":   s.pool.Forked(),
-		"workloads":     len(mobilesim.Workloads()),
-		"guest_ram_mib": s.cfg.RAMSize >> 20,
-	})
 }

@@ -1,0 +1,508 @@
+// Package hostd is the mobilesimd server: the per-host executor of the
+// cluster protocol (DESIGN.md §11). It boots one platform, captures a
+// warm snapshot, and executes registered workloads on copy-on-write
+// forked sessions drawn from warm pools — the boot-time default pool,
+// plus one pool per snapshot installed over POST /api/v1/snapshot.
+//
+// cmd/mobilesimd is the flag-parsing wrapper; the package exists so the
+// serving logic is testable in-process (cmd/mobilesimd's own tests, the
+// clustertest fault-injection harness, and the root cluster-vs-local
+// determinism pin all drive a real Server through its Mux).
+package hostd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobilesim"
+	"mobilesim/internal/cluster"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Sim is the session configuration of the default boot-time pool
+	// (and the shape reported by /api/v1/stats).
+	Sim mobilesim.Config
+	// PoolSize is the warm-session target of every pool, the default one
+	// and per-snapshot ones (minimum 1).
+	PoolSize int
+	// MaxSnapshots caps installed snapshots; the oldest install is
+	// evicted (its pool closed) to admit a new one (default 8).
+	MaxSnapshots int
+	// MaxIdempotencyEntries caps the recorded-response store; the oldest
+	// completed entry is evicted to admit a new one (default 4096).
+	MaxIdempotencyEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize < 1 {
+		c.PoolSize = 1
+	}
+	if c.MaxSnapshots <= 0 {
+		c.MaxSnapshots = 8
+	}
+	if c.MaxIdempotencyEntries <= 0 {
+		c.MaxIdempotencyEntries = 4096
+	}
+	return c
+}
+
+// poolEntry is one warm pool: the default boot pool or an installed
+// snapshot's.
+type poolEntry struct {
+	ref      string // "" for the default pool
+	workload string // optional ?workload= label
+	pool     *mobilesim.SessionPool
+	runs     atomic.Uint64
+}
+
+// idemEntry records one idempotency key's outcome. Waiters (duplicate
+// deliveries racing the first) block on done and then replay the exact
+// recorded bytes.
+type idemEntry struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// Server implements the host side of the cluster protocol.
+type Server struct {
+	cfg   Config
+	def   *poolEntry
+	start time.Time
+
+	requests  atomic.Uint64
+	failures  atomic.Uint64
+	dedupHits atomic.Uint64
+	installs  atomic.Uint64
+
+	mu        sync.Mutex
+	closed    bool
+	snaps     map[string]*poolEntry
+	snapOrder []string
+	idem      map[string]*idemEntry
+	idemOrder []string
+	runCounts map[string]uint64
+}
+
+// New boots the reference platform once, captures the warm snapshot and
+// builds the default session pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	warm, err := mobilesim.New(cfg.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("boot: %w", err)
+	}
+	snap, err := warm.Snapshot()
+	warm.Close()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	pool, err := mobilesim.NewSessionPool(snap, cfg.PoolSize, mobilesim.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("pool: %w", err)
+	}
+	return &Server{
+		cfg:       cfg,
+		def:       &poolEntry{pool: pool},
+		start:     time.Now(),
+		snaps:     make(map[string]*poolEntry),
+		idem:      make(map[string]*idemEntry),
+		runCounts: make(map[string]uint64),
+	}, nil
+}
+
+// Close shuts down every pool. Sessions already handed out to in-flight
+// runs are unaffected (their owners close them).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	entries := make([]*poolEntry, 0, len(s.snaps)+1)
+	entries = append(entries, s.def)
+	for _, e := range s.snaps {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		e.pool.Close()
+	}
+}
+
+// Mux returns the HTTP routing table.
+func (s *Server) Mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc(cluster.PathHealth, s.handleHealth)
+	m.HandleFunc("/api/v1/workloads", s.handleWorkloads)
+	m.HandleFunc(cluster.PathSnapshot, s.handleSnapshot)
+	m.HandleFunc(cluster.PathRun, s.handleRun)
+	m.HandleFunc(cluster.PathStats, s.handleStats)
+	return m
+}
+
+// encodeJSON renders v exactly as every response writer does, so
+// recorded idempotent replays are byte-identical to first deliveries.
+func encodeJSON(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return []byte(fmt.Sprintf("{\n  \"error\": %q\n}\n", err.Error()))
+	}
+	return buf.Bytes()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	writeRaw(w, status, encodeJSON(v))
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, cluster.ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	installed := len(s.snaps)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"warm":      s.def.pool.Warm(),
+		"forked":    s.def.pool.Forked(),
+		"snapshots": installed,
+	})
+}
+
+// workloadInfo is the registry entry shape served to clients.
+type workloadInfo struct {
+	Name         string `json:"name"`
+	Kind         string `json:"kind"`
+	Suite        string `json:"suite,omitempty"`
+	Description  string `json:"description,omitempty"`
+	SmallScale   int    `json:"small_scale,omitempty"`
+	DefaultScale int    `json:"default_scale,omitempty"`
+	PaperScale   int    `json:"paper_scale,omitempty"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []workloadInfo
+	for _, wi := range mobilesim.Workloads() {
+		out = append(out, workloadInfo{
+			Name: wi.Name, Kind: string(wi.Kind), Suite: wi.Suite, Description: wi.Description,
+			SmallScale: wi.SmallScale, DefaultScale: wi.DefaultScale, PaperScale: wi.PaperScale,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+// handleSnapshot installs an encoded snapshot into a warm pool, keyed by
+// its content-addressed ref. Installation is idempotent: re-posting the
+// same bytes returns the existing ref without building a second pool.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading snapshot: %w", err))
+		return
+	}
+	ref := cluster.Ref(body)
+	label := r.URL.Query().Get("workload")
+
+	s.mu.Lock()
+	e, exists := s.snaps[ref]
+	s.mu.Unlock()
+	if exists {
+		writeJSON(w, http.StatusOK, cluster.SnapshotResponse{Ref: ref, AlreadyInstalled: true, Workload: e.workload})
+		return
+	}
+
+	snap, err := mobilesim.ReadSnapshot(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding snapshot: %w", err))
+		return
+	}
+	pool, err := mobilesim.NewSessionPool(snap, s.cfg.PoolSize, mobilesim.Config{})
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("building pool: %w", err))
+		return
+	}
+	entry := &poolEntry{ref: ref, workload: label, pool: pool}
+
+	var evict *poolEntry
+	s.mu.Lock()
+	if prior, raced := s.snaps[ref]; raced {
+		// A concurrent install of the same bytes won; keep its pool.
+		s.mu.Unlock()
+		pool.Close()
+		writeJSON(w, http.StatusOK, cluster.SnapshotResponse{Ref: ref, AlreadyInstalled: true, Workload: prior.workload})
+		return
+	}
+	s.snaps[ref] = entry
+	s.snapOrder = append(s.snapOrder, ref)
+	if len(s.snapOrder) > s.cfg.MaxSnapshots {
+		oldest := s.snapOrder[0]
+		s.snapOrder = s.snapOrder[1:]
+		evict = s.snaps[oldest]
+		delete(s.snaps, oldest)
+	}
+	s.mu.Unlock()
+	if evict != nil {
+		// In-flight runs already holding forks are unaffected; later runs
+		// naming the evicted ref get unknown_snapshot and re-ship.
+		evict.pool.Close()
+	}
+	s.installs.Add(1)
+	writeJSON(w, http.StatusOK, cluster.SnapshotResponse{Ref: ref, Workload: label})
+}
+
+// handleRun wraps the run execution in the idempotency layer: the first
+// delivery of a key executes and records its exact response bytes; every
+// later (or concurrently racing) delivery waits and replays them with
+// the dedup header set, so retried or hedged jobs are never
+// double-counted.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req cluster.RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`missing "workload"`))
+		return
+	}
+	// Resolve the name before taking a fork from a pool: a typo should
+	// cost a map lookup and a 404 with suggestions, not a session.
+	if _, err := mobilesim.Lookup(req.Workload); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+
+	if req.IdempotencyKey == "" {
+		status, payload := s.executeRun(r.Context(), &req)
+		writeJSON(w, status, payload)
+		return
+	}
+
+	entry, first := s.claimIdem(req.IdempotencyKey)
+	if !first {
+		select {
+		case <-entry.done:
+			s.dedupHits.Add(1)
+			w.Header().Set(cluster.DedupHeader, "hit")
+			writeRaw(w, entry.status, entry.body)
+		case <-r.Context().Done():
+			writeError(w, http.StatusRequestTimeout, r.Context().Err())
+		}
+		return
+	}
+
+	status, payload := s.executeRun(r.Context(), &req)
+	body := encodeJSON(payload)
+	s.finishIdem(req.IdempotencyKey, entry, status, body)
+	writeRaw(w, status, body)
+}
+
+// claimIdem registers key and reports whether the caller is the first
+// delivery (and must execute + finish) or a duplicate (and must wait on
+// the returned entry).
+func (s *Server) claimIdem(key string) (*idemEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.idem[key]; ok {
+		return e, false
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	s.idem[key] = e
+	s.idemOrder = append(s.idemOrder, key)
+	if len(s.idemOrder) > s.cfg.MaxIdempotencyEntries {
+		oldest := s.idemOrder[0]
+		s.idemOrder = s.idemOrder[1:]
+		if old, ok := s.idem[oldest]; ok {
+			select {
+			case <-old.done:
+				delete(s.idem, oldest) // evict only completed entries
+			default:
+				// Still executing: keep it; the store briefly overshoots.
+				s.idemOrder = append(s.idemOrder, oldest)
+			}
+		}
+	}
+	return e, true
+}
+
+// finishIdem records the outcome and releases waiters. Failed runs are
+// recorded for the waiters already parked on this delivery but removed
+// from the store, so a later retry of the key may execute again.
+func (s *Server) finishIdem(key string, e *idemEntry, status int, body []byte) {
+	e.status = status
+	e.body = body
+	s.mu.Lock()
+	if status != http.StatusOK {
+		delete(s.idem, key)
+	}
+	s.mu.Unlock()
+	close(e.done)
+}
+
+// lookupPool resolves the pool a run forks from.
+func (s *Server) lookupPool(ref string) (*poolEntry, error) {
+	if ref == "" {
+		return s.def, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.snaps[ref]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("snapshot %s is not installed on this host", ref)
+}
+
+// executeRun performs one workload run on a pool fork and builds the
+// response. It returns the HTTP status and the payload to encode.
+func (s *Server) executeRun(ctx context.Context, req *cluster.RunRequest) (int, any) {
+	entry, err := s.lookupPool(req.Snapshot)
+	if err != nil {
+		s.failures.Add(1)
+		return http.StatusNotFound, cluster.ErrorResponse{Error: err.Error(), Code: cluster.CodeUnknownSnapshot}
+	}
+	s.requests.Add(1)
+
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	sess, err := entry.pool.Get(ctx)
+	if err != nil {
+		s.failures.Add(1)
+		return http.StatusServiceUnavailable, cluster.ErrorResponse{Error: err.Error()}
+	}
+	// Forks are single-use: the request's writes stay in its private
+	// copy, which is discarded here, and the next request gets a pristine
+	// fork of the same snapshot.
+	defer sess.Close()
+
+	opts := []mobilesim.RunOption{mobilesim.WithScale(req.Scale)}
+	if req.Verify != nil {
+		opts = append(opts, mobilesim.WithVerify(*req.Verify))
+	}
+	res, err := sess.Run(ctx, req.Workload, opts...)
+	if err != nil {
+		s.failures.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Client disconnect or expired timeout_ms: the kernel was
+			// soft-stopped at a clause boundary and the fork discarded.
+			status = http.StatusRequestTimeout
+		}
+		return status, cluster.ErrorResponse{Error: err.Error()}
+	}
+
+	entry.runs.Add(1)
+	s.mu.Lock()
+	s.runCounts[req.Workload]++
+	s.mu.Unlock()
+
+	resp := &cluster.RunResponse{
+		Workload: res.Workload,
+		Kind:     string(res.Kind),
+		Scale:    res.Scale,
+		Verified: res.Verified,
+		SimMS:    float64(res.SimDuration) / float64(time.Millisecond),
+		NativeMS: float64(res.NativeDuration) / float64(time.Millisecond),
+		WallMS:   float64(res.Wall) / float64(time.Millisecond),
+		// Serialization copies into the RPC response, not live
+		// bookkeeping — composed in the literal so the counters cross the
+		// wire exactly.
+		Stats: cluster.RunStats{
+			GPU:               res.Stats.GPU,
+			System:            res.Stats.System,
+			DriverCPUMS:       float64(res.Stats.DriverCPUTime) / float64(time.Millisecond),
+			DriverCPUNS:       int64(res.Stats.DriverCPUTime),
+			GuestInstructions: res.Stats.GuestInstructions,
+		},
+	}
+	if res.VerifyErr != nil {
+		resp.VerifyError = res.VerifyErr.Error()
+	}
+	return http.StatusOK, resp
+}
+
+// poolStats renders one pool's counters.
+func poolStats(e *poolEntry) map[string]any {
+	out := map[string]any{
+		"warm":         e.pool.Warm(),
+		"forked":       e.pool.Forked(),
+		"hits":         e.pool.Hits(),
+		"inline_forks": e.pool.InlineForks(),
+		"runs":         e.runs.Load(),
+	}
+	if e.ref != "" {
+		out["ref"] = e.ref
+	}
+	if e.workload != "" {
+		out["workload"] = e.workload
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snaps := make([]map[string]any, 0, len(s.snapOrder))
+	for _, ref := range s.snapOrder {
+		if e, ok := s.snaps[ref]; ok {
+			snaps = append(snaps, poolStats(e))
+		}
+	}
+	runs := make(map[string]uint64, len(s.runCounts))
+	for k, v := range s.runCounts {
+		runs[k] = v
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":          time.Since(s.start).Seconds(),
+		"requests":          s.requests.Load(),
+		"failures":          s.failures.Load(),
+		"dedup_hits":        s.dedupHits.Load(),
+		"snapshot_installs": s.installs.Load(),
+		// Back-compat flat keys for the default pool, plus the full
+		// per-pool breakdown (pool hit / inline-fork counters are the
+		// ROADMAP observability item; the hedging tests assert on them).
+		"pool_warm":         s.def.pool.Warm(),
+		"pool_forked":       s.def.pool.Forked(),
+		"pool_hits":         s.def.pool.Hits(),
+		"pool_inline_forks": s.def.pool.InlineForks(),
+		"pool":              poolStats(s.def),
+		"snapshots":         snaps,
+		"runs":              runs,
+		"workloads":         len(mobilesim.Workloads()),
+		"guest_ram_mib":     s.cfg.Sim.RAMSize >> 20,
+	})
+}

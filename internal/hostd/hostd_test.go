@@ -1,0 +1,514 @@
+package hostd_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobilesim"
+	"mobilesim/internal/cluster"
+	"mobilesim/internal/hostd"
+)
+
+// testServer boots one small server; the warm snapshot makes per-test
+// forks cheap.
+func testServer(t *testing.T, cfg hostd.Config) *hostd.Server {
+	t.Helper()
+	if cfg.Sim.RAMSize == 0 {
+		cfg.Sim = mobilesim.Config{RAMSize: 128 << 20, HostThreads: 2}
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 2
+	}
+	srv, err := hostd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func do(mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	mux.ServeHTTP(rec, r)
+	return rec
+}
+
+func statsBody(t *testing.T, mux *http.ServeMux) map[string]json.RawMessage {
+	t.Helper()
+	rec := do(mux, http.MethodGet, cluster.PathStats, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: status %d", rec.Code)
+	}
+	var body map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func statUint(t *testing.T, body map[string]json.RawMessage, key string) uint64 {
+	t.Helper()
+	raw, ok := body[key]
+	if !ok {
+		t.Fatalf("stats body has no %q key", key)
+	}
+	var v uint64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("stats %q: %v", key, err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	rec := do(srv.Mux(), http.MethodGet, cluster.PathHealth, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Status != "ok" {
+		t.Fatalf("bad health body %q (%v)", rec.Body, err)
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	rec := do(srv.Mux(), http.MethodGet, "/api/v1/workloads", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Workloads []struct {
+			Name string `json:"name"`
+		} `json:"workloads"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Workloads) != len(mobilesim.Workloads()) {
+		t.Fatalf("listed %d workloads, registry has %d", len(body.Workloads), len(mobilesim.Workloads()))
+	}
+}
+
+func TestRunBFSVerified(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	rec := do(srv.Mux(), http.MethodPost, cluster.PathRun, `{"workload": "BFS", "scale": 4}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp cluster.RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Verified {
+		t.Fatalf("run not verified: %s", rec.Body)
+	}
+	if resp.Stats.System.ComputeJobs == 0 || resp.Stats.GPU.TotalInstr() == 0 {
+		t.Fatalf("empty stats delta: %s", rec.Body)
+	}
+	if resp.Stats.DriverCPUNS <= 0 {
+		t.Fatalf("driver_cpu_ns missing: %s", rec.Body)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	rec := do(srv.Mux(), http.MethodPost, cluster.PathRun, `{"workload": "BFSS"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "BFS") {
+		t.Fatalf("no suggestion in error: %s", rec.Body)
+	}
+}
+
+func TestRunMethodAndBodyErrors(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	mux := srv.Mux()
+
+	if rec := do(mux, http.MethodGet, cluster.PathRun, ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET run: status %d", rec.Code)
+	}
+	if rec := do(mux, http.MethodPost, cluster.PathRun, `{`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", rec.Code)
+	}
+	if rec := do(mux, http.MethodPost, cluster.PathRun, `{}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing workload: status %d", rec.Code)
+	}
+	if rec := do(mux, http.MethodGet, cluster.PathSnapshot, ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET snapshot: status %d", rec.Code)
+	}
+}
+
+// TestServerStats checks the request accounting plus the new
+// observability keys: pool hit / inline-fork counters and per-workload
+// run counts.
+func TestServerStats(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	mux := srv.Mux()
+	if rec := do(mux, http.MethodPost, cluster.PathRun, `{"workload": "MatrixTranspose"}`); rec.Code != http.StatusOK {
+		t.Fatalf("run: status %d: %s", rec.Code, rec.Body)
+	}
+	body := statsBody(t, mux)
+	if got := statUint(t, body, "requests"); got != 1 {
+		t.Fatalf("requests=%d, want 1", got)
+	}
+	if got := statUint(t, body, "failures"); got != 0 {
+		t.Fatalf("failures=%d, want 0", got)
+	}
+	if hits, inline := statUint(t, body, "pool_hits"), statUint(t, body, "pool_inline_forks"); hits+inline != 1 {
+		t.Fatalf("pool_hits=%d pool_inline_forks=%d, want exactly one hand-out", hits, inline)
+	}
+	var runs map[string]uint64
+	if err := json.Unmarshal(body["runs"], &runs); err != nil {
+		t.Fatal(err)
+	}
+	if runs["MatrixTranspose"] != 1 {
+		t.Fatalf("run counts %v, want MatrixTranspose=1", runs)
+	}
+	var pool struct {
+		Runs uint64 `json:"runs"`
+	}
+	if err := json.Unmarshal(body["pool"], &pool); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Runs != 1 {
+		t.Fatalf("default pool runs=%d, want 1", pool.Runs)
+	}
+}
+
+// TestConcurrentRuns hammers the run endpoint from many goroutines; its
+// real assertion is the -race run in CI (handler state, pool accounting
+// and the idempotency store are all exercised concurrently).
+func TestConcurrentRuns(t *testing.T) {
+	srv := testServer(t, hostd.Config{PoolSize: 2})
+	mux := srv.Mux()
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"workload": "Reduction", "scale": 1, "idempotency_key": "conc/%d"}`, i%4)
+			rec := do(mux, http.MethodPost, cluster.PathRun, body)
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("status %d: %s", rec.Code, rec.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// 8 requests over 4 keys: exactly 4 executions, the rest replayed.
+	body := statsBody(t, mux)
+	if got := statUint(t, body, "requests"); got != 4 {
+		t.Fatalf("requests=%d, want 4 (idempotent duplicates must not execute)", got)
+	}
+	if got := statUint(t, body, "dedup_hits"); got != 4 {
+		t.Fatalf("dedup_hits=%d, want 4", got)
+	}
+}
+
+// TestPoolExhaustionInlineFork floods a size-1 pool with simultaneous
+// requests: the burst must drain the warm channel and take the
+// inline-fork fallback, and every hand-out must be accounted as exactly
+// one of hit/inline-fork.
+func TestPoolExhaustionInlineFork(t *testing.T) {
+	srv := testServer(t, hostd.Config{PoolSize: 1})
+	mux := srv.Mux()
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := do(mux, http.MethodPost, cluster.PathRun, `{"workload": "Reduction", "scale": 1}`)
+			if rec.Code != http.StatusOK {
+				t.Errorf("status %d: %s", rec.Code, rec.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	body := statsBody(t, mux)
+	hits, inline := statUint(t, body, "pool_hits"), statUint(t, body, "pool_inline_forks")
+	if hits+inline != n {
+		t.Fatalf("pool_hits=%d + pool_inline_forks=%d != %d hand-outs", hits, inline, n)
+	}
+	if inline == 0 {
+		t.Fatalf("%d simultaneous requests against a size-1 pool never forked inline (hits=%d)", n, hits)
+	}
+}
+
+// slowWorkload is a long-running registered workload for the
+// client-disconnect test: uncancelled it spins for tens of seconds on
+// one host thread, so a sub-second 408 proves the soft-stop worked.
+type slowWorkload struct{}
+
+const slowSrc = `
+kernel void spin(global int* out, int iters) {
+    int i = get_global_id(0);
+    int acc = 0;
+    for (int j = 0; j < iters; j++) {
+        acc = acc + j;
+    }
+    out[i] = acc;
+}
+`
+
+func (slowWorkload) Info() mobilesim.WorkloadInfo {
+	return mobilesim.WorkloadInfo{
+		Name: "hostdtest/spin", Kind: mobilesim.KindBenchmark,
+		Description: "long-running kernel for disconnect tests",
+	}
+}
+
+func (slowWorkload) Execute(ctx context.Context, s *mobilesim.Session, opt *mobilesim.RunOptions) (*mobilesim.RunResult, error) {
+	iters := 1 << 20
+	if opt.Scale > 0 {
+		iters = opt.Scale
+	}
+	k, err := s.LoadKernel(slowSrc, "spin")
+	if err != nil {
+		return nil, err
+	}
+	buf, err := s.NewBuffer(4 * 256)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.SetArgs(buf, iters); err != nil {
+		return nil, err
+	}
+	if err := k.Launch(ctx, mobilesim.Dim1(256), mobilesim.Dim1(4)); err != nil {
+		return nil, err
+	}
+	return &mobilesim.RunResult{Workload: "hostdtest/spin", Verified: true}, nil
+}
+
+var registerSlow = sync.OnceValue(func() error {
+	return mobilesim.Register(slowWorkload{})
+})
+
+// TestClientDisconnectMidRun cancels the request context while the
+// kernel is executing: the run must soft-stop promptly with 408, the
+// fork is discarded, and the server keeps serving.
+func TestClientDisconnectMidRun(t *testing.T) {
+	if err := registerSlow(); err != nil {
+		t.Fatal(err)
+	}
+	srv := testServer(t, hostd.Config{
+		Sim: mobilesim.Config{RAMSize: 64 << 20, HostThreads: 1, ShaderCores: 1},
+	})
+	mux := srv.Mux()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, cluster.PathRun,
+			strings.NewReader(`{"workload": "hostdtest/spin"}`)).WithContext(ctx)
+		mux.ServeHTTP(rec, r)
+		done <- rec
+	}()
+	time.Sleep(100 * time.Millisecond) // let the kernel start
+	cancel()
+	select {
+	case rec := <-done:
+		if rec.Code != http.StatusRequestTimeout {
+			t.Fatalf("status %d, want 408: %s", rec.Code, rec.Body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return: soft-stop failed")
+	}
+
+	// The discarded fork must not poison the server: a normal run still
+	// works, and the interrupted one is a failure, not a run.
+	if rec := do(mux, http.MethodPost, cluster.PathRun, `{"workload": "BFS", "scale": 4}`); rec.Code != http.StatusOK {
+		t.Fatalf("run after disconnect: status %d: %s", rec.Code, rec.Body)
+	}
+	body := statsBody(t, mux)
+	if got := statUint(t, body, "failures"); got != 1 {
+		t.Fatalf("failures=%d, want 1 (the disconnected run)", got)
+	}
+	var runs map[string]uint64
+	if err := json.Unmarshal(body["runs"], &runs); err != nil {
+		t.Fatal(err)
+	}
+	if runs["hostdtest/spin"] != 0 {
+		t.Fatalf("interrupted run was counted: %v", runs)
+	}
+}
+
+// TestRunTimeoutMS: an expired request-level timeout behaves like a
+// disconnect — 408, soft-stopped.
+func TestRunTimeoutMS(t *testing.T) {
+	if err := registerSlow(); err != nil {
+		t.Fatal(err)
+	}
+	srv := testServer(t, hostd.Config{
+		Sim: mobilesim.Config{RAMSize: 64 << 20, HostThreads: 1, ShaderCores: 1},
+	})
+	rec := do(srv.Mux(), http.MethodPost, cluster.PathRun, `{"workload": "hostdtest/spin", "timeout_ms": 100}`)
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408: %s", rec.Code, rec.Body)
+	}
+}
+
+// encodeTestSnapshot boots a tiny distinct configuration and returns its
+// encoded snapshot.
+func encodeTestSnapshot(t *testing.T) []byte {
+	t.Helper()
+	sess, err := mobilesim.New(mobilesim.Config{RAMSize: 64 << 20, HostThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	snap, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotInstallAndRun covers the new endpoint end to end: install,
+// idempotent reinstall, run-from-ref, and the unknown-ref 404 that
+// drives the client's re-ship path.
+func TestSnapshotInstallAndRun(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	mux := srv.Mux()
+	encoded := encodeTestSnapshot(t)
+
+	rec := do(mux, http.MethodPost, cluster.PathSnapshot, string(encoded))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("install: status %d: %s", rec.Code, rec.Body)
+	}
+	var sr cluster.SnapshotResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if want := cluster.Ref(encoded); sr.Ref != want {
+		t.Fatalf("ref %s, want %s", sr.Ref, want)
+	}
+	if sr.AlreadyInstalled {
+		t.Fatal("fresh install reported AlreadyInstalled")
+	}
+
+	// Reinstalling the same bytes is idempotent.
+	rec = do(mux, http.MethodPost, cluster.PathSnapshot, string(encoded))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reinstall: status %d: %s", rec.Code, rec.Body)
+	}
+	var sr2 cluster.SnapshotResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if !sr2.AlreadyInstalled || sr2.Ref != sr.Ref {
+		t.Fatalf("reinstall response %+v, want AlreadyInstalled with same ref", sr2)
+	}
+	body := statsBody(t, mux)
+	if got := statUint(t, body, "snapshot_installs"); got != 1 {
+		t.Fatalf("snapshot_installs=%d, want 1", got)
+	}
+
+	// Runs can fork from the installed snapshot's pool.
+	runBody := fmt.Sprintf(`{"workload": "BFS", "scale": 4, "snapshot": %q}`, sr.Ref)
+	if rec := do(mux, http.MethodPost, cluster.PathRun, runBody); rec.Code != http.StatusOK {
+		t.Fatalf("run from ref: status %d: %s", rec.Code, rec.Body)
+	}
+
+	// An uninstalled ref is the machine-readable unknown_snapshot 404.
+	rec = do(mux, http.MethodPost, cluster.PathRun, `{"workload": "BFS", "snapshot": "sha256:beef"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown ref: status %d: %s", rec.Code, rec.Body)
+	}
+	var er cluster.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != cluster.CodeUnknownSnapshot {
+		t.Fatalf("error code %q, want %q", er.Code, cluster.CodeUnknownSnapshot)
+	}
+}
+
+// TestIdempotentRunReplay: the second delivery of a key replays the
+// exact recorded bytes with the dedup header, and is not double-counted
+// anywhere.
+func TestIdempotentRunReplay(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	mux := srv.Mux()
+	const req = `{"workload": "BFS", "scale": 4, "idempotency_key": "r1/0"}`
+
+	first := do(mux, http.MethodPost, cluster.PathRun, req)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first: status %d: %s", first.Code, first.Body)
+	}
+	if first.Header().Get(cluster.DedupHeader) != "" {
+		t.Fatal("first delivery carries the dedup header")
+	}
+
+	second := do(mux, http.MethodPost, cluster.PathRun, req)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second: status %d: %s", second.Code, second.Body)
+	}
+	if second.Header().Get(cluster.DedupHeader) != "hit" {
+		t.Fatal("replay missing the dedup header")
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("replayed body differs from the recorded response")
+	}
+
+	body := statsBody(t, mux)
+	if got := statUint(t, body, "requests"); got != 1 {
+		t.Fatalf("requests=%d, want 1 (replay must not execute)", got)
+	}
+	if got := statUint(t, body, "dedup_hits"); got != 1 {
+		t.Fatalf("dedup_hits=%d, want 1", got)
+	}
+	var runs map[string]uint64
+	if err := json.Unmarshal(body["runs"], &runs); err != nil {
+		t.Fatal(err)
+	}
+	if runs["BFS"] != 1 {
+		t.Fatalf("run counts %v, want BFS=1", runs)
+	}
+}
+
+// TestIdempotentFailureRetries: a failed first delivery is replayed to
+// waiters but evicted from the store, so a later retry of the same key
+// executes again — failures are not sticky.
+func TestIdempotentFailureRetries(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	mux := srv.Mux()
+	// Fails: the ref is not installed.
+	bad := `{"workload": "BFS", "scale": 4, "snapshot": "sha256:dead", "idempotency_key": "r2/0"}`
+	if rec := do(mux, http.MethodPost, cluster.PathRun, bad); rec.Code != http.StatusNotFound {
+		t.Fatalf("bad run: status %d", rec.Code)
+	}
+	// Same key, fixed request: must execute, not replay the 404.
+	good := `{"workload": "BFS", "scale": 4, "idempotency_key": "r2/0"}`
+	if rec := do(mux, http.MethodPost, cluster.PathRun, good); rec.Code != http.StatusOK {
+		t.Fatalf("retry after failure: status %d: %s", rec.Code, rec.Body)
+	}
+}

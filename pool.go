@@ -33,6 +33,8 @@ type SessionPool struct {
 	closed bool
 
 	forked atomic.Uint64
+	hits   atomic.Uint64
+	inline atomic.Uint64
 }
 
 // NewSessionPool creates a pool of size warm sessions forked from snap,
@@ -102,6 +104,7 @@ func (p *SessionPool) Get(ctx context.Context) (*Session, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case s := <-p.warm:
+		p.hits.Add(1)
 		return s, nil
 	default:
 	}
@@ -111,6 +114,7 @@ func (p *SessionPool) Get(ctx context.Context) (*Session, error) {
 	if closed {
 		return nil, ErrPoolClosed
 	}
+	p.inline.Add(1)
 	return p.fork()
 }
 
@@ -121,6 +125,15 @@ func (p *SessionPool) Warm() int { return len(p.warm) }
 // Forked reports how many sessions the pool has forked over its lifetime
 // (warm fills plus on-demand forks).
 func (p *SessionPool) Forked() uint64 { return p.forked.Load() }
+
+// Hits reports how many Get calls were served from the warm pool.
+func (p *SessionPool) Hits() uint64 { return p.hits.Load() }
+
+// InlineForks reports how many Get calls found the pool momentarily
+// empty and forked inline — the pool-exhaustion fallback path. Hits +
+// InlineForks equals the number of successful hand-outs attempted (an
+// inline fork that fails still counts as the attempt it was).
+func (p *SessionPool) InlineForks() uint64 { return p.inline.Load() }
 
 // Snapshot returns the snapshot the pool forks from.
 func (p *SessionPool) Snapshot() *Snapshot { return p.snap }

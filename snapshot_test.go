@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"mobilesim"
 )
@@ -390,6 +391,47 @@ func TestSessionPool(t *testing.T) {
 	pool.Close() // idempotent
 	if _, err := pool.Get(context.Background()); err == nil {
 		t.Fatal("Get succeeded on a closed pool")
+	}
+}
+
+// TestSessionPoolCounters pins the hit / inline-fork accounting: every
+// successful Get is exactly one of the two, and draining faster than the
+// refiller takes the inline-fork path.
+func TestSessionPoolCounters(t *testing.T) {
+	parent, err := mobilesim.New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := mobilesim.NewSessionPool(snap, 1, mobilesim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Draw in a tight loop until the warm channel has been caught empty
+	// at least once; the refiller needs a full fork per hand-out, so a
+	// burst must eventually outrun it.
+	var gets uint64
+	deadline := time.Now().Add(30 * time.Second)
+	for pool.InlineForks() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("after %d draws the pool never forked inline (hits=%d)", gets, pool.Hits())
+		}
+		s, err := pool.Get(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gets++
+		s.Close()
+	}
+	if pool.Hits()+pool.InlineForks() != gets {
+		t.Fatalf("hits %d + inline forks %d != %d hand-outs",
+			pool.Hits(), pool.InlineForks(), gets)
 	}
 }
 
