@@ -53,6 +53,9 @@ type BatchResult struct {
 	Aggregate Stats
 	// Wall is the elapsed time for the whole batch.
 	Wall time.Duration
+	// Cluster carries the delivery counters and per-host attempt
+	// latencies of a cluster run (Batch.Hosts); nil for local batches.
+	Cluster *ClusterReport
 }
 
 // Batch runs N independent simulations across a bounded worker pool — the

@@ -45,6 +45,56 @@ type ClusterConfig struct {
 	HTTPClient *http.Client
 }
 
+// ClusterHostReport is one host's view in a ClusterReport: liveness,
+// accepted runs, and attempt latency split by delivery path. Failed
+// attempts are observed too, so a fast-failing host reads as a fast
+// histogram with few Runs.
+type ClusterHostReport struct {
+	// URL is the host's base URL; Dead reports it left the rotation.
+	URL  string
+	Dead bool
+	// Runs counts responses accepted from this host.
+	Runs uint64
+	// Dispatch covers first attempts, Retry post-backoff retries, Hedge
+	// hedged duplicates raced against a slow host.
+	Dispatch, Retry, Hedge LatencySnapshot
+}
+
+// ClusterReport summarises the delivery machinery of one cluster batch:
+// lifetime delivery counters and per-host attempt latencies, in
+// Batch.Hosts order. It is attached to BatchResult.Cluster by cluster
+// runs and printed by `mobilesimctl -stats`.
+type ClusterReport struct {
+	// Retries counts retry attempts dispatched; Hedges counts hedged
+	// duplicates launched; Discarded counts completed duplicate responses
+	// dropped because another attempt had been accepted; Reships counts
+	// transparent snapshot re-installations after a host forgot the ref.
+	Retries, Hedges, Discarded, Reships uint64
+	Hosts                               []ClusterHostReport
+}
+
+// clusterReport folds the wire-level report into the facade shape.
+func clusterReport(r cluster.Report) *ClusterReport {
+	out := &ClusterReport{
+		Retries:   r.Retries,
+		Hedges:    r.Hedges,
+		Discarded: r.Discarded,
+		Reships:   r.Reships,
+		Hosts:     make([]ClusterHostReport, len(r.Hosts)),
+	}
+	for i, h := range r.Hosts {
+		out.Hosts[i] = ClusterHostReport{
+			URL:      h.URL,
+			Dead:     h.Dead,
+			Runs:     h.Runs,
+			Dispatch: h.Dispatch,
+			Retry:    h.Retry,
+			Hedge:    h.Hedge,
+		}
+	}
+	return out
+}
+
 // runCluster executes the batch over b.Hosts: boot the batch Config
 // once, capture and encode the warm snapshot, ship it to every host,
 // fan the jobs out, and fold the per-run deltas back into a BatchResult.
@@ -102,6 +152,7 @@ func (b *Batch) runCluster(ctx context.Context) (*BatchResult, error) {
 	for i := range cres.Jobs {
 		res.Jobs[i] = clusterJobResult(b.Jobs[i], &cres.Jobs[i])
 	}
+	res.Cluster = clusterReport(cl.Report())
 	res.tally(ctx)
 	res.Wall = time.Since(t0)
 	return res, ctx.Err()
@@ -123,6 +174,13 @@ func clusterJobResult(job BatchJob, cj *cluster.JobResult) JobResult {
 		SimDuration:    time.Duration(resp.SimMS * float64(time.Millisecond)),
 		NativeDuration: time.Duration(resp.NativeMS * float64(time.Millisecond)),
 		Wall:           time.Duration(resp.WallMS * float64(time.Millisecond)),
+		QueueWait:      time.Duration(resp.QueueWaitMS * float64(time.Millisecond)),
+		// Modeled is a pure function of the integer counters, so the
+		// host-computed values are bit-identical to a local evaluation.
+		Modeled: ModeledCost{
+			MobileCycles:  resp.Modeled.MobileCycles,
+			DesktopCycles: resp.Modeled.DesktopCycles,
+		},
 		// The counter records cross the wire exactly (integer fields,
 		// DriverCPUNS); this is a deserialization copy, not bookkeeping.
 		Stats: Stats{

@@ -140,11 +140,52 @@ func TestClusterMatchesLocalBatch(t *testing.T) {
 			if n >= 2 && !hosts[1].Dead() {
 				t.Error("scripted kill did not take host 1 down")
 			}
-			// Per-job results verified over the wire.
+			// Per-job results verified over the wire, and the modelled
+			// cost estimates — pure functions of the integer counters —
+			// must cross the wire bit-identical to the local evaluation.
 			for i := range remote.Jobs {
-				if r := remote.Jobs[i].Result; r == nil || !r.Verified {
+				r := remote.Jobs[i].Result
+				if r == nil || !r.Verified {
 					t.Errorf("job %d (%s) not verified remotely", i, remote.Jobs[i].Job.Benchmark)
+					continue
 				}
+				if r.Modeled.MobileCycles <= 0 || r.Modeled.DesktopCycles <= 0 {
+					t.Errorf("job %d (%s): modelled cost not populated: %+v", i, remote.Jobs[i].Job.Benchmark, r.Modeled)
+				}
+				if lr := local.Jobs[i].Result; lr != nil && r.Modeled != lr.Modeled {
+					t.Errorf("job %d (%s): modelled cost diverges: cluster %+v, local %+v",
+						i, remote.Jobs[i].Job.Benchmark, r.Modeled, lr.Modeled)
+				}
+			}
+
+			// The delivery report rode back on the BatchResult: counters
+			// reflecting the injected faults, per-host attempt latencies
+			// covering every request made.
+			cr := remote.Cluster
+			if cr == nil {
+				t.Fatal("cluster batch result has no ClusterReport")
+			}
+			if cr.Retries == 0 {
+				t.Error("report shows no retries despite the scripted 503")
+			}
+			if len(cr.Hosts) != n {
+				t.Fatalf("report covers %d hosts, want %d", len(cr.Hosts), n)
+			}
+			// Hedging is opportunistic (it needs a free stream on another
+			// host the instant the timer fires), so its count is not
+			// pinned — but the per-host histograms must stay consistent
+			// with the counters: one hedge observation per hedge launched,
+			// and at least one attempt observed per job.
+			var attempts, hedged uint64
+			for _, h := range cr.Hosts {
+				attempts += h.Dispatch.Count + h.Retry.Count + h.Hedge.Count
+				hedged += h.Hedge.Count
+			}
+			if hedged != cr.Hedges {
+				t.Errorf("per-host hedge observations %d != hedges counter %d", hedged, cr.Hedges)
+			}
+			if attempts < uint64(len(jobs)) {
+				t.Errorf("per-host latency histograms observed %d attempts for %d jobs", attempts, len(jobs))
 			}
 		})
 	}

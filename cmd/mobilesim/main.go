@@ -144,6 +144,8 @@ func printStats(res *mobilesim.RunResult) {
 	fmt.Fprintf(tw, "registers\t%d GRF\n", gs.RegistersUsed)
 	fmt.Fprintf(tw, "system\tpages %d, ctrl reads %d, ctrl writes %d, IRQs %d\n",
 		sys.PagesAccessed, sys.CtrlRegReads, sys.CtrlRegWrites, sys.IRQsAsserted)
+	fmt.Fprintf(tw, "modelled cost\tMali-G71 %.3g cycles, K20m %.3g cycles (relative ranking units)\n",
+		res.Modeled.MobileCycles, res.Modeled.DesktopCycles)
 	tw.Flush()
 }
 

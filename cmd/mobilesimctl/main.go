@@ -46,6 +46,7 @@ func main() {
 	backoff := flag.Duration("backoff", 0, "initial retry backoff (0 = default)")
 	hedge := flag.Duration("hedge", 0, "hedge a still-running job on a second host after this delay (0 = off)")
 	checkLocal := flag.Bool("check-local", false, "also run the jobs locally and require a bit-identical aggregate")
+	stats := flag.Bool("stats", false, "print cluster delivery counters and per-host attempt latencies")
 	jsonOut := flag.Bool("json", false, "emit the merged result as JSON")
 	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
 	flag.Parse()
@@ -119,9 +120,12 @@ func main() {
 	}
 
 	if *jsonOut {
-		printJSON(res, len(hostList))
+		printJSON(res, len(hostList), *stats)
 	} else {
 		printText(res, len(hostList), time.Since(t0))
+		if *stats {
+			printClusterStats(res.Cluster)
+		}
 	}
 	if res.Failed > 0 || res.Skipped > 0 || res.Interrupted > 0 {
 		os.Exit(1)
@@ -197,13 +201,77 @@ func printText(res *mobilesim.BatchResult, hosts int, wall time.Duration) {
 		a.System.KernelLaunch, a.System.ComputeJobs, a.GPU.TotalInstr(), a.GPU.MainMemAcc, a.GuestInstructions)
 }
 
-func printJSON(res *mobilesim.BatchResult, hosts int) {
+// printClusterStats renders the delivery counters and per-host attempt
+// latency summaries collected during the cluster run (-stats).
+func printClusterStats(cr *mobilesim.ClusterReport) {
+	if cr == nil {
+		return
+	}
+	fmt.Printf("delivery: retries=%d hedges=%d discarded=%d reships=%d\n",
+		cr.Retries, cr.Hedges, cr.Discarded, cr.Reships)
+	for i := range cr.Hosts {
+		h := &cr.Hosts[i]
+		state := "live"
+		if h.Dead {
+			state = "DEAD"
+		}
+		fmt.Printf("  %-28s %-4s runs=%-4d %s %s %s\n", h.URL, state, h.Runs,
+			latencyColumn("dispatch", h.Dispatch),
+			latencyColumn("retry", h.Retry),
+			latencyColumn("hedge", h.Hedge))
+	}
+}
+
+// latencyJSON renders a latency snapshot as a small JSON object, or nil
+// when nothing was observed (the field is omitted).
+func latencyJSON(s mobilesim.LatencySnapshot) any {
+	if s.Count == 0 {
+		return nil
+	}
+	sum := s.Summary()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return map[string]any{
+		"count":   sum.Count,
+		"mean_ms": ms(sum.Mean),
+		"p50_ms":  ms(sum.P50),
+		"p90_ms":  ms(sum.P90),
+		"p99_ms":  ms(sum.P99),
+	}
+}
+
+// latencyColumn formats one attempt-latency snapshot as
+// "name n=COUNT p50=… p99=…", or "name n=0" when nothing was observed.
+func latencyColumn(name string, s mobilesim.LatencySnapshot) string {
+	if s.Count == 0 {
+		return fmt.Sprintf("%s n=0", name)
+	}
+	return fmt.Sprintf("%s n=%d p50=%.1fms p99=%.1fms", name, s.Count,
+		float64(s.Quantile(0.5))/float64(time.Millisecond),
+		float64(s.Quantile(0.99))/float64(time.Millisecond))
+}
+
+func printJSON(res *mobilesim.BatchResult, hosts int, stats bool) {
 	type jobOut struct {
 		Workload string  `json:"workload"`
 		Scale    int     `json:"scale"`
 		Verified bool    `json:"verified,omitempty"`
 		SimMS    float64 `json:"sim_ms,omitempty"`
 		Error    string  `json:"error,omitempty"`
+	}
+	type hostLatOut struct {
+		URL      string `json:"url"`
+		Dead     bool   `json:"dead,omitempty"`
+		Runs     uint64 `json:"runs"`
+		Dispatch any    `json:"dispatch,omitempty"`
+		Retry    any    `json:"retry,omitempty"`
+		Hedge    any    `json:"hedge,omitempty"`
+	}
+	type clusterOut struct {
+		Retries   uint64       `json:"retries"`
+		Hedges    uint64       `json:"hedges"`
+		Discarded uint64       `json:"discarded"`
+		Reships   uint64       `json:"reships"`
+		Hosts     []hostLatOut `json:"hosts"`
 	}
 	out := struct {
 		Hosts     int              `json:"hosts"`
@@ -213,10 +281,27 @@ func printJSON(res *mobilesim.BatchResult, hosts int) {
 		WallMS    float64          `json:"wall_ms"`
 		Jobs      []jobOut         `json:"jobs"`
 		Aggregate *mobilesim.Stats `json:"aggregate"`
+		Cluster   *clusterOut      `json:"cluster,omitempty"`
 	}{
 		Hosts: hosts, Completed: res.Completed, Failed: res.Failed, Skipped: res.Skipped,
 		WallMS:    float64(res.Wall) / float64(time.Millisecond),
 		Aggregate: &res.Aggregate,
+	}
+	if stats && res.Cluster != nil {
+		co := &clusterOut{
+			Retries: res.Cluster.Retries, Hedges: res.Cluster.Hedges,
+			Discarded: res.Cluster.Discarded, Reships: res.Cluster.Reships,
+		}
+		for i := range res.Cluster.Hosts {
+			h := &res.Cluster.Hosts[i]
+			co.Hosts = append(co.Hosts, hostLatOut{
+				URL: h.URL, Dead: h.Dead, Runs: h.Runs,
+				Dispatch: latencyJSON(h.Dispatch),
+				Retry:    latencyJSON(h.Retry),
+				Hedge:    latencyJSON(h.Hedge),
+			})
+		}
+		out.Cluster = co
 	}
 	for i := range res.Jobs {
 		jr := &res.Jobs[i]

@@ -8,7 +8,11 @@
 //
 // Usage:
 //
-//	mobilesimd [-addr :8900] [-pool N] [-ram MiB] [-cores N] [-threads N] [-compiler VER] [-engine warp|jit|interp]
+//	mobilesimd [-addr :8900] [-pool N] [-pool-max N] [-ram MiB] [-cores N] [-threads N] [-compiler VER] [-engine warp|jit|interp]
+//
+// With -pool-max > -pool, pools autoscale: the warm target follows the
+// request arrival rate (×observed fork latency, with headroom) between
+// the two bounds, decaying back to -pool when traffic goes idle.
 //
 // Endpoints:
 //
@@ -20,7 +24,10 @@
 //	                         {"workload": "BFS", "scale": 4}; optional
 //	                         "snapshot" ref and "idempotency_key"
 //	GET  /api/v1/stats     — server counters: pool hits/inline forks,
-//	                         per-workload run counts, dedup hits
+//	                         per-workload run counts, dedup hits, latency
+//	                         percentiles
+//	GET  /metrics          — the same counters and latency summaries in
+//	                         Prometheus text exposition format
 //
 // A run executes through the session command queue with the request's
 // context: closing the connection (or exceeding timeout_ms) soft-stops
@@ -47,6 +54,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8900", "HTTP listen address")
 	pool := flag.Int("pool", 4, "warm forked sessions kept ready per pool")
+	poolMax := flag.Int("pool-max", 0, "autoscale warm sessions up to this bound under load (0 = fixed -pool size)")
 	ram := flag.Int("ram", 512, "guest RAM in MiB")
 	cores := flag.Int("cores", 8, "simulated shader cores")
 	threads := flag.Int("threads", 8, "GPU simulation host threads")
@@ -66,6 +74,7 @@ func main() {
 			JITClauses:      *jit,
 		},
 		PoolSize:     *pool,
+		PoolMaxSize:  *poolMax,
 		MaxSnapshots: *maxSnaps,
 	}
 	srv, err := hostd.New(cfg)

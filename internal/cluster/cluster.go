@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mobilesim/internal/obs"
 )
 
 // ErrNoHosts is returned when every registered host has been marked dead.
@@ -144,6 +146,35 @@ type host struct {
 	fails atomic.Int64 // consecutive transport/5xx failures
 	dead  atomic.Bool
 	runs  atomic.Uint64 // accepted responses
+
+	// Attempt latency by kind: first dispatches, retries after a failed
+	// round, and hedged duplicates. Failed attempts are observed too —
+	// a host that fails fast shows up as a fast histogram with few runs,
+	// which is exactly the signal an operator wants.
+	dispatchLat obs.Histogram
+	retryLat    obs.Histogram
+	hedgeLat    obs.Histogram
+}
+
+// attemptKind tags which delivery path issued a request attempt, for
+// per-host latency attribution.
+type attemptKind int
+
+const (
+	attemptDispatch attemptKind = iota
+	attemptRetry
+	attemptHedge
+)
+
+func (h *host) observe(kind attemptKind, d time.Duration) {
+	switch kind {
+	case attemptRetry:
+		h.retryLat.Observe(d)
+	case attemptHedge:
+		h.hedgeLat.Observe(d)
+	default:
+		h.dispatchLat.Observe(d)
+	}
 }
 
 // Cluster is a host registry plus dispatch machinery. One Cluster is
@@ -227,6 +258,51 @@ func (c *Cluster) HostStates() []HostState {
 		out[i] = HostState{URL: h.url, Dead: h.dead.Load(), Runs: h.runs.Load()}
 	}
 	return out
+}
+
+// HostLatency is one host's attempt-latency breakdown: every request
+// attempt the coordinator issued against the host, split by delivery
+// path. Failed attempts are included (a fast-failing host reads as a
+// fast histogram with few accepted Runs).
+type HostLatency struct {
+	URL  string
+	Dead bool
+	// Runs counts responses accepted from this host.
+	Runs uint64
+	// Dispatch covers first attempts, Retry covers post-backoff retries,
+	// Hedge covers hedged duplicates raced against a slow host.
+	Dispatch, Retry, Hedge obs.Snapshot
+}
+
+// Report is a point-in-time observability snapshot of the cluster's
+// delivery machinery: the lifetime delivery counters plus per-host
+// attempt latencies, in Options.Hosts order.
+type Report struct {
+	Retries, Hedges, Discarded, Reships uint64
+	Hosts                               []HostLatency
+}
+
+// Report captures the cluster's delivery counters and per-host latency
+// histograms.
+func (c *Cluster) Report() Report {
+	r := Report{
+		Retries:   c.retries.Load(),
+		Hedges:    c.hedges.Load(),
+		Discarded: c.discarded.Load(),
+		Reships:   c.reships.Load(),
+		Hosts:     make([]HostLatency, len(c.hosts)),
+	}
+	for i, h := range c.hosts {
+		r.Hosts[i] = HostLatency{
+			URL:      h.url,
+			Dead:     h.dead.Load(),
+			Runs:     h.runs.Load(),
+			Dispatch: h.dispatchLat.Snapshot(),
+			Retry:    h.retryLat.Snapshot(),
+			Hedge:    h.hedgeLat.Snapshot(),
+		}
+	}
+	return r
 }
 
 // Ship installs an encoded snapshot on every live host and returns its
@@ -377,7 +453,9 @@ func (c *Cluster) driveJob(ctx context.Context, runID string, idx int, job Job) 
 	var avoid *host
 
 	for jr.Attempts < c.opts.MaxAttempts {
+		kind := attemptDispatch
 		if jr.Attempts > 0 {
+			kind = attemptRetry
 			c.retries.Add(1)
 			if err := sleepCtx(ctx, backoff); err != nil {
 				jr.Err = err
@@ -393,7 +471,7 @@ func (c *Cluster) driveJob(ctx context.Context, runID string, idx int, job Job) 
 		jr.Attempts++
 		results := make(chan attemptOutcome, 2)
 		inflight := 1
-		go c.attempt(ctx, h, job, key, results)
+		go c.attempt(ctx, h, job, key, kind, results)
 
 		var hedgeC <-chan time.Time
 		var hedgeTimer *time.Timer
@@ -437,7 +515,7 @@ func (c *Cluster) driveJob(ctx context.Context, runID string, idx int, job Job) 
 				jr.Hedged = true
 				c.hedges.Add(1)
 				inflight++
-				go c.attempt(ctx, h2, job, key, results)
+				go c.attempt(ctx, h2, job, key, attemptHedge, results)
 			case out := <-results:
 				inflight--
 				if out.err == nil {
@@ -488,11 +566,14 @@ func (c *Cluster) drainDuplicates(results <-chan attemptOutcome, n int) {
 	}()
 }
 
-// attempt performs one HTTP run request on h and reports the outcome. It
-// owns h's stream token and releases it when done.
-func (c *Cluster) attempt(ctx context.Context, h *host, job Job, key string, out chan<- attemptOutcome) {
+// attempt performs one HTTP run request on h, records its latency under
+// the attempt kind, and reports the outcome. It owns h's stream token
+// and releases it when done.
+func (c *Cluster) attempt(ctx context.Context, h *host, job Job, key string, kind attemptKind, out chan<- attemptOutcome) {
 	defer c.release(h)
+	t0 := time.Now()
 	resp, permanent, err := c.doRun(ctx, h, job, key, true)
+	h.observe(kind, time.Since(t0))
 	if err != nil && !permanent && ctx.Err() == nil {
 		c.noteFailure(h)
 	} else if err == nil {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"time"
 
 	"mobilesim/internal/stats"
 )
@@ -19,6 +20,9 @@ const (
 	PathSnapshot = "/api/v1/snapshot"
 	PathRun      = "/api/v1/run"
 	PathStats    = "/api/v1/stats"
+	// PathMetrics serves the same counters and latency summaries as
+	// PathStats in Prometheus text exposition format.
+	PathMetrics = "/metrics"
 )
 
 // DedupHeader marks a /api/v1/run response that was replayed from the
@@ -63,28 +67,65 @@ type RunRequest struct {
 
 // RunStats is the per-run statistics delta on the wire. GPU and System
 // are exact integer counter records; DriverCPUNS carries the driver CPU
-// time losslessly (DriverCPUMS is a rounded human-friendly mirror).
+// time losslessly.
 type RunStats struct {
-	GPU               stats.GPUStats    `json:"gpu"`
-	System            stats.SystemStats `json:"system"`
-	DriverCPUMS       float64           `json:"driver_cpu_ms"`
-	DriverCPUNS       int64             `json:"driver_cpu_ns"`
-	GuestInstructions uint64            `json:"guest_instructions"`
+	GPU    stats.GPUStats    `json:"gpu"`
+	System stats.SystemStats `json:"system"`
+	// DriverCPUMS mirrors DriverCPUNS in milliseconds for human readers.
+	// It is never set independently: MakeRunStats and Merge derive it
+	// from DriverCPUNS (msFromNS), the lossless source of truth.
+	//
+	// Deprecated: read DriverCPUNS. The field keeps being emitted for
+	// wire compatibility with existing consumers and will be dropped in a
+	// future protocol revision.
+	DriverCPUMS       float64 `json:"driver_cpu_ms"`
+	DriverCPUNS       int64   `json:"driver_cpu_ns"`
+	GuestInstructions uint64  `json:"guest_instructions"`
+}
+
+// msFromNS is the one place the deprecated millisecond mirror is derived
+// from the lossless nanosecond field.
+func msFromNS(ns int64) float64 { return float64(ns) / 1e6 }
+
+// MakeRunStats composes the wire statistics record from per-run
+// counters. Every producer (internal/hostd today) must build RunStats
+// through it so DriverCPUMS cannot drift from DriverCPUNS.
+func MakeRunStats(gpu stats.GPUStats, system stats.SystemStats, driverCPU time.Duration, guestInstructions uint64) RunStats {
+	ns := int64(driverCPU)
+	return RunStats{
+		GPU:               gpu,
+		System:            system,
+		DriverCPUMS:       msFromNS(ns),
+		DriverCPUNS:       ns,
+		GuestInstructions: guestInstructions,
+	}
 }
 
 // Merge accumulates another run's delta. All fields are sums of integer
 // counters (RegistersUsed is a max), so merging is order-independent:
 // any merge order over the same set of deltas yields identical bytes.
+// The deprecated millisecond mirror is recomputed from the summed
+// nanoseconds, never summed itself.
 func (s *RunStats) Merge(o *RunStats) {
 	s.GPU.Merge(&o.GPU)
 	s.System.Merge(&o.System)
 	s.DriverCPUNS += o.DriverCPUNS
-	s.DriverCPUMS = float64(s.DriverCPUNS) / 1e6
+	s.DriverCPUMS = msFromNS(s.DriverCPUNS)
 	s.GuestInstructions += o.GuestInstructions
 }
 
-// RunResponse is the result of one run: outcome, timings and the per-run
-// statistics delta.
+// Modeled carries the analytical cost-model estimates for one run: the
+// Mali-G71 mobile and K20m desktop relative runtimes evaluated on the
+// run's own statistics delta. Both are pure functions of the
+// deterministic counters, so the values a cluster host reports are
+// bit-identical to a local run of the same job.
+type Modeled struct {
+	MobileCycles  float64 `json:"mobile_cycles"`
+	DesktopCycles float64 `json:"desktop_cycles"`
+}
+
+// RunResponse is the result of one run: outcome, timings, the per-run
+// statistics delta and the modelled cost estimates.
 type RunResponse struct {
 	Workload    string `json:"workload"`
 	Kind        string `json:"kind"`
@@ -95,8 +136,12 @@ type RunResponse struct {
 	SimMS    float64 `json:"sim_ms"`
 	NativeMS float64 `json:"native_ms,omitempty"`
 	WallMS   float64 `json:"wall_ms"`
+	// QueueWaitMS is time the run spent queued on its session's command
+	// queue before executing (usually ~0 on a fresh pool fork).
+	QueueWaitMS float64 `json:"queue_wait_ms"`
 
-	Stats RunStats `json:"stats"`
+	Stats   RunStats `json:"stats"`
+	Modeled Modeled  `json:"modeled"`
 }
 
 // SnapshotResponse is the result of POST /api/v1/snapshot.

@@ -72,6 +72,17 @@ type KernelProfile struct {
 	CacheHitFraction float64
 }
 
+// DefaultProfile is the pattern annotation assumed for runs whose
+// workload does not declare one (the SGEMM ladder rungs do; the Table II
+// kernels and SLAM pipelines do not). The values describe a typical
+// unremarkable compute kernel — mostly-coalesced global access, no
+// register blocking, a modest cache hit rate — so the desktop estimate
+// stays a usable ranking signal rather than degrading to zero or to a
+// worst-case cliff.
+func DefaultProfile() KernelProfile {
+	return KernelProfile{CoalescedFraction: 0.8, RegisterBlocking: 1, CacheHitFraction: 0.3}
+}
+
 // Estimate produces a relative runtime for a kernel run with the given
 // simulated statistics and pattern profile.
 func (m Model) Estimate(gs *stats.GPUStats, prof KernelProfile, launches uint64) float64 {

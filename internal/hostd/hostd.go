@@ -18,12 +18,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mobilesim"
 	"mobilesim/internal/cluster"
+	"mobilesim/internal/obs"
 )
 
 // Config shapes a Server.
@@ -34,6 +36,11 @@ type Config struct {
 	// PoolSize is the warm-session target of every pool, the default one
 	// and per-snapshot ones (minimum 1).
 	PoolSize int
+	// PoolMaxSize, when greater than PoolSize, turns every pool into a
+	// rate-driven autoscaler: the warm target follows request demand
+	// between [PoolSize, PoolMaxSize] and decays back when traffic goes
+	// idle (see mobilesim.PoolAutoscale). Zero keeps fixed-size pools.
+	PoolMaxSize int
 	// MaxSnapshots caps installed snapshots; the oldest install is
 	// evicted (its pool closed) to admit a new one (default 8).
 	MaxSnapshots int
@@ -45,6 +52,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.PoolSize < 1 {
 		c.PoolSize = 1
+	}
+	if c.PoolMaxSize < c.PoolSize {
+		c.PoolMaxSize = 0 // fixed-size pools
 	}
 	if c.MaxSnapshots <= 0 {
 		c.MaxSnapshots = 8
@@ -84,6 +94,15 @@ type Server struct {
 	dedupHits atomic.Uint64
 	installs  atomic.Uint64
 
+	// Request latency histograms (DESIGN.md §12): runLatency covers the
+	// whole execution of a run request (pool hand-out + workload run);
+	// queueWait re-aggregates the per-run session queue-wait phase.
+	// wlLatency splits run durations per workload name.
+	runLatency obs.Histogram
+	queueWait  obs.Histogram
+	wlMu       sync.Mutex
+	wlLatency  map[string]*obs.Histogram
+
 	mu        sync.Mutex
 	closed    bool
 	snaps     map[string]*poolEntry
@@ -106,7 +125,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
-	pool, err := mobilesim.NewSessionPool(snap, cfg.PoolSize, mobilesim.Config{})
+	pool, err := cfg.newPool(snap)
 	if err != nil {
 		return nil, fmt.Errorf("pool: %w", err)
 	}
@@ -114,10 +133,23 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		def:       &poolEntry{pool: pool},
 		start:     time.Now(),
+		wlLatency: make(map[string]*obs.Histogram),
 		snaps:     make(map[string]*poolEntry),
 		idem:      make(map[string]*idemEntry),
 		runCounts: make(map[string]uint64),
 	}, nil
+}
+
+// newPool builds one warm pool per the configured sizing policy: fixed
+// at PoolSize, or autoscaling between [PoolSize, PoolMaxSize].
+func (c Config) newPool(snap *mobilesim.Snapshot) (*mobilesim.SessionPool, error) {
+	if c.PoolMaxSize > c.PoolSize {
+		return mobilesim.NewAutoscalingSessionPool(snap, mobilesim.PoolAutoscale{
+			MinWarm: c.PoolSize,
+			MaxWarm: c.PoolMaxSize,
+		}, mobilesim.Config{})
+	}
+	return mobilesim.NewSessionPool(snap, c.PoolSize, mobilesim.Config{})
 }
 
 // Close shuts down every pool. Sessions already handed out to in-flight
@@ -148,7 +180,41 @@ func (s *Server) Mux() *http.ServeMux {
 	m.HandleFunc(cluster.PathSnapshot, s.handleSnapshot)
 	m.HandleFunc(cluster.PathRun, s.handleRun)
 	m.HandleFunc(cluster.PathStats, s.handleStats)
+	m.HandleFunc(cluster.PathMetrics, s.handleMetrics)
 	return m
+}
+
+// workloadHist returns the run-duration histogram for one workload,
+// creating it on first use. The map is small (one entry per workload
+// name ever run) and the lock is uncontended relative to a full
+// simulator run.
+func (s *Server) workloadHist(name string) *obs.Histogram {
+	s.wlMu.Lock()
+	defer s.wlMu.Unlock()
+	h, ok := s.wlLatency[name]
+	if !ok {
+		h = &obs.Histogram{}
+		s.wlLatency[name] = h
+	}
+	return h
+}
+
+// workloadLatencies snapshots every per-workload histogram, sorted by
+// name for deterministic rendering.
+func (s *Server) workloadLatencies() []workloadLatency {
+	s.wlMu.Lock()
+	out := make([]workloadLatency, 0, len(s.wlLatency))
+	for name, h := range s.wlLatency {
+		out = append(out, workloadLatency{name: name, snap: h.Snapshot()})
+	}
+	s.wlMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+type workloadLatency struct {
+	name string
+	snap obs.Snapshot
 }
 
 // encodeJSON renders v exactly as every response writer does, so
@@ -241,7 +307,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding snapshot: %w", err))
 		return
 	}
-	pool, err := mobilesim.NewSessionPool(snap, s.cfg.PoolSize, mobilesim.Config{})
+	pool, err := s.cfg.newPool(snap)
 	if err != nil {
 		s.failures.Add(1)
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("building pool: %w", err))
@@ -399,6 +465,7 @@ func (s *Server) executeRun(ctx context.Context, req *cluster.RunRequest) (int, 
 		defer cancel()
 	}
 
+	t0 := time.Now()
 	sess, err := entry.pool.Get(ctx)
 	if err != nil {
 		s.failures.Add(1)
@@ -414,6 +481,12 @@ func (s *Server) executeRun(ctx context.Context, req *cluster.RunRequest) (int, 
 		opts = append(opts, mobilesim.WithVerify(*req.Verify))
 	}
 	res, err := sess.Run(ctx, req.Workload, opts...)
+	// Request latency covers pool hand-out plus the run, success or not:
+	// an operator watching p99s cares about what clients waited, not just
+	// what verified.
+	elapsed := time.Since(t0)
+	s.runLatency.Observe(elapsed)
+	s.workloadHist(req.Workload).Observe(elapsed)
 	if err != nil {
 		s.failures.Add(1)
 		status := http.StatusInternalServerError
@@ -424,6 +497,7 @@ func (s *Server) executeRun(ctx context.Context, req *cluster.RunRequest) (int, 
 		}
 		return status, cluster.ErrorResponse{Error: err.Error()}
 	}
+	s.queueWait.Observe(res.QueueWait)
 
 	entry.runs.Add(1)
 	s.mu.Lock()
@@ -431,22 +505,22 @@ func (s *Server) executeRun(ctx context.Context, req *cluster.RunRequest) (int, 
 	s.mu.Unlock()
 
 	resp := &cluster.RunResponse{
-		Workload: res.Workload,
-		Kind:     string(res.Kind),
-		Scale:    res.Scale,
-		Verified: res.Verified,
-		SimMS:    float64(res.SimDuration) / float64(time.Millisecond),
-		NativeMS: float64(res.NativeDuration) / float64(time.Millisecond),
-		WallMS:   float64(res.Wall) / float64(time.Millisecond),
+		Workload:    res.Workload,
+		Kind:        string(res.Kind),
+		Scale:       res.Scale,
+		Verified:    res.Verified,
+		SimMS:       float64(res.SimDuration) / float64(time.Millisecond),
+		NativeMS:    float64(res.NativeDuration) / float64(time.Millisecond),
+		WallMS:      float64(res.Wall) / float64(time.Millisecond),
+		QueueWaitMS: float64(res.QueueWait) / float64(time.Millisecond),
 		// Serialization copies into the RPC response, not live
-		// bookkeeping — composed in the literal so the counters cross the
-		// wire exactly.
-		Stats: cluster.RunStats{
-			GPU:               res.Stats.GPU,
-			System:            res.Stats.System,
-			DriverCPUMS:       float64(res.Stats.DriverCPUTime) / float64(time.Millisecond),
-			DriverCPUNS:       int64(res.Stats.DriverCPUTime),
-			GuestInstructions: res.Stats.GuestInstructions,
+		// bookkeeping — composed through MakeRunStats so the counters
+		// cross the wire exactly and the deprecated DriverCPUMS mirror is
+		// derived in one place.
+		Stats: cluster.MakeRunStats(res.Stats.GPU, res.Stats.System, res.Stats.DriverCPUTime, res.Stats.GuestInstructions),
+		Modeled: cluster.Modeled{
+			MobileCycles:  res.Modeled.MobileCycles,
+			DesktopCycles: res.Modeled.DesktopCycles,
 		},
 	}
 	if res.VerifyErr != nil {
@@ -455,14 +529,36 @@ func (s *Server) executeRun(ctx context.Context, req *cluster.RunRequest) (int, 
 	return http.StatusOK, resp
 }
 
-// poolStats renders one pool's counters.
+// durMS renders a duration as float milliseconds for the stats JSON.
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// latencyJSON renders one histogram snapshot as a stats JSON latency
+// block: count plus mean/p50/p90/p99 in milliseconds. Percentiles are
+// log-bucket estimates (≤ ~2× relative error); the mean is exact.
+func latencyJSON(snap *obs.Snapshot) map[string]any {
+	sum := snap.Summary()
+	return map[string]any{
+		"count":   sum.Count,
+		"mean_ms": durMS(sum.Mean),
+		"p50_ms":  durMS(sum.P50),
+		"p90_ms":  durMS(sum.P90),
+		"p99_ms":  durMS(sum.P99),
+	}
+}
+
+// poolStats renders one pool's counters and latency summaries.
 func poolStats(e *poolEntry) map[string]any {
+	m := e.pool.Metrics()
 	out := map[string]any{
-		"warm":         e.pool.Warm(),
-		"forked":       e.pool.Forked(),
-		"hits":         e.pool.Hits(),
-		"inline_forks": e.pool.InlineForks(),
+		"warm":         m.Warm,
+		"warm_target":  m.WarmTarget,
+		"forked":       m.Forked,
+		"hits":         m.Hits,
+		"inline_forks": m.InlineForks,
 		"runs":         e.runs.Load(),
+		"get_wait":     latencyJSON(&m.GetWait),
+		"refill_fork":  latencyJSON(&m.RefillFork),
+		"inline_fork":  latencyJSON(&m.InlineFork),
 	}
 	if e.ref != "" {
 		out["ref"] = e.ref
@@ -486,6 +582,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		runs[k] = v
 	}
 	s.mu.Unlock()
+
+	perWorkload := map[string]any{}
+	for _, wl := range s.workloadLatencies() {
+		perWorkload[wl.name] = latencyJSON(&wl.snap)
+	}
+	runSnap := s.runLatency.Snapshot()
+	waitSnap := s.queueWait.Snapshot()
+
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s":          time.Since(s.start).Seconds(),
 		"requests":          s.requests.Load(),
@@ -502,7 +606,50 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"pool":              poolStats(s.def),
 		"snapshots":         snaps,
 		"runs":              runs,
-		"workloads":         len(mobilesim.Workloads()),
-		"guest_ram_mib":     s.cfg.Sim.RAMSize >> 20,
+		// Latency percentile blocks (DESIGN.md §12): whole-request run
+		// latency, per-run session queue wait, and per-workload splits.
+		"latency": map[string]any{
+			"run":          latencyJSON(&runSnap),
+			"queue_wait":   latencyJSON(&waitSnap),
+			"per_workload": perWorkload,
+		},
+		"workloads":     len(mobilesim.Workloads()),
+		"guest_ram_mib": s.cfg.Sim.RAMSize >> 20,
 	})
+}
+
+// handleMetrics serves GET /metrics: the same counters and latency
+// summaries as /api/v1/stats, rendered in Prometheus text exposition
+// format (one scrape target per host).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b bytes.Buffer
+	obs.WritePromGauge(&b, "mobilesim_uptime_seconds", "Seconds since the server booted.", time.Since(s.start).Seconds())
+	obs.WritePromCounter(&b, "mobilesim_requests_total", "Run requests accepted.", s.requests.Load())
+	obs.WritePromCounter(&b, "mobilesim_failures_total", "Run requests that failed.", s.failures.Load())
+	obs.WritePromCounter(&b, "mobilesim_dedup_hits_total", "Idempotent replays served from the recorded-response store.", s.dedupHits.Load())
+	obs.WritePromCounter(&b, "mobilesim_snapshot_installs_total", "Snapshots installed over the snapshot endpoint.", s.installs.Load())
+
+	pm := s.def.pool.Metrics()
+	obs.WritePromGauge(&b, "mobilesim_pool_warm", "Warm sessions currently in the default pool.", float64(pm.Warm))
+	obs.WritePromGauge(&b, "mobilesim_pool_warm_target", "Warm count the default pool is converging toward.", float64(pm.WarmTarget))
+	obs.WritePromCounter(&b, "mobilesim_pool_forked_total", "Sessions forked by the default pool.", pm.Forked)
+	obs.WritePromCounter(&b, "mobilesim_pool_hits_total", "Get calls served from the warm pool.", pm.Hits)
+	obs.WritePromCounter(&b, "mobilesim_pool_inline_forks_total", "Get calls that forked inline (pool momentarily empty).", pm.InlineForks)
+
+	runSnap := s.runLatency.Snapshot()
+	obs.WritePromSummaryHeader(&b, "mobilesim_run_duration_seconds", "Run request latency (pool hand-out + workload run), per workload.")
+	for _, wl := range s.workloadLatencies() {
+		obs.WritePromSummary(&b, "mobilesim_run_duration_seconds", `workload="`+obs.EscapeLabel(wl.name)+`"`, &wl.snap)
+	}
+	obs.WritePromSummary(&b, "mobilesim_run_duration_seconds", `workload="all"`, &runSnap)
+
+	waitSnap := s.queueWait.Snapshot()
+	obs.WritePromSummaryHeader(&b, "mobilesim_run_queue_wait_seconds", "Per-run session command-queue wait.")
+	obs.WritePromSummary(&b, "mobilesim_run_queue_wait_seconds", "", &waitSnap)
+
+	obs.WritePromSummaryHeader(&b, "mobilesim_pool_get_wait_seconds", "Default pool hand-out latency.")
+	obs.WritePromSummary(&b, "mobilesim_pool_get_wait_seconds", "", &pm.GetWait)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(b.Bytes())
 }

@@ -512,3 +512,151 @@ func TestIdempotentFailureRetries(t *testing.T) {
 		t.Fatalf("retry after failure: status %d: %s", rec.Code, rec.Body)
 	}
 }
+
+// TestStatsJSONShape pins the full top-level key set of /api/v1/stats —
+// the wire surface operators script against — plus the shapes of the
+// latency and pool blocks. A key that disappears (or silently changes
+// type) must fail here, not in someone's dashboard.
+func TestStatsJSONShape(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	mux := srv.Mux()
+	if rec := do(mux, http.MethodPost, cluster.PathRun, `{"workload": "BFS", "scale": 4}`); rec.Code != http.StatusOK {
+		t.Fatalf("run: status %d: %s", rec.Code, rec.Body)
+	}
+	body := statsBody(t, mux)
+
+	want := []string{
+		"uptime_s", "requests", "failures", "dedup_hits", "snapshot_installs",
+		"pool_warm", "pool_forked", "pool_hits", "pool_inline_forks",
+		"pool", "snapshots", "runs", "latency", "workloads", "guest_ram_mib",
+	}
+	for _, k := range want {
+		if _, ok := body[k]; !ok {
+			t.Errorf("stats body missing key %q", k)
+		}
+	}
+	if len(body) != len(want) {
+		keys := make([]string, 0, len(body))
+		for k := range body {
+			keys = append(keys, k)
+		}
+		t.Errorf("stats body has %d keys, want %d: %v", len(body), len(want), keys)
+	}
+
+	var lat struct {
+		Run         map[string]float64            `json:"run"`
+		QueueWait   map[string]float64            `json:"queue_wait"`
+		PerWorkload map[string]map[string]float64 `json:"per_workload"`
+	}
+	if err := json.Unmarshal(body["latency"], &lat); err != nil {
+		t.Fatalf("latency block: %v", err)
+	}
+	for _, blk := range []map[string]float64{lat.Run, lat.QueueWait, lat.PerWorkload["BFS"]} {
+		for _, k := range []string{"count", "mean_ms", "p50_ms", "p90_ms", "p99_ms"} {
+			if _, ok := blk[k]; !ok {
+				t.Fatalf("latency block %v missing key %q", blk, k)
+			}
+		}
+	}
+	if lat.Run["count"] != 1 || lat.PerWorkload["BFS"]["count"] != 1 {
+		t.Fatalf("run latency counts = %v / %v, want 1 each", lat.Run["count"], lat.PerWorkload["BFS"]["count"])
+	}
+	if lat.Run["mean_ms"] <= 0 {
+		t.Fatalf("run latency mean %v, want > 0", lat.Run["mean_ms"])
+	}
+
+	var pool map[string]json.RawMessage
+	if err := json.Unmarshal(body["pool"], &pool); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"warm", "warm_target", "forked", "hits", "inline_forks", "runs", "get_wait", "refill_fork", "inline_fork"} {
+		if _, ok := pool[k]; !ok {
+			t.Errorf("pool block missing key %q", k)
+		}
+	}
+}
+
+// TestMetricsExposition covers GET /metrics: Prometheus text format
+// headers, the counter values, and the per-workload run summary with
+// quantile labels.
+func TestMetricsExposition(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	mux := srv.Mux()
+	if rec := do(mux, http.MethodPost, cluster.PathRun, `{"workload": "BFS", "scale": 4}`); rec.Code != http.StatusOK {
+		t.Fatalf("run: status %d: %s", rec.Code, rec.Body)
+	}
+
+	rec := do(mux, http.MethodGet, cluster.PathMetrics, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q, want Prometheus text exposition 0.0.4", ct)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE mobilesim_requests_total counter",
+		"mobilesim_requests_total 1\n",
+		"mobilesim_failures_total 0\n",
+		"# TYPE mobilesim_pool_warm gauge",
+		"# TYPE mobilesim_run_duration_seconds summary",
+		`mobilesim_run_duration_seconds_count{workload="BFS"} 1`,
+		`mobilesim_run_duration_seconds{workload="BFS",quantile="0.5"}`,
+		`mobilesim_run_duration_seconds{workload="BFS",quantile="0.99"}`,
+		`mobilesim_run_duration_seconds_count{workload="all"} 1`,
+		"# TYPE mobilesim_run_queue_wait_seconds summary",
+		"mobilesim_run_queue_wait_seconds_count 1",
+		"mobilesim_pool_get_wait_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics body:\n%s", text)
+	}
+}
+
+// TestRunResponseModeled: every run response carries the analytical
+// cost-model estimates, and the deprecated DriverCPUMS mirror matches
+// its nanosecond source exactly (single-derivation invariant).
+func TestRunResponseModeled(t *testing.T) {
+	srv := testServer(t, hostd.Config{})
+	rec := do(srv.Mux(), http.MethodPost, cluster.PathRun, `{"workload": "BFS", "scale": 4}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp cluster.RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Modeled.MobileCycles <= 0 || resp.Modeled.DesktopCycles <= 0 {
+		t.Fatalf("modeled cost not populated: %+v", resp.Modeled)
+	}
+	if resp.QueueWaitMS < 0 {
+		t.Fatalf("queue_wait_ms = %v, want >= 0", resp.QueueWaitMS)
+	}
+	if want := float64(resp.Stats.DriverCPUNS) / 1e6; resp.Stats.DriverCPUMS != want {
+		t.Fatalf("driver_cpu_ms %v drifted from driver_cpu_ns/1e6 = %v", resp.Stats.DriverCPUMS, want)
+	}
+}
+
+// TestAutoscalingPoolConfig: PoolMaxSize > PoolSize turns the default
+// pool into an autoscaler whose warm target stays within the bounds.
+func TestAutoscalingPoolConfig(t *testing.T) {
+	srv := testServer(t, hostd.Config{PoolSize: 1, PoolMaxSize: 3})
+	mux := srv.Mux()
+	if rec := do(mux, http.MethodPost, cluster.PathRun, `{"workload": "Reduction", "scale": 1}`); rec.Code != http.StatusOK {
+		t.Fatalf("run: status %d: %s", rec.Code, rec.Body)
+	}
+	body := statsBody(t, mux)
+	var pool struct {
+		WarmTarget int `json:"warm_target"`
+	}
+	if err := json.Unmarshal(body["pool"], &pool); err != nil {
+		t.Fatal(err)
+	}
+	if pool.WarmTarget < 1 || pool.WarmTarget > 3 {
+		t.Fatalf("warm_target %d outside [1,3]", pool.WarmTarget)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateEWMA is an exponentially weighted moving average of an event
+// arrival rate (events per second) over irregularly spaced arrivals.
+// Time is always passed in by the caller, never read from the system
+// clock, so the estimator is trivially testable with a fake clock.
+//
+// The weighting is half-life based: an observation's influence halves
+// every halfLife of elapsed time, and Rate decays the estimate toward
+// zero while no events arrive — so a burst raises the rate quickly and
+// an idle period lets it drain.
+type RateEWMA struct {
+	mu       sync.Mutex
+	halfLife float64 // seconds; > 0
+	rate     float64 // events/second
+	last     time.Time
+}
+
+// NewRateEWMA returns a rate estimator with the given half-life.
+// Non-positive half-lives are clamped to one second.
+func NewRateEWMA(halfLife time.Duration) *RateEWMA {
+	hl := halfLife.Seconds()
+	if hl <= 0 {
+		hl = 1
+	}
+	return &RateEWMA{halfLife: hl}
+}
+
+// Observe records one event at time t. Out-of-order arrivals (t before
+// the previous event) are treated as simultaneous.
+func (e *RateEWMA) Observe(t time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last.IsZero() {
+		// A single event carries no rate information yet.
+		e.last = t
+		return
+	}
+	dt := t.Sub(e.last).Seconds()
+	if dt <= 0 {
+		dt = 1e-6 // simultaneous arrivals: treat as 1 µs apart
+	}
+	inst := 1 / dt
+	w := 1 - math.Exp2(-dt/e.halfLife)
+	e.rate = (1-w)*e.rate + w*inst
+	e.last = t
+}
+
+// Rate returns the estimated arrival rate in events/second as of time t,
+// decayed for the idle gap since the last event.
+func (e *RateEWMA) Rate(t time.Time) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last.IsZero() || e.rate == 0 {
+		return 0
+	}
+	idle := t.Sub(e.last).Seconds()
+	if idle <= 0 {
+		return e.rate
+	}
+	return e.rate * math.Exp2(-idle/e.halfLife)
+}
+
+// DurEWMA is a fixed-weight exponentially weighted moving average of a
+// duration (e.g. observed fork latency). The first observation seeds the
+// average directly.
+type DurEWMA struct {
+	mu     sync.Mutex
+	alpha  float64
+	v      float64 // nanoseconds
+	seeded bool
+}
+
+// NewDurEWMA returns a duration estimator; alpha in (0, 1] is the weight
+// of each new observation (out-of-range values are clamped to 0.3).
+func NewDurEWMA(alpha float64) *DurEWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &DurEWMA{alpha: alpha}
+}
+
+// Observe folds one duration into the average.
+func (e *DurEWMA) Observe(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ns := float64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	if !e.seeded {
+		e.v, e.seeded = ns, true
+		return
+	}
+	e.v = (1-e.alpha)*e.v + e.alpha*ns
+}
+
+// Value returns the current average (0 until the first observation).
+func (e *DurEWMA) Value() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.v)
+}

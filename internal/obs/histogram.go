@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bucket 0 holds
+// exactly 0 ns; bucket i (1 ≤ i < NumBuckets) holds durations in
+// [2^(i-1), 2^i) ns. Durations of 2^(NumBuckets-1) ns (≈ 9.2 minutes)
+// or more land in the overflow bucket at index NumBuckets.
+const NumBuckets = 40
+
+// bucketIndex maps a non-negative nanosecond duration to its bucket.
+// The mapping is the bit length of the value: 0→0, 1→1, [2,3]→2,
+// [4,7]→3, ... so each bucket spans one power of two and quantile
+// estimates carry at most ~2× relative error.
+func bucketIndex(ns int64) int {
+	i := bits.Len64(uint64(ns))
+	if i > NumBuckets {
+		return NumBuckets
+	}
+	return i
+}
+
+// bucketBounds returns the inclusive [lo, hi] nanosecond range of a
+// bucket. The overflow bucket has no finite upper bound; its hi equals
+// its lo so estimates degrade to the bucket's lower bound.
+func bucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i <= 0:
+		return 0, 0
+	case i >= NumBuckets:
+		lo = 1 << (NumBuckets - 1)
+		return lo, lo
+	default:
+		return 1 << (i - 1), 1<<i - 1
+	}
+}
+
+// Histogram is a lock-free log-bucketed latency histogram. Observe is
+// three uncontended atomic adds and performs no allocation; Snapshot
+// reads are not a consistent cut (counts may race ahead of sums by a
+// few in-flight observations) which is acceptable for monitoring.
+//
+// The zero value is ready to use. A Histogram must not be copied after
+// first use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [NumBuckets + 1]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(ns))
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.count.Load()
+	s.SumNS = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Histogram. Snapshots are plain
+// values: they can be merged across sessions, pools or hosts and then
+// queried for quantiles.
+type Snapshot struct {
+	Count   uint64
+	SumNS   uint64
+	Buckets [NumBuckets + 1]uint64
+}
+
+// Merge folds another snapshot into s (bucket-wise addition).
+func (s *Snapshot) Merge(o *Snapshot) {
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the arithmetic mean of all observations, or 0 if empty.
+// Unlike the quantiles it is exact: the sum is tracked alongside the
+// buckets.
+func (s *Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) by linear
+// interpolation inside the bucket holding the target rank. Values in
+// the overflow bucket report the bucket's lower bound. Returns 0 for an
+// empty snapshot.
+func (s *Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || math.IsNaN(q) {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := bucketBounds(i)
+			frac := float64(target-cum) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	// Unreachable when Count equals the bucket sum; be safe if a racy
+	// snapshot left Count ahead of the buckets.
+	lo, _ := bucketBounds(NumBuckets)
+	return time.Duration(lo)
+}
+
+// Summary condenses a snapshot into the fixed percentile set every
+// serving layer reports.
+type Summary struct {
+	Count uint64
+	Sum   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+}
+
+// Summary computes the standard summary of the snapshot.
+func (s *Snapshot) Summary() Summary {
+	return Summary{
+		Count: s.Count,
+		Sum:   time.Duration(s.SumNS),
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// WritePromSummary writes the snapshot as a Prometheus summary metric in
+// seconds. labels is a pre-rendered, comma-separated label list without
+// braces (e.g. `workload="BFS"`), or "" for none; values must already be
+// escaped with EscapeLabel. Emit the # HELP/# TYPE header once per metric
+// family via WritePromSummaryHeader before the first labelled series.
+func WritePromSummary(w io.Writer, name, labels string, s *Snapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	plain := ""
+	if labels != "" {
+		plain = "{" + labels + "}"
+	}
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}} {
+		fmt.Fprintf(w, "%s{%squantile=%q} %g\n", name, labels+sep, q.label, s.Quantile(q.v).Seconds())
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, plain, float64(s.SumNS)/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, plain, s.Count)
+}
+
+// WritePromSummaryHeader writes the HELP/TYPE preamble for a summary
+// metric family.
+func WritePromSummaryHeader(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+}

@@ -1,0 +1,82 @@
+package mobilesim
+
+import (
+	"mobilesim/internal/costmodel"
+	"mobilesim/internal/obs"
+)
+
+// This file is the facade's observability surface: the latency snapshot
+// and summary types re-exported from internal/obs, the per-session phase
+// timing metrics, and the analytical cost estimate attached to every run
+// (DESIGN.md §12).
+
+// LatencySnapshot is a mergeable point-in-time copy of a log-bucketed
+// latency histogram. Snapshots from different sessions, pools or hosts
+// can be Merged and then queried for quantiles (Quantile, Summary).
+type LatencySnapshot = obs.Snapshot
+
+// LatencySummary condenses a LatencySnapshot into count, mean and
+// p50/p90/p99. Quantiles are log-bucket estimates with at most ~2×
+// relative error; Mean is exact.
+type LatencySummary = obs.Summary
+
+// SessionMetrics is a snapshot of one session's command-queue phase
+// timings: how long submissions waited behind their predecessors versus
+// how long they executed. Counters cover every run that reached
+// execution on this session, successful or not.
+type SessionMetrics struct {
+	// QueueWait distributes time from Submit to execution start.
+	QueueWait LatencySnapshot
+	// Exec distributes execution wall time (RunResult.Wall).
+	Exec LatencySnapshot
+}
+
+// Metrics returns the session's current serving metrics. It is cheap
+// (atomic loads) and safe to call concurrently with runs, including on a
+// closed session.
+func (s *Session) Metrics() SessionMetrics {
+	return SessionMetrics{
+		QueueWait: s.obsQueueWait.Snapshot(),
+		Exec:      s.obsExec.Snapshot(),
+	}
+}
+
+// ModeledCost is the analytical timing estimate attached to every run:
+// the paper's Fig 15 cross-platform models evaluated on the run's own
+// statistics delta. Both figures are *relative* runtimes in arbitrary
+// model units — they rank kernels and expose platform-divergent
+// behaviour (a mobile-hostile access pattern scores high on MobileCycles
+// but low on DesktopCycles) — not cycle-accurate predictions, and they
+// are not comparable across the two models. Being pure functions of the
+// deterministic counters, they are bit-identical whether a run executed
+// locally or on a cluster host.
+type ModeledCost struct {
+	// MobileCycles is the Mali-G71 mobile model estimate: LPDDR traffic
+	// dominates, register pressure past the occupancy knee multiplies
+	// exposed memory latency.
+	MobileCycles float64
+	// DesktopCycles is the K20m desktop model estimate: ALU nearly free,
+	// coalescing and cache behaviour dominate, plus per-launch overhead.
+	DesktopCycles float64
+}
+
+// kernelProfiler is implemented by workloads that carry a per-kernel
+// access-pattern annotation for the desktop model (the SGEMM ladder
+// rungs); all other workloads get costmodel.DefaultProfile.
+type kernelProfiler interface {
+	kernelProfile() costmodel.KernelProfile
+}
+
+// modeledCost evaluates both analytical models on a per-run statistics
+// delta. The delta is always the run's own (snapshot-diffed) counters,
+// regardless of the StatsScope selected for RunResult.Stats.
+func modeledCost(delta *Stats, w Workload) ModeledCost {
+	prof := costmodel.DefaultProfile()
+	if pw, ok := w.(kernelProfiler); ok {
+		prof = pw.kernelProfile()
+	}
+	return ModeledCost{
+		MobileCycles:  costmodel.MaliG71().Estimate(&delta.GPU),
+		DesktopCycles: costmodel.K20m().Estimate(&delta.GPU, prof, delta.System.KernelLaunch),
+	}
+}

@@ -1,0 +1,74 @@
+// Observability surface tests: every run carries the modelled cost
+// estimates, Session.Metrics() accounts queue-wait and execution
+// latency per run, and the model values are deterministic functions of
+// the run's counters.
+package mobilesim_test
+
+import (
+	"context"
+	"testing"
+
+	"mobilesim"
+)
+
+// obsConfig pins HostThreads to 1 so every counter — and therefore the
+// modelled cost, a pure function of the counters — is exactly
+// reproducible across sessions.
+func obsConfig() mobilesim.Config {
+	return mobilesim.Config{RAMSize: 128 << 20, HostThreads: 1}
+}
+
+// TestRunResultModeled: a local run populates both cost-model estimates,
+// and a second fresh session running the same workload at the same scale
+// reproduces them bit for bit.
+func TestRunResultModeled(t *testing.T) {
+	run := func() mobilesim.ModeledCost {
+		t.Helper()
+		sess, err := mobilesim.New(obsConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		res, err := sess.Run(context.Background(), "BFS", mobilesim.WithScale(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Modeled.MobileCycles <= 0 || res.Modeled.DesktopCycles <= 0 {
+			t.Fatalf("modelled cost not populated: %+v", res.Modeled)
+		}
+		if res.QueueWait < 0 {
+			t.Fatalf("queue wait %v, want >= 0", res.QueueWait)
+		}
+		return res.Modeled
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("modelled cost not deterministic: %+v vs %+v", first, second)
+	}
+}
+
+// TestSessionMetricsCounts: the per-session histograms observe one
+// sample per run, queue-wait and execution phase alike.
+func TestSessionMetricsCounts(t *testing.T) {
+	sess, err := mobilesim.New(obsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	if m := sess.Metrics(); m.QueueWait.Count != 0 || m.Exec.Count != 0 {
+		t.Fatalf("fresh session metrics %+v, want empty", m)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, err := sess.Run(context.Background(), "Reduction", mobilesim.WithScale(1)); err != nil {
+			t.Fatal(err)
+		}
+		m := sess.Metrics()
+		if m.QueueWait.Count != uint64(i) || m.Exec.Count != uint64(i) {
+			t.Fatalf("after %d runs: queue-wait count %d, exec count %d", i, m.QueueWait.Count, m.Exec.Count)
+		}
+		if m.Exec.Quantile(0.5) <= 0 {
+			t.Fatalf("exec p50 = %v, want > 0", m.Exec.Quantile(0.5))
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package mobilesim
+
+// Internal tests for the SessionPool autoscaler: the rate-driven sizer's
+// target math under a fake clock, and the pool machinery converging its
+// warm count onto a moving target. These live inside the package (the
+// rest of the root tests are external) because they drive the unexported
+// sizer/clock seams directly.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"mobilesim/internal/obs"
+)
+
+// fakeClock is a manually advanced wall clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestSizer builds a rateSizer with a seeded fork-latency estimate,
+// as if the pool had already measured slow forks.
+func newTestSizer(min, max int, halfLife time.Duration, forkLat time.Duration) *rateSizer {
+	z := &rateSizer{
+		min:      min,
+		max:      max,
+		headroom: 2,
+		rate:     obs.NewRateEWMA(halfLife),
+		fork:     obs.NewDurEWMA(0.3),
+	}
+	z.observeFork(forkLat)
+	return z
+}
+
+// TestRateSizerBurstAndDecay drives the autoscaler's target with a fake
+// clock: a sustained burst must push the target to the max bound, and an
+// idle period must decay it back to the min bound.
+func TestRateSizerBurstAndDecay(t *testing.T) {
+	clk := newFakeClock()
+	// Fork latency 100ms, headroom 2: a 1 kHz burst asks for ~200 warm
+	// sessions, far past max — the bound must clamp it.
+	z := newTestSizer(1, 6, time.Second, 100*time.Millisecond)
+
+	if got := z.target(clk.Now()); got != 1 {
+		t.Fatalf("idle target = %d, want min 1", got)
+	}
+
+	// Bursty load: 1000 arrivals spaced 1ms apart.
+	for i := 0; i < 1000; i++ {
+		clk.Advance(time.Millisecond)
+		z.observeArrival(clk.Now())
+	}
+	if got := z.target(clk.Now()); got != 6 {
+		t.Fatalf("burst target = %d, want max 6", got)
+	}
+
+	// The rate estimate halves every half-life; after many half-lives
+	// idle the target must be back at the floor.
+	if got := z.target(clk.Now().Add(30 * time.Second)); got != 1 {
+		t.Fatalf("post-idle target = %d, want min 1", got)
+	}
+
+	// Monotone in between: decay never raises the target.
+	prev := z.target(clk.Now())
+	for idle := time.Second; idle <= 10*time.Second; idle += time.Second {
+		cur := z.target(clk.Now().Add(idle))
+		if cur > prev {
+			t.Fatalf("target rose during idle decay: %d -> %d at %v", prev, cur, idle)
+		}
+		prev = cur
+	}
+}
+
+// TestRateSizerBounds pins the clamp arithmetic at both ends.
+func TestRateSizerBounds(t *testing.T) {
+	clk := newFakeClock()
+	z := newTestSizer(2, 4, time.Second, time.Hour) // absurd fork latency
+	clk.Advance(time.Millisecond)
+	z.observeArrival(clk.Now())
+	clk.Advance(time.Millisecond)
+	z.observeArrival(clk.Now())
+	if got := z.target(clk.Now()); got != 4 {
+		t.Fatalf("target = %d, want clamped max 4", got)
+	}
+	zz := newTestSizer(2, 4, time.Second, 0) // no fork cost: floor wins
+	if got := zz.target(clk.Now()); got != 2 {
+		t.Fatalf("target = %d, want clamped min 2", got)
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPoolAutoscaleWarmCount exercises the full loop on a real pool with
+// a fake wall clock: under a bursty fake-clock load the warm count must
+// rise toward the max bound, and once the clock jumps far past the
+// half-life the refiller must close surplus sessions until the warm
+// count is back at the min bound.
+func TestPoolAutoscaleWarmCount(t *testing.T) {
+	parent, err := New(Config{RAMSize: 256 << 20, HostThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clk := newFakeClock()
+	const minWarm, maxWarm = 1, 4
+	sizer := newTestSizer(minWarm, maxWarm, time.Second, 500*time.Millisecond)
+	pool, err := newSessionPool(snap, Config{}, sizer, clk.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Burst: arrivals 1ms apart at a 500ms seeded fork latency ask for
+	// ~1000 warm sessions; the target clamps to maxWarm and the refiller
+	// must actually fill the channel that far. Each Get re-seeds the
+	// fork estimate so the real (microsecond) forks the burst triggers
+	// don't drag it down mid-test.
+	for i := 0; i < 200; i++ {
+		clk.Advance(time.Millisecond)
+		s, err := pool.Get(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		sizer.observeFork(500 * time.Millisecond)
+	}
+	if got := pool.WarmTarget(); got != maxWarm {
+		t.Fatalf("burst warm target = %d, want %d", got, maxWarm)
+	}
+	waitFor(t, "warm count to rise to the max bound", func() bool {
+		pool.poke()
+		return pool.Warm() == maxWarm
+	})
+
+	// Idle: jump far past the half-life. The decayed target must shrink
+	// the pool back to the floor without any Get traffic.
+	clk.Advance(10 * time.Minute)
+	if got := pool.WarmTarget(); got != minWarm {
+		t.Fatalf("idle warm target = %d, want %d", got, minWarm)
+	}
+	waitFor(t, "warm count to decay to the min bound", func() bool {
+		pool.poke()
+		return pool.Warm() == minWarm
+	})
+
+	m := pool.Metrics()
+	if m.Warm != minWarm || m.WarmTarget != minWarm {
+		t.Fatalf("metrics warm=%d target=%d, want both %d", m.Warm, m.WarmTarget, minWarm)
+	}
+	if m.Hits+m.InlineForks != 200 {
+		t.Fatalf("hits %d + inline %d != 200 hand-outs", m.Hits, m.InlineForks)
+	}
+	if m.GetWait.Count != 200 {
+		t.Fatalf("get-wait histogram count = %d, want 200", m.GetWait.Count)
+	}
+	if m.RefillFork.Count == 0 {
+		t.Fatal("refill-fork histogram never observed a fork")
+	}
+}
+
+// TestAutoscalingPoolDefaults pins the public constructor's default
+// bounds resolution and basic hand-out behaviour.
+func TestAutoscalingPoolDefaults(t *testing.T) {
+	a := PoolAutoscale{}.withDefaults()
+	if a.MinWarm != 1 || a.MaxWarm != 4 || a.HalfLife != 5*time.Second || a.Headroom != 2 {
+		t.Fatalf("defaults = %+v", a)
+	}
+	a = PoolAutoscale{MinWarm: 3}.withDefaults()
+	if a.MaxWarm != 12 {
+		t.Fatalf("MaxWarm default = %d, want 4×MinWarm = 12", a.MaxWarm)
+	}
+
+	parent, err := New(Config{RAMSize: 256 << 20, HostThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewAutoscalingSessionPool(snap, PoolAutoscale{MinWarm: 1, MaxWarm: 2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	s, err := pool.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := s.Run(context.Background(), "URNG"); err != nil || !res.Verified {
+		t.Fatalf("autoscaled pooled session run: err=%v res=%+v", err, res)
+	}
+	s.Close()
+	if pool.WarmTarget() < 1 || pool.WarmTarget() > 2 {
+		t.Fatalf("warm target %d outside [1,2]", pool.WarmTarget())
+	}
+}

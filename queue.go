@@ -28,6 +28,9 @@ type Pending struct {
 	// to the entry being cancelled or refused while queued). Written
 	// before done closes; read only after.
 	ran bool
+	// enqueued is the submission time, the zero point for the run's
+	// queue-wait phase (RunResult.QueueWait).
+	enqueued time.Time
 }
 
 // Workload returns the submitted workload's name.
@@ -90,6 +93,7 @@ func (s *Session) SubmitWorkload(ctx context.Context, w Workload, opts ...RunOpt
 		workload: w.Info().Name,
 		done:     make(chan struct{}),
 		released: make(chan struct{}),
+		enqueued: time.Now(),
 	}
 
 	s.qMu.Lock()
@@ -131,7 +135,7 @@ func (s *Session) SubmitWorkload(ctx context.Context, w Workload, opts ...RunOpt
 				return
 			}
 		}
-		p.res, p.err = s.runWorkload(ctx, w, o, &p.ran)
+		p.res, p.err = s.runWorkload(ctx, w, o, p)
 		close(p.done)
 	}()
 	return p, nil
@@ -160,10 +164,12 @@ func (s *Session) RunWorkload(ctx context.Context, w Workload, opts ...RunOption
 
 // runWorkload executes one queue entry: it scopes the run's context to
 // the session lifetime, wraps the workload with per-run statistics
-// (snapshot-diff) and optional per-run CFG collection, and stamps the
-// common RunResult fields. started is set once Execute is actually
-// entered (none of the queued-cancellation early exits taken).
-func (s *Session) runWorkload(ctx context.Context, w Workload, o *RunOptions, started *bool) (*RunResult, error) {
+// (snapshot-diff) and optional per-run CFG collection, stamps the common
+// RunResult fields (phase timings and the modelled cost estimate
+// included), and feeds the session's queue-wait/execution histograms.
+// p.ran is set once Execute is actually entered (none of the
+// queued-cancellation early exits taken).
+func (s *Session) runWorkload(ctx context.Context, w Workload, o *RunOptions, p *Pending) (*RunResult, error) {
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	// Closing the session cancels in-flight runs too (mid-kernel, at a
@@ -195,10 +201,17 @@ func (s *Session) runWorkload(ctx context.Context, w Workload, o *RunOptions, st
 	}
 
 	t0 := time.Now()
+	queueWait := t0.Sub(p.enqueued)
 	pre := s.Stats()
-	*started = true
+	p.ran = true
 	res, err := w.Execute(rctx, s, o)
 	post := s.Stats()
+	wall := time.Since(t0)
+	// Phase timings are observed for every run that reached execution,
+	// failed or cancelled ones included — an operator watching queue-wait
+	// percentiles cares about pressure, not verification outcomes.
+	s.obsQueueWait.Observe(queueWait)
+	s.obsExec.Observe(wall)
 	if restoreCFG {
 		dev.SetCollectCFG(false)
 	}
@@ -206,7 +219,8 @@ func (s *Session) runWorkload(ctx context.Context, w Workload, o *RunOptions, st
 		return fail(err)
 	}
 
-	res.Wall = time.Since(t0)
+	res.Wall = wall
+	res.QueueWait = queueWait
 	info := w.Info()
 	res.Kind = info.Kind
 	if res.Workload == "" {
@@ -215,11 +229,13 @@ func (s *Session) runWorkload(ctx context.Context, w Workload, o *RunOptions, st
 	if res.Benchmark == "" {
 		res.Benchmark = res.Workload
 	}
+	delta := post.sub(pre)
+	res.Modeled = modeledCost(&delta, w)
 	switch o.StatsScope {
 	case StatsSession:
 		res.Stats = post
 	default:
-		res.Stats = post.sub(pre)
+		res.Stats = delta
 	}
 	if o.CollectCFG {
 		res.CFG = dev.CFGGraph().Render()

@@ -28,6 +28,16 @@ if [ -z "$old" ] || [ -z "$new" ]; then
     new="${snaps[-1]}"
 fi
 
+# PR numbers are not contiguous: some PRs never commit a snapshot (e.g.
+# BENCH_8/BENCH_9 were skipped). A gap means the movement below spans
+# several PRs of work — note it rather than mis-attributing the delta.
+old_pr="$(basename "$old" .json | cut -d_ -f2)"
+new_pr="$(basename "$new" .json | cut -d_ -f2)"
+if [[ "$old_pr" =~ ^[0-9]+$ && "$new_pr" =~ ^[0-9]+$ ]] && [ $((new_pr - old_pr)) -gt 1 ]; then
+    echo "bench_compare: note: comparing across a PR gap (PR $old_pr -> PR $new_pr);" \
+         "the delta spans $((new_pr - old_pr)) PRs of changes"
+fi
+
 THRESHOLD_PCT="${THRESHOLD_PCT:-10}" old="$old" new="$new" python3 - <<'EOF'
 import json, os, sys
 

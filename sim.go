@@ -13,6 +13,7 @@ import (
 	"mobilesim/internal/cl"
 	"mobilesim/internal/clc"
 	"mobilesim/internal/gpu"
+	"mobilesim/internal/obs"
 	"mobilesim/internal/platform"
 	"mobilesim/internal/stats"
 	"mobilesim/internal/workloads"
@@ -209,6 +210,11 @@ type Session struct {
 	qMu     sync.Mutex
 	qClosed bool
 	qTail   *Pending
+
+	// Serving metrics (see Metrics): queue-wait vs execution phase
+	// timings for every run that reached execution on this session.
+	obsQueueWait obs.Histogram
+	obsExec      obs.Histogram
 }
 
 // New boots a platform from cfg and opens the device: GPU soft reset,
@@ -534,6 +540,11 @@ type RunResult struct {
 	SimDuration    time.Duration
 	NativeDuration time.Duration
 	Wall           time.Duration
+	// QueueWait is the time this submission spent queued behind earlier
+	// submissions on the session's command queue before execution began;
+	// Wall covers execution only, so queue pressure and device time are
+	// separately attributable (DESIGN.md §12).
+	QueueWait time.Duration
 	// Verified reports whether the simulated output matched the
 	// host-native reference; VerifyErr carries the first mismatch. Both
 	// stay zero for workload kinds without a reference (SLAM) and for
@@ -549,6 +560,12 @@ type RunResult struct {
 	// Config.CollectCFG it is cumulative since session start; otherwise
 	// it covers exactly this run.
 	CFG string
+	// Modeled carries the analytical Mali-G71/K20m cost estimates
+	// evaluated on this run's own statistics delta (always the per-run
+	// delta, even when StatsScope selects the session-cumulative snapshot
+	// for Stats). See ModeledCost for what the numbers do and do not
+	// claim.
+	Modeled ModeledCost
 	// SLAM carries the pipeline metrics of a KindSLAM run.
 	SLAM *SLAMMetrics
 	// Output is an experiment workload's rendered rows, captured when no

@@ -293,6 +293,11 @@ func (w sgemmWorkload) Info() WorkloadInfo {
 	}
 }
 
+// kernelProfile hands the variant's access-pattern annotation to the
+// desktop cost model, so RunResult.Modeled reproduces the Fig 15
+// per-rung desktop estimates instead of using the generic default.
+func (w sgemmWorkload) kernelProfile() costmodel.KernelProfile { return w.v.Profile }
+
 func (w sgemmWorkload) Execute(ctx context.Context, s *Session, opt *RunOptions) (*RunResult, error) {
 	scale := opt.Scale
 	if scale <= 0 {
@@ -436,3 +441,8 @@ func MaliG71() MobileCostModel { return costmodel.MaliG71() }
 
 // K20m returns the desktop cost model parameterised for a Tesla K20m.
 func K20m() DesktopCostModel { return costmodel.K20m() }
+
+// DefaultKernelProfile returns the access-pattern annotation assumed for
+// workloads that do not declare one — what RunResult.Modeled's desktop
+// estimate uses outside the SGEMM ladder.
+func DefaultKernelProfile() KernelProfile { return costmodel.DefaultProfile() }
